@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks over the core primitives: tree build/find/
+//! union across representations, sequence ops vs arrays, codecs, and
+//! scheduler overhead. One group per paper table/figure family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use codecs::{Codec, DeltaCodec, RawCodec};
+use cpam::{DiffSet, PacSeq, PacSet};
+use pam::PamSet;
+
+const N: usize = 100_000;
+
+fn keys(mul: u64, off: u64) -> Vec<u64> {
+    (0..N as u64).map(|i| i * mul + off).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ks = keys(3, 0);
+    let mut g = c.benchmark_group("build_100k");
+    g.sample_size(10);
+    g.bench_function("pac_b128", |b| {
+        b.iter(|| PacSet::<u64>::from_sorted_keys(128, black_box(&ks)))
+    });
+    g.bench_function("pac_diff_b128", |b| {
+        b.iter(|| DiffSet::<u64>::from_sorted_keys(128, black_box(&ks)))
+    });
+    g.bench_function("ptree", |b| {
+        let pairs: Vec<(u64, ())> = ks.iter().map(|&k| (k, ())).collect();
+        b.iter(|| pam::PamMap::<u64, ()>::from_sorted_pairs(black_box(&pairs)))
+    });
+    g.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let a = PacSet::<u64>::from_sorted_keys(128, &keys(2, 0));
+    let b_set = PacSet::<u64>::from_sorted_keys(128, &keys(3, 1));
+    let pa = PamSet::from_keys(keys(2, 0));
+    let pb = PamSet::from_keys(keys(3, 1));
+    let mut g = c.benchmark_group("union_100k");
+    g.sample_size(10);
+    g.bench_function("pac_optimized", |bch| bch.iter(|| a.union(black_box(&b_set))));
+    g.bench_function("pac_naive_basecase", |bch| {
+        bch.iter(|| a.union_naive(black_box(&b_set)))
+    });
+    g.bench_function("ptree", |bch| bch.iter(|| pa.union(black_box(&pb))));
+    g.finish();
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let s = PacSet::<u64>::from_sorted_keys(128, &keys(3, 0));
+    let p = PamSet::from_keys(keys(3, 0));
+    let mut g = c.benchmark_group("point_ops");
+    g.bench_function("pac_find", |b| b.iter(|| s.contains(black_box(&150_000))));
+    g.bench_function("ptree_find", |b| b.iter(|| p.contains(black_box(&150_000))));
+    g.bench_function("pac_insert", |b| b.iter(|| s.insert(black_box(999_999_999))));
+    g.bench_function("pac_rank", |b| b.iter(|| s.rank(black_box(&150_000))));
+    g.finish();
+}
+
+fn bench_sequences(c: &mut Criterion) {
+    let values: Vec<u64> = (0..N as u64).map(|i| i % 8191).collect();
+    let seq: PacSeq<u64> = PacSeq::from_slice_with(128, &values);
+    let other = seq.clone();
+    let mut g = c.benchmark_group("sequences_100k");
+    g.sample_size(10);
+    g.bench_function("tree_reduce", |b| {
+        b.iter(|| seq.map_reduce(|v| *v, |x, y| x + y, 0u64))
+    });
+    g.bench_function("array_reduce", |b| b.iter(|| parlay::sum(black_box(&values))));
+    g.bench_function("tree_append", |b| b.iter(|| seq.append(black_box(&other))));
+    g.bench_function("array_append", |b| {
+        b.iter(|| parlay::slice::append(black_box(&values), black_box(&values)))
+    });
+    g.bench_function("tree_nth", |b| b.iter(|| seq.nth(black_box(N / 2))));
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let block: Vec<u64> = (0..256u64).map(|i| 1_000_000 + i * 3).collect();
+    let encoded = <DeltaCodec as Codec<u64>>::encode(&block);
+    let mut g = c.benchmark_group("codecs_256");
+    g.bench_function("delta_encode", |b| {
+        b.iter(|| <DeltaCodec as Codec<u64>>::encode(black_box(&block)))
+    });
+    g.bench_function("delta_decode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(256);
+            <DeltaCodec as Codec<u64>>::decode(black_box(&encoded), &mut out);
+            out
+        })
+    });
+    g.bench_function("raw_encode", |b| {
+        b.iter(|| <RawCodec as Codec<u64>>::encode(black_box(&block)))
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("join_inline", |b| {
+        b.iter(|| parlay::run(|| parlay::join(|| black_box(1) + 1, || black_box(2) + 2)))
+    });
+    g.bench_function("tabulate_100k", |b| {
+        b.iter(|| parlay::run(|| parlay::tabulate(N, |i| i as u64 * 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_union,
+    bench_point_ops,
+    bench_sequences,
+    bench_codecs,
+    bench_scheduler
+);
+criterion_main!(benches);

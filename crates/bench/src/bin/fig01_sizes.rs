@@ -1,0 +1,115 @@
+//! Figure 1: relative sizes of the four applications' data structures
+//! across CPAM (PaC-trees), PAM (P-trees), Aspen (C-trees), and the
+//! static GBBS baseline. Lower is better; the paper's shape is
+//! GBBS < PaC-diff < PaC < Aspen < P-tree.
+
+use bench::{header, mib, row};
+use graphs::{AspenGraph, CompressedCsr, PacGraph};
+use invidx::{Corpus, InvertedIndex, PamIndex};
+use spatial::{IntervalTree, PamIntervalTree, PamRangeTree2D, RangeTree2D};
+
+fn main() {
+    header("fig01_sizes", "Fig. 1 application memory footprints");
+    let scale = bench::base_n() / 1_000_000;
+    let scale = scale.max(1);
+
+    parlay::run(|| {
+        // --- Interval tree -------------------------------------------------
+        let n_int = 500_000 * scale;
+        let mut rng = bench::XorShift(3);
+        let intervals: Vec<(u64, u64)> = (0..n_int)
+            .map(|_| {
+                let l = rng.next() % 10_000_000;
+                (l, l + rng.next() % 2000)
+            })
+            .collect();
+        let it = IntervalTree::from_intervals(&intervals);
+        let it_pam = PamIntervalTree::from_intervals(&intervals);
+        row(
+            "interval tree",
+            &[
+                format!("PaC {}", mib(it.space_bytes())),
+                format!("P-tree {}", mib(it_pam.space_bytes())),
+                format!("ratio {:.2}x", it_pam.space_bytes() as f64 / it.space_bytes() as f64),
+            ],
+        );
+
+        // --- 2D range tree -------------------------------------------------
+        let n_pts = 100_000 * scale;
+        let points: Vec<(u32, u32)> = (0..n_pts)
+            .map(|_| ((rng.next() % 1_000_000) as u32, (rng.next() % 1_000_000) as u32))
+            .collect();
+        let rt = RangeTree2D::from_points(&points);
+        let rt_pam = PamRangeTree2D::from_points(&points);
+        let (o1, i1) = rt.space_bytes();
+        let (o2, i2) = rt_pam.space_bytes();
+        row(
+            "range tree",
+            &[
+                format!("PaC {}", mib(o1 + i1)),
+                format!("P-tree {}", mib(o2 + i2)),
+                format!("ratio {:.2}x", (o2 + i2) as f64 / (o1 + i1) as f64),
+            ],
+        );
+        println!(
+            "    (inner trees: {:.0}% of P-tree total, as in the paper's 95%)",
+            100.0 * i2 as f64 / (o2 + i2) as f64
+        );
+
+        // --- Inverted index -------------------------------------------------
+        let corpus = Corpus::zipf(10_000 * scale, 120, 50_000, 42);
+        let triples = corpus.triples();
+        let idx = InvertedIndex::build(&triples);
+        let idx_pam = PamIndex::build(&triples);
+        row(
+            "inverted index",
+            &[
+                format!("PaC-diff {}", mib(idx.space_bytes())),
+                format!("P-tree {}", mib(idx_pam.space_bytes())),
+                format!("ratio {:.2}x", idx_pam.space_bytes() as f64 / idx.space_bytes() as f64),
+            ],
+        );
+
+        // --- Graph ----------------------------------------------------------
+        let edges = graphs::rmat::symmetrize(&graphs::rmat::rmat_edges(16, 1_000_000 * scale, 9));
+        let n = graphs::rmat::vertex_count(&edges);
+        let pac = PacGraph::from_edges(n, &edges);
+        let aspen = AspenGraph::from_edges(n, &edges);
+        let csr = CompressedCsr::from_edges(n, &edges);
+        let ptree_graph = pam::PamMap::<u32, pam::PamSet<u32>>::from_sorted_pairs(
+            &group_pam_edges(n, &edges),
+        );
+        let ptree_bytes = ptree_graph.space_bytes()
+            + ptree_graph.map_reduce(|_, s| s.space_bytes(), |a, b| a + b, 0usize);
+        row(
+            "graph (rMAT)",
+            &[
+                format!("GBBS {}", mib(csr.space_bytes())),
+                format!("PaC-diff {}", mib(pac.space_bytes())),
+                format!("Aspen {}", mib(aspen.space_bytes())),
+            ],
+        );
+        row(
+            "",
+            &[
+                format!("P-tree {}", mib(ptree_bytes)),
+                format!("Aspen/PaC {:.2}x", aspen.space_bytes() as f64 / pac.space_bytes() as f64),
+                format!("P-tree/PaC {:.2}x", ptree_bytes as f64 / pac.space_bytes() as f64),
+            ],
+        );
+    });
+}
+
+fn group_pam_edges(n: usize, edges: &[(u32, u32)]) -> Vec<(u32, pam::PamSet<u32>)> {
+    let mut out = Vec::with_capacity(n);
+    let mut at = 0usize;
+    for v in 0..n as u32 {
+        let start = at;
+        while at < edges.len() && edges[at].0 == v {
+            at += 1;
+        }
+        let ns: Vec<u32> = edges[start..at].iter().map(|&(_, d)| d).collect();
+        out.push((v, pam::PamSet::from_keys(ns)));
+    }
+    out
+}

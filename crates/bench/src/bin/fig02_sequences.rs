@@ -1,0 +1,95 @@
+//! Figure 2: sequence primitives — CPAM (B = 128) vs P-tree-equivalent
+//! (B = 1) vs the array baseline (our ParallelSTL stand-in).
+//!
+//! The paper's headline shapes: arrays win `select`/`nth` (O(1) vs
+//! O(log n + B)), trees win `append` (O(log n + B) vs O(n)), whole-
+//! sequence passes (reduce/filter/is_sorted/reverse) are comparable.
+
+use bench::{header, ms, row, time_avg};
+use cpam::PacSeq;
+
+fn main() {
+    header("fig02_sequences", "Fig. 2 sequence primitives");
+    let n = bench::base_n() * 10;
+    let values: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+
+    parlay::run(|| {
+        let cpam_seq: PacSeq<u64> = PacSeq::from_slice_with(128, &values);
+        let ptree_seq: PacSeq<u64> = PacSeq::from_slice_with(1, &values[..n / 10]);
+        // B=1 trees are ~10x larger; scale them down and report per-op
+        // times normalized to the same n where the op is O(n).
+        let p_scale = 10.0;
+
+        row(
+            &format!("op (n = {n})"),
+            &["CPAM B=128".into(), "P-tree (B=1)".into(), "Array".into()],
+        );
+
+        let reps = 3;
+        let t_c = time_avg(reps, || cpam_seq.map_reduce(|v| *v, |a, b| a + b, 0u64));
+        let t_p = time_avg(reps, || ptree_seq.map_reduce(|v| *v, |a, b| a + b, 0u64)) * p_scale;
+        let t_a = time_avg(reps, || parlay::sum(&values));
+        row("reduce", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        let t_c = time_avg(reps, || cpam_seq.filter(|v| v % 3 == 0));
+        let t_p = time_avg(reps, || ptree_seq.filter(|v| v % 3 == 0)) * p_scale;
+        let t_a = time_avg(reps, || parlay::filter(&values, |v| v % 3 == 0));
+        row("filter", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        let t_c = time_avg(reps, || cpam_seq.is_sorted());
+        let t_p = time_avg(reps, || ptree_seq.is_sorted()) * p_scale;
+        let t_a = time_avg(reps, || parlay::slice::is_sorted(&values));
+        row("is_sorted", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        let t_c = time_avg(reps, || cpam_seq.reverse());
+        let t_p = time_avg(reps, || ptree_seq.reverse()) * p_scale;
+        let t_a = time_avg(reps, || parlay::slice::reverse(&values));
+        row("reverse", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        let needle = values[n - 2];
+        let t_c = time_avg(reps, || cpam_seq.find_first(|v| *v == needle));
+        let t_p = time_avg(reps, || ptree_seq.find_first(|v| *v == needle)) * p_scale;
+        let t_a = time_avg(reps, || parlay::slice::find_first(&values, |v| *v == needle));
+        row("find (late match)", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        // select / nth: tree O(log n + B) vs array O(1); microseconds.
+        // Vary the index so the lookup cannot be hoisted out of the loop.
+        let us = |t: f64| format!("{:.3} us", t * 1e6);
+        let mut i = 0usize;
+        let t_c = time_avg(100_000, || {
+            i = (i + 7919) % n;
+            cpam_seq.nth(i)
+        });
+        let mut j = 0usize;
+        let t_p = time_avg(100_000, || {
+            j = (j + 7919) % (n / 10);
+            ptree_seq.nth(j)
+        });
+        let mut k = 0usize;
+        let t_a = time_avg(100_000, || {
+            k = (k + 7919) % n;
+            std::hint::black_box(values[k])
+        });
+        row("nth (select)", &[us(t_c), us(t_p), us(t_a)]);
+
+        let t_c = time_avg(reps, || cpam_seq.subseq(n / 4, 3 * n / 4));
+        let t_p = time_avg(reps, || ptree_seq.subseq(n / 40, 3 * n / 40)) * p_scale;
+        let t_a = time_avg(reps, || parlay::slice::subseq(&values, n / 4, 3 * n / 4));
+        row("subseq", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        // append: the headline gap — O(log n + B) vs O(n) copy.
+        let other: PacSeq<u64> = PacSeq::from_slice_with(128, &values[..n / 2]);
+        let other_p: PacSeq<u64> = PacSeq::from_slice_with(1, &values[..n / 20]);
+        let t_c = time_avg(100, || cpam_seq.append(&other));
+        let t_p = time_avg(100, || ptree_seq.append(&other_p));
+        let t_a = time_avg(reps, || parlay::slice::append(&values, &values[..n / 2]));
+        row("append", &[ms(t_c), ms(t_p), ms(t_a)]);
+
+        println!();
+        println!(
+            "space: CPAM {} vs P-tree(B=1, at n/10) {}",
+            bench::mib(cpam_seq.space_stats().total_bytes),
+            bench::mib(ptree_seq.space_stats().total_bytes),
+        );
+    });
+}

@@ -1,0 +1,108 @@
+//! Figure 11 / Table 4: graph representation sizes across inputs —
+//! GBBS (static diff-encoded CSR), PaC-tree (diff), PaC-tree (no edge
+//! compression), Aspen (C-trees), and P-trees.
+//!
+//! Inputs substitute the paper's SNAP graphs with rMAT at three scales
+//! (social-network-like skew) plus a grid "road" graph (the USA-Road
+//! regime where vertex-tree chunking dominates). Expected shape per
+//! input: GBBS < PaC-diff < PaC < Aspen < P-tree, with the largest
+//! Aspen/PaC gap on the road-like graph.
+
+use bench::{header, mib};
+use codecs::RawCodec;
+use cpam::{NoAug, PacSet};
+use graphs::{AspenGraph, CompressedCsr, PacGraph};
+
+fn raw_pac_graph_bytes(n: usize, edges: &[(u32, u32)]) -> usize {
+    // PaC-tree vertex tree over *uncompressed* edge blocks ("PaC-tree"
+    // bar without difference encoding).
+    let mut pairs: Vec<(u32, PacSet<u32, NoAug, RawCodec>)> = Vec::with_capacity(n);
+    let mut at = 0usize;
+    for v in 0..n as u32 {
+        let start = at;
+        while at < edges.len() && edges[at].0 == v {
+            at += 1;
+        }
+        let ns: Vec<u32> = edges[start..at].iter().map(|&(_, d)| d).collect();
+        pairs.push((v, PacSet::from_sorted_keys(64, &ns)));
+    }
+    let vt = cpam::PacMap::<u32, PacSet<u32, NoAug, RawCodec>>::from_sorted_pairs(64, &pairs);
+    vt.space_stats().total_bytes
+        + vt.map_reduce(|_, s| s.space_stats().total_bytes, |a, b| a + b, 0usize)
+}
+
+fn ptree_graph_bytes(n: usize, edges: &[(u32, u32)]) -> usize {
+    let mut pairs: Vec<(u32, pam::PamSet<u32>)> = Vec::with_capacity(n);
+    let mut at = 0usize;
+    for v in 0..n as u32 {
+        let start = at;
+        while at < edges.len() && edges[at].0 == v {
+            at += 1;
+        }
+        let ns: Vec<u32> = edges[start..at].iter().map(|&(_, d)| d).collect();
+        pairs.push((v, pam::PamSet::from_keys(ns)));
+    }
+    let vt = pam::PamMap::<u32, pam::PamSet<u32>>::from_sorted_pairs(&pairs);
+    vt.space_bytes() + vt.map_reduce(|_, s| s.space_bytes(), |a, b| a + b, 0usize)
+}
+
+fn report(name: &str, n: usize, edges: &[(u32, u32)]) {
+    let csr = CompressedCsr::from_edges(n, edges);
+    let pac = PacGraph::from_edges(n, edges);
+    let aspen = AspenGraph::from_edges(n, edges);
+    let raw_pac = raw_pac_graph_bytes(n, edges);
+    let ptree = ptree_graph_bytes(n, edges);
+    let base = csr.space_bytes() as f64;
+    println!(
+        "{name}: n = {n}, m = {} directed edges",
+        edges.len()
+    );
+    println!(
+        "  GBBS(diff) {:>12}  (1.00x)",
+        mib(csr.space_bytes())
+    );
+    println!(
+        "  PaC (diff) {:>12}  ({:.2}x)",
+        mib(pac.space_bytes()),
+        pac.space_bytes() as f64 / base
+    );
+    println!(
+        "  PaC (raw)  {:>12}  ({:.2}x)",
+        mib(raw_pac),
+        raw_pac as f64 / base
+    );
+    println!(
+        "  Aspen      {:>12}  ({:.2}x; Aspen/PaC-diff = {:.2}x)",
+        mib(aspen.space_bytes()),
+        aspen.space_bytes() as f64 / base,
+        aspen.space_bytes() as f64 / pac.space_bytes() as f64
+    );
+    println!(
+        "  P-tree     {:>12}  ({:.2}x)",
+        mib(ptree),
+        ptree as f64 / base
+    );
+    println!();
+}
+
+fn main() {
+    header("fig11_graph_sizes", "Fig. 11 / Table 4 graph representation sizes");
+    let scale = (bench::base_n() / 1_000_000).max(1);
+    parlay::run(|| {
+        for (name, rmat_scale, m) in [
+            ("rMAT small (DBLP-like)", 12u32, 150_000usize),
+            ("rMAT medium (YouTube-like)", 14, 500_000),
+            ("rMAT large (LiveJournal-like)", 16, 2_000_000),
+        ] {
+            let edges = graphs::rmat::symmetrize(&graphs::rmat::rmat_edges(
+                rmat_scale,
+                m * scale,
+                11,
+            ));
+            let n = 1usize << rmat_scale;
+            report(name, n, &edges);
+        }
+        let grid = graphs::rmat::grid_edges(700, 700);
+        report("grid 700x700 (USA-Road-like)", 700 * 700, &grid);
+    });
+}

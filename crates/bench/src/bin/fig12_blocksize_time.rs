@@ -1,0 +1,69 @@
+//! Figure 12: primitive running times as a function of block size B.
+//!
+//! The paper's shapes: most operations speed up until B ≈ 16, then
+//! sequential point operations (find, range) and imbalanced unions slow
+//! back down with their O(B) terms; B = 1 matches P-trees.
+
+use bench::{header, ms, time_avg, XorShift};
+use cpam::PacMap;
+
+fn main() {
+    header("fig12_blocksize_time", "Fig. 12 primitive times vs block size B");
+    let n = bench::base_n();
+    let pairs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3, i)).collect();
+    let other: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 5 + 1, i)).collect();
+    let imbal: Vec<(u64, u64)> = (0..(n / 1000) as u64).map(|i| (i * 2111 + 3, i)).collect();
+    let mut rng = XorShift(7);
+    let queries = rng.vec(50_000, 3 * n as u64);
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "B", "build", "find(50k)", "insert(500)", "union", "union-imbal", "range(5k)"
+    );
+    parlay::run(|| {
+        for b in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let (t_build, tree) = {
+                let (tree, t) = bench::time(|| PacMap::<u64, u64>::from_sorted_pairs(b, &pairs));
+                (t, tree)
+            };
+            let tree2 = PacMap::<u64, u64>::from_sorted_pairs(b, &other);
+            let small = PacMap::<u64, u64>::from_sorted_pairs(b, &imbal);
+
+            let t_find = bench::time(|| {
+                queries.iter().map(|k| tree.find(k).unwrap_or(0)).sum::<u64>()
+            })
+            .1;
+            let keys = (0..500u64).map(|i| i * 997 + 1).collect::<Vec<_>>();
+            let t_insert = bench::time(|| {
+                let mut m = tree.clone();
+                for &k in &keys {
+                    m = m.insert(k, 0);
+                }
+                m
+            })
+            .1;
+            let t_union = time_avg(2, || tree.union(&tree2));
+            let t_imbal = time_avg(5, || tree.union(&small));
+            let t_range = bench::time(|| {
+                let mut total = 0usize;
+                let mut r = XorShift(9);
+                for _ in 0..5000 {
+                    let lo = r.next() % (3 * n as u64);
+                    total += tree.range_entries(&lo, &(lo + 3000)).len();
+                }
+                total
+            })
+            .1;
+            println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                b,
+                ms(t_build),
+                ms(t_find),
+                ms(t_insert),
+                ms(t_union),
+                ms(t_imbal),
+                ms(t_range)
+            );
+        }
+    });
+}

@@ -1,0 +1,77 @@
+//! Figure 13: map size as a function of block size B, with and without
+//! difference encoding and augmentation, against the two array lower
+//! bounds (raw array; difference-encoded key array).
+//!
+//! Paper shapes to check: at B = 128 the un-encoded PaC-tree is ~1% over
+//! the raw-array bound; difference encoding gives a further ~1.7x; the
+//! augmented map costs ~1% extra (vs ~20% for P-trees); Theorem 4.2's
+//! `s(E) + O(|E|/B + B)` bound holds.
+
+use bench::{header, mib, row};
+use codecs::{Codec, DeltaCodec};
+use cpam::{DiffMap, PacMap, SumAug};
+use pam::PamMap;
+
+fn main() {
+    header("fig13_blocksize_space", "Fig. 13 size vs block size B");
+    let n = bench::base_n();
+    let pairs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3, i)).collect();
+
+    // Lower bounds: a flat array of entries, and s(E) — the same
+    // entries as ONE difference-encoded run (keys delta-coded, values
+    // byte-coded, exactly our C_DE).
+    let array_bytes = n * 16;
+    let de_block = <DeltaCodec as Codec<(u64, u64)>>::encode(&pairs);
+    let s_e = <DeltaCodec as Codec<(u64, u64)>>::heap_bytes(&de_block);
+    println!("array lower bound:           {}", mib(array_bytes));
+    println!("s(E) (one diff-encoded run): {}", mib(s_e));
+    println!();
+
+    row(
+        "B",
+        &[
+            "PaC".into(),
+            "PaC-Aug".into(),
+            "PaC (Diff)".into(),
+            "PaC-Aug (Diff)".into(),
+        ],
+    );
+    parlay::run(|| {
+        for b in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let plain = PacMap::<u64, u64>::from_sorted_pairs(b, &pairs);
+            let aug = PacMap::<u64, u64, SumAug>::from_sorted_pairs(b, &pairs);
+            let diff = DiffMap::<u64, u64>::from_sorted_pairs(b, &pairs);
+            let aug_diff = DiffMap::<u64, u64, SumAug>::from_sorted_pairs(b, &pairs);
+            row(
+                &b.to_string(),
+                &[
+                    mib(plain.space_stats().total_bytes),
+                    mib(aug.space_stats().total_bytes),
+                    mib(diff.space_stats().total_bytes),
+                    mib(aug_diff.space_stats().total_bytes),
+                ],
+            );
+        }
+
+        println!();
+        let ptree = PamMap::<u64, u64>::from_sorted_pairs(&pairs);
+        let ptree_aug = PamMap::<u64, u64, SumAug>::from_sorted_pairs(&pairs);
+        println!("P-tree:     {}", mib(ptree.space_bytes()));
+        println!("P-tree-Aug: {}", mib(ptree_aug.space_bytes()));
+
+        // Theorem 4.2 check at B = 128: total <= s(E) + c * (n/B + B).
+        let b = 128usize;
+        let diff = DiffMap::<u64, u64>::from_sorted_pairs(b, &pairs);
+        let stats = diff.space_stats();
+        let overhead = stats.total_bytes as f64 - s_e as f64;
+        let allowance = (n / b + b) as f64;
+        println!();
+        println!(
+            "Theorem 4.2 @ B=128: measured overhead over s(E) = {:.0} bytes, \
+             O(n/B + B) allowance unit = {:.0} -> constant {:.1} bytes/node",
+            overhead,
+            allowance,
+            overhead / allowance
+        );
+    });
+}

@@ -1,0 +1,84 @@
+//! Section 7 / Theorem 7.1: the update-vs-query work tradeoff between
+//! sorted PaC-tree leaves and the unsorted-leaf in-place variant.
+//!
+//! Expected shape: the unsorted-leaf structure wins on updates
+//! (amortized O(log(n/B)) append vs O(B + log n) path copy + block
+//! re-encode) and on top-k queries with B = k, while the sorted
+//! PaC-tree wins on membership lookups (binary vs linear leaf search).
+
+use bench::{header, time, XorShift};
+use cpam::{PacSet, UnsortedLeafSet};
+
+fn main() {
+    header("sec07_tradeoff", "Section 7 sorted vs unsorted leaves");
+    let n = bench::base_n();
+    let b = 128usize;
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 2).collect();
+
+    parlay::run(|| {
+        let sorted = PacSet::<u64>::from_sorted_keys(b, &keys);
+        let mut unsorted = UnsortedLeafSet::from_keys(b, keys.clone());
+
+        // --- Updates: 100k fresh single-key inserts -----------------------
+        let fresh: Vec<u64> = (0..100_000u64).map(|i| 2 * n as u64 + i * 2 + 1).collect();
+        let t_pac = time(|| {
+            let mut s = sorted.clone();
+            for &k in &fresh {
+                s = s.insert(k);
+            }
+            s
+        })
+        .1;
+        let t_uns = time(|| {
+            for &k in &fresh {
+                unsorted.insert_distinct(k);
+            }
+        })
+        .1;
+        println!(
+            "100k single inserts: PaC-tree {:.1} ms vs unsorted leaves {:.1} ms ({:.1}x faster updates)",
+            t_pac * 1e3,
+            t_uns * 1e3,
+            t_pac / t_uns
+        );
+
+        // --- Lookups: 100k membership queries ------------------------------
+        let mut rng = XorShift(77);
+        let probes = rng.vec(100_000, 2 * n as u64);
+        let t_pac = time(|| probes.iter().filter(|k| sorted.contains(k)).count()).1;
+        let t_uns = time(|| probes.iter().filter(|k| unsorted.contains(k)).count()).1;
+        println!(
+            "100k lookups:        PaC-tree {:.1} ms vs unsorted leaves {:.1} ms ({:.1}x faster queries)",
+            t_pac * 1e3,
+            t_uns * 1e3,
+            t_uns / t_pac
+        );
+
+        // --- Top-k with B = k ----------------------------------------------
+        let k = b;
+        let t_pac = time(|| {
+            for _ in 0..1000 {
+                let mut out = Vec::with_capacity(k);
+                for key in sorted.iter().take(k) {
+                    out.push(key);
+                }
+                std::hint::black_box(out);
+            }
+        })
+        .1;
+        let t_uns = time(|| {
+            for _ in 0..1000 {
+                std::hint::black_box(unsorted.smallest(k));
+            }
+        })
+        .1;
+        println!(
+            "1000 top-{k} queries: PaC-tree {:.1} ms vs unsorted leaves {:.1} ms",
+            t_pac * 1e3,
+            t_uns * 1e3
+        );
+        println!();
+        println!("(Theorem 7.1 regime: choose unsorted leaves when updates outnumber");
+        println!(" point queries, or for top-k workloads with B = k.)");
+    });
+}

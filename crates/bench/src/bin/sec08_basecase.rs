@@ -1,0 +1,39 @@
+//! Section 8 ablation: union with the optimized array base case
+//! (flatten-merge-rebuild below κ = 8B) vs the expose-only Fig. 5
+//! version. The paper reports 4.4x (κ = 4B) to 6.7x (κ = 8B) speedups.
+
+use bench::{header, ms, time_avg};
+use cpam::PacSet;
+
+fn main() {
+    header("sec08_basecase", "Section 8 union base-case ablation");
+    let n = bench::base_n();
+    let a: Vec<u64> = (0..n as u64).map(|i| i * 2).collect();
+    let b: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+
+    parlay::run(|| {
+        let sa = PacSet::<u64>::from_sorted_keys(128, &a);
+        let sb = PacSet::<u64>::from_sorted_keys(128, &b);
+
+        let t_fast = time_avg(3, || sa.union(&sb));
+        let t_naive = time_avg(3, || sa.union_naive(&sb));
+        println!("union with array base case (κ = 8B): {}", ms(t_fast));
+        println!("union expose-only (naive):           {}", ms(t_naive));
+        println!("speedup from base case: {:.2}x (paper: 4.4-6.7x)", t_naive / t_fast);
+
+        // The base case also dominates node allocations.
+        let before = cpam::stats::read();
+        std::hint::black_box(sa.union(&sb));
+        let mid = cpam::stats::read();
+        std::hint::black_box(sa.union_naive(&sb));
+        let after = cpam::stats::read();
+        let fast = cpam::stats::delta(before, mid);
+        let naive = cpam::stats::delta(mid, after);
+        println!(
+            "node allocations: optimized {} vs naive {} ({:.2}x)",
+            fast.node_allocs,
+            naive.node_allocs,
+            naive.node_allocs as f64 / fast.node_allocs.max(1) as f64
+        );
+    });
+}

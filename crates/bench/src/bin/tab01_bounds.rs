@@ -1,0 +1,83 @@
+//! Table 1 validation: empirical work-bound checks for the headline
+//! asymptotics, using the library's node-allocation counters.
+//!
+//! Checks (at B = 128):
+//! * union work follows `m log(n/m) + min(mB, n)` — doubling `m` at
+//!   fixed `n` scales allocations sublinearly until the `mB` term
+//!   dominates, then linearly;
+//! * insert allocates `O(log n + B)` nodes, independent of `n`'s
+//!   doubling beyond the log term;
+//! * `join`/`append` allocates `O(log n + B)` nodes, not `O(n)`.
+
+use bench::{header, XorShift};
+use cpam::{stats, PacSet};
+
+fn allocs(f: impl FnOnce()) -> u64 {
+    let before = stats::read();
+    f();
+    stats::delta(before, stats::read()).node_allocs
+}
+
+fn main() {
+    header("tab01_bounds", "Table 1 empirical work bounds (B = 128)");
+    let n = bench::base_n();
+    let big: Vec<u64> = (0..n as u64).map(|i| i * 4).collect();
+
+    parlay::run(|| {
+        let base = PacSet::<u64>::from_sorted_keys(128, &big);
+
+        println!("union(n = {n}, m) node allocations vs m:");
+        println!("{:>10} {:>14} {:>16} {:>14}", "m", "allocs", "allocs/m", "m*log(n/m)+mB");
+        let mut rng = XorShift(5);
+        for exp in [2u32, 3, 4, 5, 6] {
+            let m = 10usize.pow(exp).min(n);
+            let other = PacSet::<u64>::from_keys_with(128, rng.vec(m, 4 * n as u64));
+            let a = allocs(|| {
+                std::hint::black_box(base.union(&other));
+            });
+            let predicted = m as f64 * ((n as f64 / m as f64).log2().max(1.0)) + (m * 128) as f64;
+            println!(
+                "{:>10} {:>14} {:>16.2} {:>14.0}",
+                m,
+                a,
+                a as f64 / m as f64,
+                predicted / 128.0 // in node units (a block holds ~B entries)
+            );
+        }
+
+        println!();
+        println!("insert: allocations per insert vs n (expect ~log(n/B), flat):");
+        for size in [n / 100, n / 10, n] {
+            let s = PacSet::<u64>::from_sorted_keys(128, &big[..size]);
+            let a = allocs(|| {
+                let mut t = s.clone();
+                for i in 0..100u64 {
+                    t = t.insert(i * 37 + 1);
+                }
+                std::hint::black_box(t);
+            });
+            println!("  n = {size:>9}: {:.1} allocs/insert", a as f64 / 100.0);
+        }
+
+        println!();
+        println!("append (join2): allocations vs size (expect ~log n, not O(n)):");
+        for size in [n / 100, n / 10, n] {
+            let l = PacSet::<u64>::from_sorted_keys(128, &big[..size / 2]);
+            let r = PacSet::<u64>::from_sorted_keys(
+                128,
+                &big[size / 2 + 1..size],
+            );
+            let seq_l = cpam::PacSeq::<u64>::from_slice_with(128, &big[..size / 2]);
+            let seq_r = cpam::PacSeq::<u64>::from_slice_with(128, &big[size / 2 + 1..size]);
+            let a = allocs(|| {
+                std::hint::black_box(seq_l.append(&seq_r));
+            });
+            let _ = (l, r);
+            println!("  n = {size:>9}: {a} allocs");
+        }
+
+        println!();
+        println!("(See Table 1 in the paper; shapes above should be flat or");
+        println!(" logarithmic in n, and union allocs/m should stay bounded.)");
+    });
+}

@@ -1,0 +1,201 @@
+//! Table 2: map/set microbenchmarks — PaC-tree, PaC-tree (Diff), and
+//! P-tree (PAM) across build, set algebra, bulk ops, and point lookups,
+//! with and without augmentation.
+
+use bench::{header, ms, row, time, time_avg, XorShift};
+use cpam::{DiffMap, PacMap, SumAug};
+use pam::PamMap;
+
+fn main() {
+    header("tab02_micro", "Table 2 microbenchmarks (keys/values u64)");
+    let n = bench::base_n();
+    let m_small = (n / 1000).max(1);
+
+    let pairs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3, i)).collect();
+    let other: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 5 + 1, i)).collect();
+    let small: Vec<(u64, u64)> = (0..m_small as u64).map(|i| (i * 211 + 7, i)).collect();
+
+    parlay::run(|| {
+        // Warm the allocator and page cache so the first timed build is
+        // not dominated by first-touch faults.
+        std::hint::black_box(PacMap::<u64, u64>::from_sorted_pairs(128, &pairs));
+        std::hint::black_box(PamMap::<u64, u64>::from_sorted_pairs(&pairs));
+        let (pac, t_build_pac) = time(|| PacMap::<u64, u64>::from_sorted_pairs(128, &pairs));
+        let (dif, t_build_dif) = time(|| DiffMap::<u64, u64>::from_sorted_pairs(128, &pairs));
+        let (pam, t_build_pam) = time(|| PamMap::<u64, u64>::from_sorted_pairs(&pairs));
+        let pac2 = PacMap::<u64, u64>::from_sorted_pairs(128, &other);
+        let dif2 = DiffMap::<u64, u64>::from_sorted_pairs(128, &other);
+        let pam2 = PamMap::<u64, u64>::from_sorted_pairs(&other);
+        let pac_small = PacMap::<u64, u64>::from_sorted_pairs(128, &small);
+        let dif_small = DiffMap::<u64, u64>::from_sorted_pairs(128, &small);
+        let pam_small = PamMap::<u64, u64>::from_sorted_pairs(&small);
+
+        row(
+            &format!("op (n = {n}, m = {m_small})"),
+            &["PaC-tree".into(), "PaC-tree (Diff)".into(), "P-tree (PAM)".into()],
+        );
+        row(
+            "size",
+            &[
+                bench::mib(pac.space_stats().total_bytes),
+                bench::mib(dif.space_stats().total_bytes),
+                bench::mib(pam.space_bytes()),
+            ],
+        );
+        row("build (presorted)", &[ms(t_build_pac), ms(t_build_dif), ms(t_build_pam)]);
+
+        let t1 = time_avg(3, || pac.union(&pac2));
+        let t2 = time_avg(3, || dif.union(&dif2));
+        let t3 = time_avg(3, || pam.union(&pam2));
+        row("union (n, n)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(5, || pac.union(&pac_small));
+        let t2 = time_avg(5, || dif.union(&dif_small));
+        let t3 = time_avg(5, || pam.union(&pam_small));
+        row("union (n, m)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(3, || pac.intersect_with(&pac2, |a, _| *a));
+        let t2 = time_avg(3, || dif.intersect_with(&dif2, |a, _| *a));
+        let t3 = time_avg(3, || pam.intersect_with(&pam2, |a, _| *a));
+        row("intersect (n, n)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(3, || pac.difference(&pac2));
+        let t2 = time_avg(3, || dif.difference(&dif2));
+        let t3 = time_avg(3, || pam.difference(&pam2));
+        row("difference (n, n)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(3, || pac.map_values(|_, v| v + 1));
+        let t2 = time_avg(3, || dif.map_values(|_, v| v + 1));
+        let t3 = time_avg(3, || pam.map_values(|_, v| v + 1));
+        row("map", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(5, || pac.map_reduce(|_, v| *v, |a, b| a + b, 0u64));
+        let t2 = time_avg(5, || dif.map_reduce(|_, v| *v, |a, b| a + b, 0u64));
+        let t3 = time_avg(5, || pam.map_reduce(|_, v| *v, |a, b| a + b, 0u64));
+        row("reduce", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time_avg(3, || pac.filter(|k, _| k % 2 == 0));
+        let t2 = time_avg(3, || dif.filter(|k, _| k % 2 == 0));
+        let t3 = time_avg(3, || pam.filter(|k, _| k % 2 == 0));
+        row("filter", &[ms(t1), ms(t2), ms(t3)]);
+
+        // find: m random lookups.
+        let mut rng = XorShift(42);
+        let queries = rng.vec(100_000, 3 * n as u64);
+        let t1 = time(|| queries.iter().map(|k| pac.find(k).unwrap_or(0)).sum::<u64>()).1;
+        let t2 = time(|| queries.iter().map(|k| dif.find(k).unwrap_or(0)).sum::<u64>()).1;
+        let t3 = time(|| queries.iter().map(|k| pam.find(k).unwrap_or(0)).sum::<u64>()).1;
+        row("find (100k queries)", &[ms(t1), ms(t2), ms(t3)]);
+
+        // insert: 1000 single functional inserts.
+        let keys = rng.vec(1000, u64::MAX);
+        let t1 = time(|| {
+            let mut m = pac.clone();
+            for &k in &keys {
+                m = m.insert(k, 1);
+            }
+            m
+        })
+        .1;
+        let t2 = time(|| {
+            let mut m = dif.clone();
+            for &k in &keys {
+                m = m.insert(k, 1);
+            }
+            m
+        })
+        .1;
+        let t3 = time(|| {
+            let mut m = pam.clone();
+            for &k in &keys {
+                m = m.insert(k, 1);
+            }
+            m
+        })
+        .1;
+        row("insert (1k singles)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let batch: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 7 + 3, i)).collect();
+        let t1 = time_avg(3, || pac.multi_insert(batch.clone()));
+        let t2 = time_avg(3, || dif.multi_insert(batch.clone()));
+        let t3 = time_avg(3, || pam.multi_insert(batch.clone()));
+        row("multi-insert (n)", &[ms(t1), ms(t2), ms(t3)]);
+
+        // range: m window extractions.
+        let windows: Vec<(u64, u64)> = (0..10_000)
+            .map(|_| {
+                let lo = rng.next() % (3 * n as u64);
+                (lo, lo + 3000)
+            })
+            .collect();
+        let t1 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| pac.range_entries(lo, hi).len())
+                .sum::<usize>()
+        })
+        .1;
+        let t2 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| dif.range_entries(lo, hi).len())
+                .sum::<usize>()
+        })
+        .1;
+        let t3 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| pam.range(lo, hi).len())
+                .sum::<usize>()
+        })
+        .1;
+        row("range (10k windows)", &[ms(t1), ms(t2), ms(t3)]);
+
+        // --- With augmentation (sum of values) ---------------------------
+        println!();
+        println!("with augmentation (sum of values):");
+        let (apac, ta1) = time(|| PacMap::<u64, u64, SumAug>::from_sorted_pairs(128, &pairs));
+        let (adif, ta2) = time(|| DiffMap::<u64, u64, SumAug>::from_sorted_pairs(128, &pairs));
+        let (apam, ta3) = time(|| PamMap::<u64, u64, SumAug>::from_sorted_pairs(&pairs));
+        row(
+            "size (aug)",
+            &[
+                bench::mib(apac.space_stats().total_bytes),
+                bench::mib(adif.space_stats().total_bytes),
+                bench::mib(apam.space_bytes()),
+            ],
+        );
+        row("build (aug)", &[ms(ta1), ms(ta2), ms(ta3)]);
+
+        let apac2 = PacMap::<u64, u64, SumAug>::from_sorted_pairs(128, &other);
+        let adif2 = DiffMap::<u64, u64, SumAug>::from_sorted_pairs(128, &other);
+        let apam2 = PamMap::<u64, u64, SumAug>::from_sorted_pairs(&other);
+        let t1 = time_avg(3, || apac.union_with(&apac2, |a, b| a + b));
+        let t2 = time_avg(3, || adif.union_with(&adif2, |a, b| a + b));
+        let t3 = time_avg(3, || apam.union_with(&apam2, |a, b| a + b));
+        row("union (aug)", &[ms(t1), ms(t2), ms(t3)]);
+
+        let t1 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| apac.aug_range(lo, hi))
+                .sum::<u64>()
+        })
+        .1;
+        let t2 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| adif.aug_range(lo, hi))
+                .sum::<u64>()
+        })
+        .1;
+        let t3 = time(|| {
+            windows
+                .iter()
+                .map(|(lo, hi)| apam.aug_range(lo, hi))
+                .sum::<u64>()
+        })
+        .1;
+        row("aug_range (10k)", &[ms(t1), ms(t2), ms(t3)]);
+    });
+}

@@ -1,0 +1,148 @@
+//! Table 3: application build/query times and space — inverted index,
+//! interval tree, 2D range tree — CPAM vs PAM.
+//!
+//! Paper shapes: build times comparable (CPAM slightly faster on
+//! interval trees), queries comparable (CPAM faster on range Q-All),
+//! space 2.1-7.8x smaller for CPAM.
+
+use bench::{header, mib, ms, time, XorShift};
+use invidx::{Corpus, InvertedIndex, PamIndex};
+use spatial::{IntervalTree, PamIntervalTree, PamRangeTree2D, RangeTree2D};
+
+fn main() {
+    header("tab03_apps", "Table 3 application benchmarks");
+    let scale = (bench::base_n() / 1_000_000).max(1);
+
+    parlay::run(|| {
+        // --- Inverted index ----------------------------------------------
+        println!("--- inverted index ---");
+        let corpus = Corpus::zipf(20_000 * scale, 120, 50_000, 42);
+        let triples = corpus.triples();
+        println!(
+            "corpus: {} docs, {} total words, {} postings",
+            corpus.docs.len(),
+            corpus.total_words(),
+            triples.len()
+        );
+        let (idx, t_build) = time(|| InvertedIndex::build(&triples));
+        let (pam_idx, t_build_pam) = time(|| PamIndex::build(&triples));
+        println!(
+            "build: CPAM {} vs PAM {}",
+            ms(t_build),
+            ms(t_build_pam)
+        );
+        // Queries: AND + top-10 over random word pairs biased to common
+        // words (Zipf), as in the paper.
+        let mut rng = XorShift(7);
+        let queries: Vec<(u32, u32)> = (0..2000)
+            .map(|_| {
+                let w1 = (rng.next() % 200) as u32;
+                let w2 = (rng.next() % 2000) as u32;
+                (w1, w2)
+            })
+            .collect();
+        let t_q = time(|| {
+            queries
+                .iter()
+                .map(|&(a, b)| idx.and_top_k(a, b, 10).len())
+                .sum::<usize>()
+        })
+        .1;
+        let t_q_pam = time(|| {
+            queries
+                .iter()
+                .map(|&(a, b)| pam_idx.and_top_k(a, b, 10).len())
+                .sum::<usize>()
+        })
+        .1;
+        println!("2k AND+top-10 queries: CPAM {} vs PAM {}", ms(t_q), ms(t_q_pam));
+        println!(
+            "space: CPAM {} vs PAM {} ({:.2}x)",
+            mib(idx.space_bytes()),
+            mib(pam_idx.space_bytes()),
+            pam_idx.space_bytes() as f64 / idx.space_bytes() as f64
+        );
+
+        // --- Interval tree --------------------------------------------------
+        println!();
+        println!("--- interval tree ---");
+        let n_int = 1_000_000 * scale;
+        let intervals: Vec<(u64, u64)> = (0..n_int)
+            .map(|_| {
+                let l = rng.next() % 50_000_000;
+                (l, l + rng.next() % 2000)
+            })
+            .collect();
+        let (it, t_build) = time(|| IntervalTree::from_intervals(&intervals));
+        let (it_pam, t_build_pam) = time(|| PamIntervalTree::from_intervals(&intervals));
+        println!("build ({n_int}): CPAM {} vs PAM {}", ms(t_build), ms(t_build_pam));
+        let stabs: Vec<u64> = (0..100_000).map(|_| rng.next() % 50_002_000).collect();
+        let t_q = time(|| stabs.iter().map(|&q| it.stab(q).len()).sum::<usize>()).1;
+        let t_q_pam = time(|| stabs.iter().map(|&q| it_pam.stab(q).len()).sum::<usize>()).1;
+        println!("100k stabbing queries: CPAM {} vs PAM {}", ms(t_q), ms(t_q_pam));
+        println!(
+            "space: CPAM {} vs PAM {} ({:.2}x)",
+            mib(it.space_bytes()),
+            mib(it_pam.space_bytes()),
+            it_pam.space_bytes() as f64 / it.space_bytes() as f64
+        );
+
+        // --- 2D range tree --------------------------------------------------
+        println!();
+        println!("--- 2D range tree ---");
+        let n_pts = 200_000 * scale;
+        let points: Vec<(u32, u32)> = (0..n_pts)
+            .map(|_| ((rng.next() % 10_000_000) as u32, (rng.next() % 10_000_000) as u32))
+            .collect();
+        let (rt, t_build) = time(|| RangeTree2D::from_points(&points));
+        let (rt_pam, t_build_pam) = time(|| PamRangeTree2D::from_points(&points));
+        println!("build ({n_pts}): CPAM {} vs PAM {}", ms(t_build), ms(t_build_pam));
+        // Q-Sum: count queries with ~1% windows.
+        let windows: Vec<(u32, u32, u32, u32)> = (0..10_000)
+            .map(|_| {
+                let x = (rng.next() % 9_000_000) as u32;
+                let y = (rng.next() % 9_000_000) as u32;
+                (x, y, x + 1_000_000, y + 1_000_000)
+            })
+            .collect();
+        let t_sum = time(|| {
+            windows
+                .iter()
+                .map(|&(a, b, c, d)| rt.count(a, b, c, d))
+                .sum::<usize>()
+        })
+        .1;
+        let t_sum_pam = time(|| {
+            windows
+                .iter()
+                .map(|&(a, b, c, d)| rt_pam.count(a, b, c, d))
+                .sum::<usize>()
+        })
+        .1;
+        println!("10k Q-Sum queries: CPAM {} vs PAM {}", ms(t_sum), ms(t_sum_pam));
+        // Q-All: report queries returning ~1% of points.
+        let t_all = time(|| {
+            windows[..100]
+                .iter()
+                .map(|&(a, b, c, d)| rt.report(a, b, c, d).len())
+                .sum::<usize>()
+        })
+        .1;
+        let t_all_pam = time(|| {
+            windows[..100]
+                .iter()
+                .map(|&(a, b, c, d)| rt_pam.report(a, b, c, d).len())
+                .sum::<usize>()
+        })
+        .1;
+        println!("100 Q-All queries: CPAM {} vs PAM {}", ms(t_all), ms(t_all_pam));
+        let (o1, i1) = rt.space_bytes();
+        let (o2, i2) = rt_pam.space_bytes();
+        println!(
+            "space: CPAM {} vs PAM {} ({:.2}x)",
+            mib(o1 + i1),
+            mib(o2 + i2),
+            (o2 + i2) as f64 / (o1 + i1) as f64
+        );
+    });
+}

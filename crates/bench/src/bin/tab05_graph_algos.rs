@@ -1,0 +1,93 @@
+//! Table 5: graph algorithms (BFS, MIS, BC) on CPAM vs Aspen, with and
+//! without flat snapshots, plus the flat-snapshot construction time.
+//!
+//! Paper shapes: flat snapshots help both systems (1.1-2.7x), CPAM
+//! builds them faster, and CPAM is on average slightly faster across
+//! the kernels.
+
+use bench::{header, ms, time, time_avg};
+use graphs::snapshot::{bc, bfs, mis};
+use graphs::{AspenGraph, PacGraph};
+
+fn main() {
+    header("tab05_graph_algos", "Table 5 BFS / MIS / BC, FS vs No-FS");
+    let scale = (bench::base_n() / 1_000_000).max(1);
+    let edges = graphs::rmat::symmetrize(&graphs::rmat::rmat_edges(16, 2_000_000 * scale, 5));
+    let n = 1usize << 16;
+
+    parlay::run(|| {
+        let pac = PacGraph::from_edges(n, &edges);
+        let aspen = AspenGraph::from_edges(n, &edges);
+        println!("graph: n = {n}, m = {}", pac.num_edges());
+
+        let (pac_fs, t_pac_fs) = time(|| pac.flat_snapshot());
+        let (aspen_fs, t_aspen_fs) = time(|| aspen.flat_snapshot());
+        println!(
+            "flat snapshot build: CPAM {} vs Aspen {} ({:.2}x)",
+            ms(t_pac_fs),
+            ms(t_aspen_fs),
+            t_aspen_fs / t_pac_fs
+        );
+        println!();
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            "kernel", "CPAM No-FS", "CPAM FS", "Aspen No-FS", "Aspen FS"
+        );
+
+        let pac_ts = pac.snapshot();
+        let aspen_ts = aspen.snapshot();
+
+        let b1 = time_avg(3, || bfs(&pac_ts, 0));
+        let b2 = time_avg(3, || bfs(&pac_fs, 0));
+        let b3 = time_avg(3, || bfs(&aspen_ts, 0));
+        let b4 = time_avg(3, || bfs(&aspen_fs, 0));
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            "BFS",
+            ms(b1),
+            ms(b2),
+            ms(b3),
+            ms(b4)
+        );
+
+        let m1 = time_avg(2, || mis(&pac_ts));
+        let m2 = time_avg(2, || mis(&pac_fs));
+        let m3 = time_avg(2, || mis(&aspen_ts));
+        let m4 = time_avg(2, || mis(&aspen_fs));
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            "MIS",
+            ms(m1),
+            ms(m2),
+            ms(m3),
+            ms(m4)
+        );
+
+        let c1 = time_avg(2, || bc(&pac_ts, 0));
+        let c2 = time_avg(2, || bc(&pac_fs, 0));
+        let c3 = time_avg(2, || bc(&aspen_ts, 0));
+        let c4 = time_avg(2, || bc(&aspen_fs, 0));
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            "BC",
+            ms(c1),
+            ms(c2),
+            ms(c3),
+            ms(c4)
+        );
+
+        println!();
+        println!(
+            "FS speedup (CPAM): BFS {:.2}x, MIS {:.2}x, BC {:.2}x",
+            b1 / b2,
+            m1 / m2,
+            c1 / c2
+        );
+        println!(
+            "Aspen/CPAM with FS: BFS {:.2}x, MIS {:.2}x, BC {:.2}x",
+            b4 / b2,
+            m4 / m2,
+            c4 / c2
+        );
+    });
+}

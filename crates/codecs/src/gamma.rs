@@ -1,0 +1,153 @@
+//! Elias gamma codes: a bit-level alternative to byte codes.
+//!
+//! The paper notes that CPAM users can plug in gamma coding for better
+//! space at the cost of slower encode/decode (Section 8, "Compression on
+//! Blocks"). This module provides the bit reader/writer and gamma code
+//! used by [`crate::GammaCodec`].
+
+/// An append-only bit buffer (LSB-first within each byte).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty bit buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in 0..width {
+            let bit = (value >> i) & 1;
+            let byte_index = self.bit_len / 8;
+            if byte_index == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            self.bytes[byte_index] |= (bit as u8) << (self.bit_len % 8);
+            self.bit_len += 1;
+        }
+    }
+
+    /// Appends `v` in Elias gamma code (`v` must be >= 1):
+    /// `floor(log2 v)` zero bits, then the binary representation of `v`.
+    pub fn write_gamma(&mut self, v: u64) {
+        debug_assert!(v >= 1, "gamma codes encode positive integers");
+        let width = 64 - v.leading_zeros();
+        self.write_bits(0, width - 1);
+        // Emit `v`'s bits MSB-first so the leading 1 terminates the zeros.
+        for i in (0..width).rev() {
+            self.write_bits((v >> i) & 1, 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Consumes the writer and returns the packed bytes.
+    pub fn into_bytes(self) -> Box<[u8]> {
+        self.bytes.into_boxed_slice()
+    }
+}
+
+/// A sequential reader over bits written by [`BitWriter`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading from the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted.
+    pub fn read_bit(&mut self) -> u64 {
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        u64::from(bit)
+    }
+
+    /// Reads an Elias gamma code written by [`BitWriter::write_gamma`].
+    pub fn read_gamma(&mut self) -> u64 {
+        let mut zeros = 0u32;
+        while self.read_bit() == 0 {
+            zeros += 1;
+        }
+        let mut value = 1u64;
+        for _ in 0..zeros {
+            value = (value << 1) | self.read_bit();
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_roundtrip_small_values() {
+        let mut w = BitWriter::new();
+        for v in 1..=300u64 {
+            w.write_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in 1..=300u64 {
+            assert_eq!(r.read_gamma(), v);
+        }
+    }
+
+    #[test]
+    fn gamma_roundtrip_large_values() {
+        let cases = [1u64, 2, 3, 1 << 20, (1 << 40) + 12345, u64::MAX >> 1];
+        let mut w = BitWriter::new();
+        for &v in &cases {
+            w.write_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &cases {
+            assert_eq!(r.read_gamma(), v);
+        }
+    }
+
+    #[test]
+    fn gamma_one_costs_one_bit() {
+        let mut w = BitWriter::new();
+        w.write_gamma(1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_gamma(2);
+        // gamma(2) = 0 10 -> 3 bits.
+        assert_eq!(w.bit_len(), 4);
+    }
+
+    #[test]
+    fn bit_writer_packs_tightly() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0b01, 2);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.read_bit(), 0);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.read_bit(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: every codec is an exact inverse pair on arbitrary data.
+
+use codecs::{Codec, DeltaCodec, GammaCodec, RawCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn raw_roundtrip(entries in prop::collection::vec(any::<u64>(), 0..600)) {
+        let block = <RawCodec as Codec<u64>>::encode(&entries);
+        let mut out = Vec::new();
+        <RawCodec as Codec<u64>>::decode(&block, &mut out);
+        prop_assert_eq!(out, entries);
+    }
+
+    #[test]
+    fn delta_roundtrip_any_u64(entries in prop::collection::vec(any::<u64>(), 0..600)) {
+        let block = <DeltaCodec as Codec<u64>>::encode(&entries);
+        prop_assert_eq!(<DeltaCodec as Codec<u64>>::len(&block), entries.len());
+        let mut out = Vec::new();
+        <DeltaCodec as Codec<u64>>::decode(&block, &mut out);
+        prop_assert_eq!(out, entries);
+    }
+
+    #[test]
+    fn delta_roundtrip_pairs(entries in prop::collection::vec(any::<(u64, u32)>(), 0..400)) {
+        let block = <DeltaCodec as Codec<(u64, u32)>>::encode(&entries);
+        let mut out = Vec::new();
+        <DeltaCodec as Codec<(u64, u32)>>::decode(&block, &mut out);
+        prop_assert_eq!(out, entries);
+    }
+
+    #[test]
+    fn delta_roundtrip_signed_values(entries in prop::collection::vec(any::<(u32, i64)>(), 0..400)) {
+        let block = <DeltaCodec as Codec<(u32, i64)>>::encode(&entries);
+        let mut out = Vec::new();
+        <DeltaCodec as Codec<(u32, i64)>>::decode(&block, &mut out);
+        prop_assert_eq!(out, entries);
+    }
+
+    #[test]
+    fn gamma_roundtrip_any(entries in prop::collection::vec(any::<u32>(), 0..400)) {
+        let block = <GammaCodec as Codec<u32>>::encode(&entries);
+        let mut out = Vec::new();
+        <GammaCodec as Codec<u32>>::decode(&block, &mut out);
+        prop_assert_eq!(out, entries);
+    }
+
+    #[test]
+    fn delta_sorted_uses_about_one_byte_per_small_gap(
+        start in 0u64..1_000_000,
+        gaps in prop::collection::vec(0u64..60, 1..500),
+    ) {
+        let mut entries = vec![start];
+        for g in &gaps {
+            let next = entries.last().unwrap() + g;
+            entries.push(next);
+        }
+        let block = <DeltaCodec as Codec<u64>>::encode(&entries);
+        // First entry <= 9 bytes, the rest 1 byte each (gap < 64 zigzags
+        // to < 128, one varint byte).
+        prop_assert!(<DeltaCodec as Codec<u64>>::heap_bytes(&block) <= 9 + gaps.len());
+    }
+
+    #[test]
+    fn for_each_agrees_with_decode(entries in prop::collection::vec(any::<u64>(), 0..300)) {
+        let block = <DeltaCodec as Codec<u64>>::encode(&entries);
+        let mut seen = Vec::new();
+        <DeltaCodec as Codec<u64>>::for_each(&block, &mut |e| seen.push(*e));
+        prop_assert_eq!(seen, entries);
+    }
+}

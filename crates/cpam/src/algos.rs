@@ -1,0 +1,697 @@
+//! Point operations, range queries, and bulk functional operations
+//! (Figs. 6 and 8 of the paper, plus the augmented-query primitives the
+//! applications in Section 9 are built on).
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::base::{from_sorted, to_vec};
+use crate::entry::{Element, Entry};
+use crate::join::{join, join2, split};
+use crate::node::{decode_flat, size, Node, Tree};
+
+#[inline]
+fn par_cutoff(b: usize) -> usize {
+    (4 * b).max(1024)
+}
+
+/// Looks up the entry with key `k`. `O(log n + B)` work.
+pub(crate) fn find<E, A, C>(t: &Tree<E, A, C>, k: &E::Key) -> Option<E>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut cur = t;
+    loop {
+        let node = cur.as_ref()?;
+        match &**node {
+            Node::Flat { .. } => {
+                let entries = decode_flat(node);
+                return entries
+                    .binary_search_by(|e| e.key().cmp(k))
+                    .ok()
+                    .map(|i| entries[i].clone());
+            }
+            Node::Regular {
+                left, entry, right, ..
+            } => match k.cmp(entry.key()) {
+                std::cmp::Ordering::Equal => return Some(entry.clone()),
+                std::cmp::Ordering::Less => cur = left,
+                std::cmp::Ordering::Greater => cur = right,
+            },
+        }
+    }
+}
+
+/// Inserts one entry; `f(old, new)` combines with an existing entry.
+/// `O(log n + B)` work.
+pub(crate) fn insert<E, A, C, F>(b: usize, t: &Tree<E, A, C>, e: E, f: &F) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E, &E) -> E,
+{
+    let Some(node) = t else {
+        return from_sorted(b, std::slice::from_ref(&e));
+    };
+    match &**node {
+        Node::Flat { .. } => {
+            let mut entries = decode_flat(node);
+            match entries.binary_search_by(|x| x.key().cmp(e.key())) {
+                Ok(i) => entries[i] = f(&entries[i], &e),
+                Err(i) => entries.insert(i, e),
+            }
+            from_sorted(b, &entries)
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => match e.key().cmp(entry.key()) {
+            std::cmp::Ordering::Equal => join(b, left.clone(), f(entry, &e), right.clone()),
+            std::cmp::Ordering::Less => {
+                join(b, insert(b, left, e, f), entry.clone(), right.clone())
+            }
+            std::cmp::Ordering::Greater => {
+                join(b, left.clone(), entry.clone(), insert(b, right, e, f))
+            }
+        },
+    }
+}
+
+/// Removes the entry with key `k`, if present. `O(log n + B)` work.
+pub(crate) fn remove<E, A, C>(b: usize, t: &Tree<E, A, C>, k: &E::Key) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else {
+        return None;
+    };
+    match &**node {
+        Node::Flat { .. } => {
+            let mut entries = decode_flat(node);
+            if let Ok(i) = entries.binary_search_by(|x| x.key().cmp(k)) {
+                entries.remove(i);
+            }
+            from_sorted(b, &entries)
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => match k.cmp(entry.key()) {
+            std::cmp::Ordering::Equal => join2(b, left.clone(), right.clone()),
+            std::cmp::Ordering::Less => join(b, remove(b, left, k), entry.clone(), right.clone()),
+            std::cmp::Ordering::Greater => {
+                join(b, left.clone(), entry.clone(), remove(b, right, k))
+            }
+        },
+    }
+}
+
+/// Number of entries with keys strictly less than `k` (the paper's Rank).
+pub(crate) fn rank<E, A, C>(t: &Tree<E, A, C>, k: &E::Key) -> usize
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut acc = 0;
+    let mut cur = t;
+    loop {
+        let Some(node) = cur else { return acc };
+        match &**node {
+            Node::Flat { .. } => {
+                let entries = decode_flat(node);
+                return acc + entries.partition_point(|e| e.key() < k);
+            }
+            Node::Regular {
+                left, entry, right, ..
+            } => match k.cmp(entry.key()) {
+                std::cmp::Ordering::Less | std::cmp::Ordering::Equal => cur = left,
+                std::cmp::Ordering::Greater => {
+                    acc += size(left) + 1;
+                    cur = right;
+                }
+            },
+        }
+    }
+}
+
+/// The entry at in-order position `i` (the paper's `n-th`/Select).
+/// `O(log n + B)` work — contrast with `O(1)` array indexing in Fig. 2.
+pub(crate) fn select<E, A, C>(t: &Tree<E, A, C>, i: usize) -> Option<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut cur = t;
+    let mut i = i;
+    loop {
+        let node = cur.as_ref()?;
+        if i >= node.size() {
+            return None;
+        }
+        match &**node {
+            Node::Flat { .. } => {
+                let entries = decode_flat(node);
+                return Some(entries[i].clone());
+            }
+            Node::Regular {
+                left, entry, right, ..
+            } => {
+                let lsize = size(left);
+                match i.cmp(&lsize) {
+                    std::cmp::Ordering::Less => cur = left,
+                    std::cmp::Ordering::Equal => return Some(entry.clone()),
+                    std::cmp::Ordering::Greater => {
+                        i -= lsize + 1;
+                        cur = right;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Smallest entry with key `>= k` (the paper's Next, inclusive flavour).
+pub(crate) fn succ<E, A, C>(t: &Tree<E, A, C>, k: &E::Key) -> Option<E>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut best: Option<E> = None;
+    let mut cur = t;
+    loop {
+        let Some(node) = cur else { return best };
+        match &**node {
+            Node::Flat { .. } => {
+                let entries = decode_flat(node);
+                let i = entries.partition_point(|e| e.key() < k);
+                if i < entries.len() {
+                    return Some(entries[i].clone());
+                }
+                return best;
+            }
+            Node::Regular {
+                left, entry, right, ..
+            } => {
+                if entry.key() >= k {
+                    best = Some(entry.clone());
+                    cur = left;
+                } else {
+                    cur = right;
+                }
+            }
+        }
+    }
+}
+
+/// Largest entry with key `<= k` (the paper's Previous, inclusive).
+pub(crate) fn pred<E, A, C>(t: &Tree<E, A, C>, k: &E::Key) -> Option<E>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut best: Option<E> = None;
+    let mut cur = t;
+    loop {
+        let Some(node) = cur else { return best };
+        match &**node {
+            Node::Flat { .. } => {
+                let entries = decode_flat(node);
+                let i = entries.partition_point(|e| e.key() <= k);
+                if i > 0 {
+                    return Some(entries[i - 1].clone());
+                }
+                return best;
+            }
+            Node::Regular {
+                left, entry, right, ..
+            } => {
+                if entry.key() <= k {
+                    best = Some(entry.clone());
+                    cur = right;
+                } else {
+                    cur = left;
+                }
+            }
+        }
+    }
+}
+
+/// The subtree of entries with keys in `[lo, hi]` (the paper's Range).
+/// `O(log n + B)` work.
+pub(crate) fn range<E, A, C>(b: usize, t: &Tree<E, A, C>, lo: &E::Key, hi: &E::Key) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let (_, m_lo, ge_lo) = split(b, t, lo);
+    let (mid, m_hi, _) = split(b, &ge_lo, hi);
+    let mut out = mid;
+    if let Some(e) = m_hi {
+        out = join(b, out, e, None);
+    }
+    if let Some(e) = m_lo {
+        out = join(b, None, e, out);
+    }
+    out
+}
+
+/// One piece of a canonical range decomposition: either the aggregate of
+/// a maximal subtree fully inside the range, or a boundary entry.
+pub(crate) enum Part<'a, E, AV> {
+    /// Aggregate of a subtree entirely contained in the range.
+    Aug(&'a AV),
+    /// A single boundary entry inside the range.
+    Entry(&'a E),
+}
+
+/// Canonical range decomposition of `[lo, hi]` (inclusive): calls `f`
+/// with the aggregate of each maximal subtree entirely inside the range
+/// and with each of the `O(log n + B)` boundary entries.
+///
+/// This powers `aug_range` and the 2D range tree's count query without
+/// materializing the range or combining heavyweight augmented values.
+pub(crate) fn range_decompose<E, A, C>(
+    t: &Tree<E, A, C>,
+    lo: &E::Key,
+    hi: &E::Key,
+    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+) where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    // Invariant: only called on subtrees that may intersect [lo, hi].
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Flat { aug, .. } => {
+            // Whole-block containment check via first/last entries.
+            let entries = decode_flat(node);
+            let first = entries.first().expect("flat node nonempty");
+            let last = entries.last().expect("flat node nonempty");
+            if first.key() >= lo && last.key() <= hi {
+                f(Part::Aug(aug));
+            } else {
+                for e in &entries {
+                    if e.key() >= lo && e.key() <= hi {
+                        f(Part::Entry(e));
+                    }
+                }
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            let k = entry.key();
+            if k < lo {
+                range_decompose(right, lo, hi, f);
+            } else if k > hi {
+                range_decompose(left, lo, hi, f);
+            } else {
+                descend_ge(left, lo, f);
+                f(Part::Entry(entry));
+                descend_le(right, hi, f);
+            }
+        }
+    }
+}
+
+/// Contributes everything with key >= `lo` from `t`.
+fn descend_ge<E, A, C>(
+    t: &Tree<E, A, C>,
+    lo: &E::Key,
+    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+) where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Flat { aug, .. } => {
+            let entries = decode_flat(node);
+            if entries.first().expect("nonempty").key() >= lo {
+                f(Part::Aug(aug));
+            } else {
+                for e in &entries {
+                    if e.key() >= lo {
+                        f(Part::Entry(e));
+                    }
+                }
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            if entry.key() >= lo {
+                f(Part::Entry(entry));
+                on_aug_whole(right, f);
+                descend_ge(left, lo, f);
+            } else {
+                descend_ge(right, lo, f);
+            }
+        }
+    }
+}
+
+/// Contributes everything with key <= `hi` from `t`.
+fn descend_le<E, A, C>(
+    t: &Tree<E, A, C>,
+    hi: &E::Key,
+    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+) where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Flat { aug, .. } => {
+            let entries = decode_flat(node);
+            if entries.last().expect("nonempty").key() <= hi {
+                f(Part::Aug(aug));
+            } else {
+                for e in &entries {
+                    if e.key() <= hi {
+                        f(Part::Entry(e));
+                    }
+                }
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            if entry.key() <= hi {
+                on_aug_whole(left, f);
+                f(Part::Entry(entry));
+                descend_le(right, hi, f);
+            } else {
+                descend_le(left, hi, f);
+            }
+        }
+    }
+}
+
+fn on_aug_whole<E, A, C>(t: &Tree<E, A, C>, f: &mut dyn FnMut(Part<'_, E, A::Value>))
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if let Some(node) = t {
+        f(Part::Aug(node.aug()));
+    }
+}
+
+/// Aggregate of all entries with keys in `[lo, hi]` (the paper's
+/// `aug_range`). `O(log n + B)` work.
+pub(crate) fn aug_range<E, A, C>(t: &Tree<E, A, C>, lo: &E::Key, hi: &E::Key) -> A::Value
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut acc = A::identity();
+    range_decompose(t, lo, hi, &mut |part| {
+        acc = match part {
+            Part::Aug(v) => A::combine(&acc, v),
+            Part::Entry(e) => A::combine(&acc, &A::from_entry(e)),
+        };
+    });
+    acc
+}
+
+/// Augmentation-pruned search: collects entries with key `<= kmax`
+/// satisfying `pred`, skipping any subtree where `enter(aug)` is false.
+///
+/// With the max-right-endpoint augmentation this is exactly the interval
+/// tree's stabbing query: `O(k log n)` for `k` reported intervals.
+pub(crate) fn prune_search<E, A, C>(
+    t: &Tree<E, A, C>,
+    kmax: &E::Key,
+    enter: &dyn Fn(&A::Value) -> bool,
+    pred: &dyn Fn(&E) -> bool,
+    out: &mut Vec<E>,
+) where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    if !enter(node.aug()) {
+        return;
+    }
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            for e in &entries {
+                if e.key() > kmax {
+                    break;
+                }
+                if pred(e) {
+                    out.push(e.clone());
+                }
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            prune_search(left, kmax, enter, pred, out);
+            if entry.key() <= kmax {
+                if pred(entry) {
+                    out.push(entry.clone());
+                }
+                prune_search(right, kmax, enter, pred, out);
+            }
+        }
+    }
+}
+
+/// Keeps entries satisfying `pred` (Fig. 6's `filter`).
+/// `O(n)` work, `O(log^2 n)` span.
+pub(crate) fn filter<E, A, C, F>(b: usize, t: &Tree<E, A, C>, pred: &F) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E) -> bool + Sync,
+{
+    let Some(node) = t else { return None };
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            let kept: Vec<E> = entries.iter().filter(|e| pred(e)).cloned().collect();
+            from_sorted(b, &kept)
+        }
+        Node::Regular {
+            left,
+            entry,
+            right,
+            size: sz,
+            ..
+        } => {
+            let (tl, tr) = if *sz > par_cutoff(b) {
+                parlay::join(|| filter(b, left, pred), || filter(b, right, pred))
+            } else {
+                (filter(b, left, pred), filter(b, right, pred))
+            };
+            if pred(entry) {
+                join(b, tl, entry.clone(), tr)
+            } else {
+                join2(b, tl, tr)
+            }
+        }
+    }
+}
+
+/// Structure-preserving entry map: same shape (and therefore same cost
+/// profile), entries transformed by `f`.
+///
+/// For keyed trees `f` must preserve the relative key order (the typical
+/// use is mapping values only).
+pub(crate) fn map_entries<E, A, C, E2, A2, C2, F>(t: &Tree<E, A, C>, f: &F) -> Tree<E2, A2, C2>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    E2: Element,
+    A2: Augmentation<E2>,
+    C2: Codec<E2>,
+    F: Fn(&E) -> E2 + Sync,
+{
+    let Some(node) = t else { return None };
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            let mapped: Vec<E2> = entries.iter().map(f).collect();
+            crate::node::make_flat(&mapped)
+        }
+        Node::Regular {
+            left,
+            entry,
+            right,
+            size: sz,
+            ..
+        } => {
+            let (tl, tr) = if *sz > 2048 {
+                parlay::join(|| map_entries(left, f), || map_entries(right, f))
+            } else {
+                (map_entries(left, f), map_entries(right, f))
+            };
+            crate::node::make_regular(tl, f(entry), tr)
+        }
+    }
+}
+
+/// Parallel map-reduce over all entries (Fig. 8's `reduce`).
+/// `O(n)` work, `O(log n)` span.
+pub(crate) fn map_reduce<E, A, C, R, M, Op>(t: &Tree<E, A, C>, m: &M, op: &Op, id: R) -> R
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    R: Send + Sync + Clone,
+    M: Fn(&E) -> R + Sync,
+    Op: Fn(R, R) -> R + Sync,
+{
+    let Some(node) = t else { return id };
+    match &**node {
+        Node::Flat { block, .. } => {
+            let mut acc = id;
+            C::for_each(block, &mut |e| {
+                acc = op(acc.clone(), m(e));
+            });
+            acc
+        }
+        Node::Regular {
+            left,
+            entry,
+            right,
+            size: sz,
+            ..
+        } => {
+            let (a, c) = if *sz > 2048 {
+                parlay::join(
+                    || map_reduce(left, m, op, id.clone()),
+                    || map_reduce(right, m, op, id.clone()),
+                )
+            } else {
+                (
+                    map_reduce(left, m, op, id.clone()),
+                    map_reduce(right, m, op, id.clone()),
+                )
+            };
+            op(op(a, m(entry)), c)
+        }
+    }
+}
+
+/// Extracts the entries in `[lo, hi]` as a vector (report query).
+pub(crate) fn range_entries<E, A, C>(t: &Tree<E, A, C>, lo: &E::Key, hi: &E::Key) -> Vec<E>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut out = Vec::new();
+    collect_range(t, lo, hi, &mut out);
+    out
+}
+
+fn collect_range<E, A, C>(t: &Tree<E, A, C>, lo: &E::Key, hi: &E::Key, out: &mut Vec<E>)
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            let from = entries.partition_point(|e| e.key() < lo);
+            for e in &entries[from..] {
+                if e.key() > hi {
+                    break;
+                }
+                out.push(e.clone());
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            let k = entry.key();
+            if k >= lo {
+                collect_range(left, lo, hi, out);
+            }
+            if k >= lo && k <= hi {
+                out.push(entry.clone());
+            }
+            if k <= hi {
+                collect_range(right, lo, hi, out);
+            }
+        }
+    }
+}
+
+/// Folds over every stored augmented value (one per node, regular or
+/// flat) — used for space accounting of tree-valued augmentations.
+pub(crate) fn fold_augs<E, A, C, R>(t: &Tree<E, A, C>, acc: R, f: &mut dyn FnMut(R, &A::Value) -> R) -> R
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return acc };
+    match &**node {
+        Node::Flat { aug, .. } => f(acc, aug),
+        Node::Regular {
+            left, right, aug, ..
+        } => {
+            let acc = f(acc, aug);
+            let acc = fold_augs(left, acc, f);
+            fold_augs(right, acc, f)
+        }
+    }
+}
+
+/// First entry (in order), if any.
+pub(crate) fn first<E, A, C>(t: &Tree<E, A, C>) -> Option<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    select(t, 0)
+}
+
+/// Last entry (in order), if any.
+pub(crate) fn last<E, A, C>(t: &Tree<E, A, C>) -> Option<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let n = size(t);
+    if n == 0 {
+        None
+    } else {
+        select(t, n - 1)
+    }
+}
+
+/// All entries as a vector (delegates to the parallel flattener).
+pub(crate) fn entries_vec<E, A, C>(t: &Tree<E, A, C>) -> Vec<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    to_vec(t)
+}

@@ -1,0 +1,171 @@
+//! Construction and flattening: `from_sorted`, `unfold`, `to_vec`.
+//!
+//! These are the paper's `fold`/`unfold` primitives (Fig. 5): a tree can
+//! be flattened into an entry array and rebuilt from one, and a flat node
+//! can be expanded into a perfectly balanced all-regular subtree.
+
+use codecs::Codec;
+use parlay::SendPtr;
+
+use crate::aug::Augmentation;
+use crate::entry::Element;
+use crate::node::{make_flat, make_regular, size, Node, Tree};
+
+/// Parallelism cutoff for construction/flattening.
+pub(crate) const BUILD_GRAIN: usize = 4096;
+
+/// Builds a PaC-tree from entries already in collection order.
+///
+/// Maintains Definition 4.1 deterministically: midpoint splitting keeps
+/// every leaf block within `[b, 2b]` once the tree has at least `b`
+/// entries (smaller trees are one undersized block). `O(n)` work,
+/// `O(log n)` span.
+pub(crate) fn from_sorted<E, A, C>(b: usize, entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let n = entries.len();
+    if n == 0 {
+        return None;
+    }
+    if n <= 2 * b {
+        // Any tree of at most 2b entries is a single block; Definition
+        // 4.1 only constrains block sizes once |T| >= b, and packing
+        // small trees is what the CPAM implementation does (it is also
+        // essential for the graph application, where most edge lists are
+        // far smaller than b).
+        return make_flat(entries);
+    }
+    let mid = n / 2;
+    let (l, r) = if n > BUILD_GRAIN {
+        parlay::join(
+            || from_sorted(b, &entries[..mid]),
+            || from_sorted(b, &entries[mid + 1..]),
+        )
+    } else {
+        (
+            from_sorted(b, &entries[..mid]),
+            from_sorted(b, &entries[mid + 1..]),
+        )
+    };
+    make_regular(l, entries[mid].clone(), r)
+}
+
+/// Builds a perfectly balanced tree of only regular nodes (the paper's
+/// `unfold` target, and the representation of simplex trees).
+pub(crate) fn build_regular<E, A, C>(entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let n = entries.len();
+    if n == 0 {
+        return None;
+    }
+    let mid = n / 2;
+    let l = build_regular::<E, A, C>(&entries[..mid]);
+    let r = build_regular::<E, A, C>(&entries[mid + 1..]);
+    make_regular(l, entries[mid].clone(), r)
+}
+
+/// Flattens a tree into a vector, in collection order. Parallel.
+pub(crate) fn to_vec<E, A, C>(t: &Tree<E, A, C>) -> Vec<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let n = size(t);
+    let mut out: Vec<E> = Vec::with_capacity(n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    write_tree(t, ptr, 0);
+    // SAFETY: write_tree initializes exactly `size(t)` consecutive slots.
+    unsafe { out.set_len(n) };
+    out
+}
+
+fn write_tree<E, A, C>(t: &Tree<E, A, C>, out: SendPtr<E>, offset: usize)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Regular {
+            left,
+            entry,
+            right,
+            size: sz,
+            ..
+        } => {
+            let lsize = size(left);
+            // SAFETY: disjoint slots, within the capacity reserved by the
+            // caller (to_vec).
+            unsafe { out.0.add(offset + lsize).write(entry.clone()) };
+            if *sz > BUILD_GRAIN {
+                parlay::join(
+                    || write_tree(left, out, offset),
+                    || write_tree(right, out, offset + lsize + 1),
+                );
+            } else {
+                write_tree(left, out, offset);
+                write_tree(right, out, offset + lsize + 1);
+            }
+        }
+        Node::Flat { block, .. } => {
+            crate::stats::count_block_decode();
+            let mut at = offset;
+            C::for_each(block, &mut |e| {
+                // SAFETY: as above; blocks own a disjoint range.
+                unsafe { out.0.add(at).write(e.clone()) };
+                at += 1;
+            });
+        }
+    }
+}
+
+/// Flattens `left ++ [entry] ++ right` into a vector (sequential; used by
+/// the `node()` smart constructor on at most `4b` entries).
+pub(crate) fn flatten_small<E, A, C>(
+    left: &Tree<E, A, C>,
+    entry: &E,
+    right: &Tree<E, A, C>,
+) -> Vec<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let mut out = Vec::with_capacity(size(left) + size(right) + 1);
+    push_all(left, &mut out);
+    out.push(entry.clone());
+    push_all(right, &mut out);
+    out
+}
+
+/// Appends all entries of `t` to `out`, in order (sequential).
+pub(crate) fn push_all<E, A, C>(t: &Tree<E, A, C>, out: &mut Vec<E>)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return };
+    match &**node {
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            push_all(left, out);
+            out.push(entry.clone());
+            push_all(right, out);
+        }
+        Node::Flat { block, .. } => {
+            crate::stats::count_block_decode();
+            C::decode(block, out);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Entries and keys: what a tree stores and how it is ordered.
+//!
+//! A PaC-tree stores *entries*; ordered collections (sets, maps) require
+//! the entry to expose a key ([`Entry`]). Sequences store arbitrary
+//! [`Element`]s and never consult keys.
+
+/// Anything storable in a tree: cloneable and shareable across workers.
+///
+/// Blanket-implemented; you never implement this by hand.
+pub trait Element: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Element for T {}
+
+/// A scalar key type usable directly as a set element.
+///
+/// Deliberately *not* blanket-implemented: tuples must not be scalar keys
+/// so that `(K, V)` can unambiguously be a map entry.
+pub trait ScalarKey: Ord + Clone + Send + Sync + 'static {}
+
+macro_rules! impl_scalar_key {
+    ($($t:ty),*) => {$( impl ScalarKey for $t {} )*};
+}
+impl_scalar_key!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, char, bool, String
+);
+
+/// An entry of an ordered collection: exposes the key it is ordered by.
+///
+/// * A set element is its own key (`impl Entry for K` via [`ScalarKey`]).
+/// * A map entry is a `(K, V)` pair keyed by `K`.
+///
+/// # Examples
+///
+/// ```
+/// use cpam::Entry;
+/// let pair = (42u64, "value");
+/// assert_eq!(*Entry::key(&pair), 42);
+/// let scalar = 7u32;
+/// assert_eq!(*Entry::key(&scalar), 7);
+/// ```
+pub trait Entry: Element {
+    /// The ordering key type.
+    type Key: Ord + Clone + Send + Sync + 'static;
+    /// The key of this entry.
+    fn key(&self) -> &Self::Key;
+}
+
+impl<K: ScalarKey> Entry for K {
+    type Key = K;
+    fn key(&self) -> &K {
+        self
+    }
+}
+
+impl<K: ScalarKey, V: Element> Entry for (K, V) {
+    type Key = K;
+    fn key(&self) -> &K {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_entry_is_its_own_key() {
+        assert_eq!(*Entry::key(&5u64), 5);
+        assert_eq!(*Entry::key(&"s".to_string()), "s".to_string());
+    }
+
+    #[test]
+    fn pair_entry_keyed_by_first() {
+        let e = (3u32, vec![1, 2]);
+        assert_eq!(*Entry::key(&e), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Streaming in-order iteration over a tree.
+
+use std::sync::Arc;
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::entry::Element;
+use crate::node::{decode_flat, Node, Tree};
+
+/// An in-order iterator over the entries of a PaC-tree.
+///
+/// Holds `Arc`s to the spine it is traversing, so it is a snapshot: the
+/// source collection can be updated (functionally) while iterating.
+pub struct Iter<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    /// Regular nodes whose entry and right subtree are still pending.
+    stack: Vec<Arc<Node<E, A, C>>>,
+    /// Decoded entries of the current flat node (drained front to back).
+    block: Vec<E>,
+    /// Next index into `block`.
+    block_at: usize,
+}
+
+impl<E, A, C> Iter<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    pub(crate) fn new(t: &Tree<E, A, C>) -> Self {
+        let mut it = Iter {
+            stack: Vec::new(),
+            block: Vec::new(),
+            block_at: 0,
+        };
+        it.push_left_spine(t);
+        it
+    }
+
+    fn push_left_spine(&mut self, mut t: &Tree<E, A, C>) {
+        while let Some(node) = t {
+            match &**node {
+                Node::Regular { left, .. } => {
+                    self.stack.push(Arc::clone(node));
+                    t = left;
+                }
+                Node::Flat { .. } => {
+                    debug_assert!(self.block_at >= self.block.len());
+                    self.block = decode_flat(node);
+                    self.block_at = 0;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<E, A, C> Iterator for Iter<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    type Item = E;
+
+    fn next(&mut self) -> Option<E> {
+        if self.block_at < self.block.len() {
+            let e = self.block[self.block_at].clone();
+            self.block_at += 1;
+            return Some(e);
+        }
+        let node = self.stack.pop()?;
+        let Node::Regular { entry, right, .. } = &*node else {
+            unreachable!("flat nodes never sit on the iterator stack");
+        };
+        let e = entry.clone();
+        // Clone the subtree handle before dropping our hold on `node`.
+        let right = right.clone();
+        self.push_left_spine(&right);
+        // Keep `right`'s nodes alive: push_left_spine stored Arcs as needed.
+        Some(e)
+    }
+}

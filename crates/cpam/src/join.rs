@@ -1,0 +1,302 @@
+//! The `join`/`expose` layer (Fig. 5 of the paper).
+//!
+//! Everything above this module — union, filter, maps, sequences — is
+//! written against `join`, `join2`, `split` and `expose` exactly as in
+//! PAM; blocked leaves and compression are handled *only* here, which is
+//! the paper's central implementation claim (Section 5).
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::base::{build_regular, flatten_small, from_sorted};
+use crate::entry::{Element, Entry};
+use crate::node::{decode_flat, make_flat, make_regular, size, weight, Node, Tree};
+
+/// Weight-balance factor α = 0.29 (paper default; α ≤ 1 − 1/√2).
+const ALPHA_NUM: usize = 29;
+const ALPHA_DEN: usize = 100;
+
+/// True if a node with child weights `(wl, wr)` satisfies BB[α].
+#[inline]
+pub(crate) fn balanced(wl: usize, wr: usize) -> bool {
+    let total = wl + wr;
+    wl * ALPHA_DEN >= ALPHA_NUM * total && wr * ALPHA_DEN >= ALPHA_NUM * total
+}
+
+/// True if the left side is too heavy to link directly.
+#[inline]
+fn left_heavy(wl: usize, wr: usize) -> bool {
+    wl * ALPHA_DEN > (ALPHA_DEN - ALPHA_NUM) * (wl + wr)
+}
+
+/// The `node()` smart constructor (Fig. 5): links `l`, `e`, `r` and
+/// enforces the blocked-leaves invariant:
+///
+/// * total > 4b — plain regular node;
+/// * total ≤ 2b — fold everything into one flat node;
+/// * 2b < total ≤ 4b — redistribute into two half-size flat children.
+pub(crate) fn node_ctor<E, A, C>(b: usize, l: Tree<E, A, C>, e: E, r: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let total = size(&l) + size(&r) + 1;
+    if total > 4 * b {
+        return make_regular(l, e, r);
+    }
+    if total <= 2 * b {
+        let entries = flatten_small(&l, &e, &r);
+        return make_flat(&entries);
+    }
+    // 2b < total <= 4b: both halves land in [b, 2b].
+    let entries = flatten_small(&l, &e, &r);
+    let mid = total / 2;
+    make_regular(
+        make_flat(&entries[..mid]),
+        entries[mid].clone(),
+        make_flat(&entries[mid + 1..]),
+    )
+}
+
+/// `expose` (Fig. 5): splits a nonempty tree into `(left, entry, right)`.
+///
+/// Regular nodes hand back their fields; flat nodes are *unfolded* into a
+/// perfectly balanced expanded form first (`O(B)` work).
+pub(crate) fn expose<E, A, C>(t: &Node<E, A, C>) -> (Tree<E, A, C>, E, Tree<E, A, C>)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match t {
+        Node::Regular {
+            left, entry, right, ..
+        } => (left.clone(), entry.clone(), right.clone()),
+        Node::Flat { .. } => {
+            let entries = decode_flat(t);
+            let mid = entries.len() / 2;
+            let l = build_regular::<E, A, C>(&entries[..mid]);
+            let r = build_regular::<E, A, C>(&entries[mid + 1..]);
+            (l, entries[mid].clone(), r)
+        }
+    }
+}
+
+/// `join` (Fig. 5): concatenates `l ++ [e] ++ r` into a balanced PaC-tree.
+///
+/// `O(B + log(n/m))` work where `n`, `m` are the larger/smaller sizes
+/// (Theorem 6.1).
+pub(crate) fn join<E, A, C>(b: usize, l: Tree<E, A, C>, e: E, r: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let (wl, wr) = (weight(&l), weight(&r));
+    if left_heavy(wl, wr) {
+        join_right(b, l, e, r)
+    } else if left_heavy(wr, wl) {
+        join_left(b, l, e, r)
+    } else {
+        node_ctor(b, l, e, r)
+    }
+}
+
+fn join_right<E, A, C>(b: usize, tl: Tree<E, A, C>, e: E, tr: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if balanced(weight(&tl), weight(&tr)) {
+        return node_ctor(b, tl, e, tr);
+    }
+    // tl is strictly heavier, hence nonempty.
+    let node = tl.expect("join_right: heavy side empty");
+    let (l, k2, c) = expose(&node);
+    drop(node);
+    let t2 = join_right(b, c, e, tr);
+    if balanced(weight(&l), weight(&t2)) {
+        return node_ctor(b, l, k2, t2);
+    }
+    let t2node = t2.expect("join_right: joined tree empty");
+    let (l1, k1, r1) = expose(&t2node);
+    drop(t2node);
+    if balanced(weight(&l), weight(&l1)) && balanced(weight(&l) + weight(&l1), weight(&r1)) {
+        // Single left rotation.
+        node_ctor(b, node_ctor(b, l, k2, l1), k1, r1)
+    } else {
+        // Double rotation: rotate `l1` right, then left.
+        let l1node = l1.expect("join_right: rotation pivot empty");
+        let (l2, k3, r2) = expose(&l1node);
+        drop(l1node);
+        node_ctor(b, node_ctor(b, l, k2, l2), k3, node_ctor(b, r2, k1, r1))
+    }
+}
+
+fn join_left<E, A, C>(b: usize, tl: Tree<E, A, C>, e: E, tr: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if balanced(weight(&tl), weight(&tr)) {
+        return node_ctor(b, tl, e, tr);
+    }
+    let node = tr.expect("join_left: heavy side empty");
+    let (c, k2, r) = expose(&node);
+    drop(node);
+    let t2 = join_left(b, tl, e, c);
+    if balanced(weight(&t2), weight(&r)) {
+        return node_ctor(b, t2, k2, r);
+    }
+    let t2node = t2.expect("join_left: joined tree empty");
+    let (l1, k1, r1) = expose(&t2node);
+    drop(t2node);
+    if balanced(weight(&r1), weight(&r)) && balanced(weight(&r1) + weight(&r), weight(&l1)) {
+        // Single right rotation.
+        node_ctor(b, l1, k1, node_ctor(b, r1, k2, r))
+    } else {
+        // Double rotation: rotate `r1` left, then right.
+        let r1node = r1.expect("join_left: rotation pivot empty");
+        let (l2, k3, r2) = expose(&r1node);
+        drop(r1node);
+        node_ctor(b, node_ctor(b, l1, k1, l2), k3, node_ctor(b, r2, k2, r))
+    }
+}
+
+/// Removes and returns the last entry (`splitLast` in Fig. 10).
+pub(crate) fn split_last<E, A, C>(b: usize, t: Tree<E, A, C>) -> (Tree<E, A, C>, E)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let node = t.expect("split_last on empty tree");
+    match &*node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(&node);
+            let (last, rest) = entries.split_last().expect("flat node is never empty");
+            (from_sorted(b, rest), last.clone())
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            if right.is_none() {
+                (left.clone(), entry.clone())
+            } else {
+                let (r2, last) = split_last(b, right.clone());
+                (join(b, left.clone(), entry.clone(), r2), last)
+            }
+        }
+    }
+}
+
+/// Concatenates two trees with no middle entry (`join2`, Fig. 10).
+pub(crate) fn join2<E, A, C>(b: usize, l: Tree<E, A, C>, r: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match l {
+        None => r,
+        Some(_) => {
+            let (l2, last) = split_last(b, l);
+            join(b, l2, last, r)
+        }
+    }
+}
+
+/// `split` (Fig. 5): partitions `t` by key `k` into entries strictly
+/// before, the entry with key `k` (if present), and entries strictly
+/// after. `O(B + log(|T|/B))` work on complex trees (Theorem 6.2).
+pub(crate) fn split<E, A, C>(
+    b: usize,
+    t: &Tree<E, A, C>,
+    k: &E::Key,
+) -> (Tree<E, A, C>, Option<E>, Tree<E, A, C>)
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else {
+        return (None, None, None);
+    };
+    match &**node {
+        Node::Flat { .. } => {
+            // Efficient base case: binary-search the decoded block and
+            // rebuild both sides as packed trees.
+            let entries = decode_flat(node);
+            match entries.binary_search_by(|e| e.key().cmp(k)) {
+                Ok(i) => (
+                    from_sorted(b, &entries[..i]),
+                    Some(entries[i].clone()),
+                    from_sorted(b, &entries[i + 1..]),
+                ),
+                Err(i) => (
+                    from_sorted(b, &entries[..i]),
+                    None,
+                    from_sorted(b, &entries[i..]),
+                ),
+            }
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => match k.cmp(entry.key()) {
+            std::cmp::Ordering::Equal => (left.clone(), Some(entry.clone()), right.clone()),
+            std::cmp::Ordering::Less => {
+                let (ll, m, lr) = split(b, left, k);
+                (ll, m, join(b, lr, entry.clone(), right.clone()))
+            }
+            std::cmp::Ordering::Greater => {
+                let (rl, m, rr) = split(b, right, k);
+                (join(b, left.clone(), entry.clone(), rl), m, rr)
+            }
+        },
+    }
+}
+
+/// Splits by position: left tree gets the first `i` entries.
+pub(crate) fn split_at<E, A, C>(
+    b: usize,
+    t: &Tree<E, A, C>,
+    i: usize,
+) -> (Tree<E, A, C>, Tree<E, A, C>)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else {
+        return (None, None);
+    };
+    if i == 0 {
+        return (None, t.clone());
+    }
+    if i >= node.size() {
+        return (t.clone(), None);
+    }
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            (from_sorted(b, &entries[..i]), from_sorted(b, &entries[i..]))
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            let lsize = size(left);
+            if i <= lsize {
+                let (a, c) = split_at(b, left, i);
+                (a, join(b, c, entry.clone(), right.clone()))
+            } else if i == lsize + 1 {
+                (join(b, left.clone(), entry.clone(), None), right.clone())
+            } else {
+                let (a, c) = split_at(b, right, i - lsize - 1);
+                (join(b, left.clone(), entry.clone(), a), c)
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The PaC-tree node representation (Definition 4.1 of the paper).
+//!
+//! A tree is either empty, a *regular* (binary) node, or a *flat* node: a
+//! leaf whose `B..2B` entries are packed into one encoded block. Regular
+//! nodes stay binary so path copying is cheap; flat nodes carry one
+//! augmented value for the whole block.
+//!
+//! Persistence comes from `Arc`: updates copy the `O(log n)` nodes on the
+//! affected path and share everything else with previous versions, which
+//! is exactly the paper's reference-counting scheme.
+
+use std::sync::Arc;
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::entry::Element;
+use crate::stats;
+
+/// A (sub)tree: `None` is the empty tree.
+pub(crate) type Tree<E, A, C> = Option<Arc<Node<E, A, C>>>;
+
+/// One tree node; see the module docs.
+pub(crate) enum Node<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    /// A binary node holding a single entry.
+    Regular {
+        /// Number of entries in this subtree.
+        size: usize,
+        /// Aggregate of all entries in this subtree.
+        aug: A::Value,
+        /// Entries with keys before `entry`.
+        left: Tree<E, A, C>,
+        /// The pivot entry.
+        entry: E,
+        /// Entries with keys after `entry`.
+        right: Tree<E, A, C>,
+    },
+    /// A leaf block of `B..2B` entries in collection order.
+    Flat {
+        /// Aggregate of the block's entries.
+        aug: A::Value,
+        /// The encoded entries.
+        block: C::Block,
+    },
+}
+
+impl<E, A, C> Node<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    /// Number of entries under this node.
+    pub(crate) fn size(&self) -> usize {
+        match self {
+            Node::Regular { size, .. } => *size,
+            Node::Flat { block, .. } => C::len(block),
+        }
+    }
+
+    /// The node's aggregate value.
+    pub(crate) fn aug(&self) -> &A::Value {
+        match self {
+            Node::Regular { aug, .. } => aug,
+            Node::Flat { aug, .. } => aug,
+        }
+    }
+
+    /// True for flat (blocked leaf) nodes.
+    pub(crate) fn is_flat(&self) -> bool {
+        matches!(self, Node::Flat { .. })
+    }
+}
+
+/// Size of a tree (0 for empty).
+#[inline]
+pub(crate) fn size<E, A, C>(t: &Tree<E, A, C>) -> usize
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    t.as_ref().map_or(0, |n| n.size())
+}
+
+/// Weight of a tree: `size + 1` (paper's `w(T)`).
+#[inline]
+pub(crate) fn weight<E, A, C>(t: &Tree<E, A, C>) -> usize
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    size(t) + 1
+}
+
+/// Aggregate of a tree (identity for empty).
+#[inline]
+pub(crate) fn aug_of<E, A, C>(t: &Tree<E, A, C>) -> A::Value
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    t.as_ref().map_or_else(A::identity, |n| n.aug().clone())
+}
+
+/// Builds a regular node, computing its size and aggregate.
+pub(crate) fn make_regular<E, A, C>(left: Tree<E, A, C>, entry: E, right: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    stats::count_node_alloc();
+    let size = size(&left) + size(&right) + 1;
+    let aug = A::combine(
+        &A::combine(&aug_of(&left), &A::from_entry(&entry)),
+        &aug_of(&right),
+    );
+    Some(Arc::new(Node::Regular {
+        size,
+        aug,
+        left,
+        entry,
+        right,
+    }))
+}
+
+/// Builds a flat node from entries in collection order.
+pub(crate) fn make_flat<E, A, C>(entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if entries.is_empty() {
+        return None;
+    }
+    stats::count_node_alloc();
+    stats::count_block_encode();
+    Some(Arc::new(Node::Flat {
+        aug: A::from_entries(entries),
+        block: C::encode(entries),
+    }))
+}
+
+/// Decodes a flat node's block into a fresh vector.
+pub(crate) fn decode_flat<E, A, C>(node: &Node<E, A, C>) -> Vec<E>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match node {
+        Node::Flat { block, .. } => {
+            stats::count_block_decode();
+            let mut out = Vec::with_capacity(C::len(block));
+            C::decode(block, &mut out);
+            out
+        }
+        Node::Regular { .. } => unreachable!("decode_flat on regular node"),
+    }
+}
+
+/// Per-(sub)tree space statistics for the paper's space experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Number of regular (binary) nodes.
+    pub regular_nodes: usize,
+    /// Number of flat (blocked leaf) nodes.
+    pub flat_nodes: usize,
+    /// Total heap bytes of the encoded blocks.
+    pub block_bytes: usize,
+    /// Number of entries stored.
+    pub entries: usize,
+    /// Estimated total heap bytes (nodes + refcounts + blocks).
+    pub total_bytes: usize,
+}
+
+impl SpaceStats {
+    fn add(self, other: SpaceStats) -> SpaceStats {
+        SpaceStats {
+            regular_nodes: self.regular_nodes + other.regular_nodes,
+            flat_nodes: self.flat_nodes + other.flat_nodes,
+            block_bytes: self.block_bytes + other.block_bytes,
+            entries: self.entries + other.entries,
+            total_bytes: self.total_bytes + other.total_bytes,
+        }
+    }
+}
+
+/// `Arc` control-block overhead: strong + weak counters.
+const ARC_OVERHEAD: usize = 2 * std::mem::size_of::<usize>();
+
+/// Walks a tree and accounts for all heap memory it owns.
+pub(crate) fn space<E, A, C>(t: &Tree<E, A, C>) -> SpaceStats
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let node_bytes = std::mem::size_of::<Node<E, A, C>>() + ARC_OVERHEAD;
+    match t {
+        None => SpaceStats::default(),
+        Some(n) => match &**n {
+            Node::Regular {
+                left, right, size, ..
+            } => {
+                let here = SpaceStats {
+                    regular_nodes: 1,
+                    flat_nodes: 0,
+                    block_bytes: 0,
+                    entries: 1,
+                    total_bytes: node_bytes,
+                };
+                let _ = size;
+                here.add(space(left)).add(space(right))
+            }
+            Node::Flat { block, .. } => SpaceStats {
+                regular_nodes: 0,
+                flat_nodes: 1,
+                block_bytes: C::heap_bytes(block),
+                entries: C::len(block),
+                total_bytes: node_bytes + C::heap_bytes(block),
+            },
+        },
+    }
+}

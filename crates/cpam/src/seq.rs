@@ -1,0 +1,133 @@
+//! Positional (sequence) operations: the paper's Sequence interface
+//! (Table 1) — take, subseq, append, reverse, find-first — on top of the
+//! same tree representation, ignoring keys entirely.
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::base::from_sorted;
+use crate::entry::Element;
+use crate::join::{join2, split_at};
+use crate::node::{decode_flat, make_flat, make_regular, size, Node, Tree};
+
+/// First `i` entries (the paper's Take). `O(log n + B)` work.
+pub(crate) fn take<E, A, C>(b: usize, t: &Tree<E, A, C>, i: usize) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    split_at(b, t, i).0
+}
+
+/// Everything after the first `i` entries.
+pub(crate) fn drop_first<E, A, C>(b: usize, t: &Tree<E, A, C>, i: usize) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    split_at(b, t, i).1
+}
+
+/// The subsequence `[lo, hi)` by position.
+pub(crate) fn subseq<E, A, C>(b: usize, t: &Tree<E, A, C>, lo: usize, hi: usize) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    debug_assert!(lo <= hi);
+    let (_, suffix) = split_at(b, t, lo);
+    split_at(b, &suffix, hi - lo).0
+}
+
+/// Concatenation (the paper's Append): `O(log n + B)` work — the
+/// headline win over `O(n)` array append in Fig. 2.
+pub(crate) fn append<E, A, C>(b: usize, l: &Tree<E, A, C>, r: &Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    join2(b, l.clone(), r.clone())
+}
+
+/// Reverses the sequence. `O(n)` work, `O(log n)` span: children swap and
+/// blocks re-encode reversed.
+pub(crate) fn reverse<E, A, C>(t: &Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return None };
+    match &**node {
+        Node::Flat { .. } => {
+            let mut entries = decode_flat(node);
+            entries.reverse();
+            make_flat(&entries)
+        }
+        Node::Regular {
+            left,
+            entry,
+            right,
+            size: sz,
+            ..
+        } => {
+            let (rl, rr) = if *sz > 2048 {
+                parlay::join(|| reverse(right), || reverse(left))
+            } else {
+                (reverse(right), reverse(left))
+            };
+            make_regular(rl, entry.clone(), rr)
+        }
+    }
+}
+
+/// Index of the first entry satisfying `pred`, scanning geometrically
+/// growing prefixes so a match at position `k` costs `O(k)` work (the
+/// paper's FindFirst).
+pub(crate) fn find_first<E, A, C, F>(t: &Tree<E, A, C>, pred: &F) -> Option<usize>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E) -> bool + Sync,
+{
+    find_first_rec(t, pred, 0)
+}
+
+fn find_first_rec<E, A, C, F>(t: &Tree<E, A, C>, pred: &F, offset: usize) -> Option<usize>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E) -> bool + Sync,
+{
+    let node = t.as_ref()?;
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            entries.iter().position(|e| pred(e)).map(|i| offset + i)
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            let lsize = size(left);
+            find_first_rec(left, pred, offset)
+                .or_else(|| pred(entry).then_some(offset + lsize))
+                .or_else(|| find_first_rec(right, pred, offset + lsize + 1))
+        }
+    }
+}
+
+/// Builds a sequence tree from a slice, preserving order.
+pub(crate) fn from_slice<E, A, C>(b: usize, entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    from_sorted(b, entries)
+}

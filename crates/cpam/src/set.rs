@@ -1,0 +1,358 @@
+//! [`PacSet`]: a purely-functional ordered set on PaC-trees.
+
+use codecs::{Codec, RawCodec};
+
+use crate::aug::{Augmentation, NoAug};
+use crate::entry::ScalarKey;
+use crate::iter::Iter;
+use crate::node::{aug_of, size, SpaceStats, Tree};
+use crate::{algos, base, join as jn, setops, verify, DEFAULT_B};
+
+/// A purely-functional ordered set with blocked, optionally compressed
+/// leaves.
+///
+/// The set analogue of [`crate::PacMap`]: elements are their own keys.
+/// With integer elements and [`codecs::DeltaCodec`] this is the paper's
+/// compact ordered-set representation (Corollary 4.3).
+///
+/// # Examples
+///
+/// ```
+/// use cpam::PacSet;
+/// use codecs::DeltaCodec;
+///
+/// let a: PacSet<u64> = PacSet::from_keys((0..100).collect());
+/// let b: PacSet<u64> = PacSet::from_keys((50..150).collect());
+/// assert_eq!(a.union(&b).len(), 150);
+/// assert_eq!(a.intersect(&b).len(), 50);
+/// assert_eq!(a.difference(&b).len(), 50);
+///
+/// // Difference-encoded set: ~1 byte per element for dense keys.
+/// let c: PacSet<u64, cpam::NoAug, DeltaCodec> =
+///     PacSet::from_keys_with(128, (0..10_000).collect());
+/// assert!(c.space_stats().total_bytes < 10_000 * 4);
+/// ```
+pub struct PacSet<K, A = NoAug, C = RawCodec>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    pub(crate) root: Tree<K, A, C>,
+    pub(crate) b: usize,
+}
+
+impl<K, A, C> Clone for PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    fn clone(&self) -> Self {
+        PacSet {
+            root: self.root.clone(),
+            b: self.b,
+        }
+    }
+}
+
+impl<K, A, C> Default for PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, A, C> std::fmt::Debug for PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacSet")
+            .field("len", &self.len())
+            .field("block_size", &self.b)
+            .finish()
+    }
+}
+
+impl<K, A, C> PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    /// An empty set with the default block size (`B = 128`).
+    pub fn new() -> Self {
+        Self::with_block_size(DEFAULT_B)
+    }
+
+    /// An empty set with block size `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn with_block_size(b: usize) -> Self {
+        assert!(b > 0, "block size must be positive");
+        PacSet { root: None, b }
+    }
+
+    /// Builds from arbitrary keys (parallel sort + dedup).
+    pub fn from_keys(keys: Vec<K>) -> Self {
+        Self::from_keys_with(DEFAULT_B, keys)
+    }
+
+    /// [`PacSet::from_keys`] with an explicit block size.
+    pub fn from_keys_with(b: usize, mut keys: Vec<K>) -> Self {
+        parlay::par_sort(&mut keys);
+        keys.dedup();
+        PacSet {
+            root: base::from_sorted(b, &keys),
+            b,
+        }
+    }
+
+    /// Builds from strictly increasing keys. `O(n)` work.
+    pub fn from_sorted_keys(b: usize, keys: &[K]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        PacSet {
+            root: base::from_sorted(b, keys),
+            b,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The block size this set was created with.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// True if `k` is a member. `O(log n + B)` work.
+    pub fn contains(&self, k: &K) -> bool {
+        algos::find(&self.root, k).is_some()
+    }
+
+    /// A new set with `k` added.
+    pub fn insert(&self, k: K) -> Self {
+        PacSet {
+            root: algos::insert(self.b, &self.root, k, &|old: &K, _new: &K| old.clone()),
+            b: self.b,
+        }
+    }
+
+    /// A new set without `k`.
+    pub fn remove(&self, k: &K) -> Self {
+        PacSet {
+            root: algos::remove(self.b, &self.root, k),
+            b: self.b,
+        }
+    }
+
+    /// Set union. Work `O(m log(n/m) + min(mB, n))` (Theorem 6.3).
+    pub fn union(&self, other: &Self) -> Self {
+        PacSet {
+            root: setops::union_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
+                a.clone()
+            }),
+            b: self.b,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Self) -> Self {
+        PacSet {
+            root: setops::intersect_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
+                a.clone()
+            }),
+            b: self.b,
+        }
+    }
+
+    /// Elements of `self` not in `other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        PacSet {
+            root: setops::difference(self.b, self.root.clone(), other.root.clone()),
+            b: self.b,
+        }
+    }
+
+    /// Expose-only union without the Section 8 array base case; exists
+    /// for the base-case ablation benchmark.
+    #[doc(hidden)]
+    pub fn union_naive(&self, other: &Self) -> Self {
+        PacSet {
+            root: setops::union_naive(self.b, self.root.clone(), other.root.clone(), &|a, _| {
+                a.clone()
+            }),
+            b: self.b,
+        }
+    }
+
+    /// Batch insert of arbitrary keys (parallel sort + dedup + merge).
+    pub fn multi_insert(&self, mut keys: Vec<K>) -> Self {
+        parlay::par_sort(&mut keys);
+        keys.dedup();
+        PacSet {
+            root: setops::multi_insert(self.b, self.root.clone(), &keys, &|old: &K, _: &K| {
+                old.clone()
+            }),
+            b: self.b,
+        }
+    }
+
+    /// Batch delete.
+    pub fn multi_delete(&self, mut keys: Vec<K>) -> Self {
+        parlay::par_sort(&mut keys);
+        keys.dedup();
+        PacSet {
+            root: setops::multi_delete(self.b, self.root.clone(), &keys),
+            b: self.b,
+        }
+    }
+
+    /// Keeps elements satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&K) -> bool + Sync) -> Self {
+        PacSet {
+            root: algos::filter(self.b, &self.root, &pred),
+            b: self.b,
+        }
+    }
+
+    /// Parallel map-reduce over elements.
+    pub fn map_reduce<R: Send + Sync + Clone>(
+        &self,
+        m: impl Fn(&K) -> R + Sync,
+        op: impl Fn(R, R) -> R + Sync,
+        id: R,
+    ) -> R {
+        algos::map_reduce(&self.root, &m, &op, id)
+    }
+
+    /// Number of elements strictly less than `k`.
+    pub fn rank(&self, k: &K) -> usize {
+        algos::rank(&self.root, k)
+    }
+
+    /// The `i`-th smallest element.
+    pub fn select(&self, i: usize) -> Option<K> {
+        algos::select(&self.root, i)
+    }
+
+    /// Smallest element `>= k`.
+    pub fn succ(&self, k: &K) -> Option<K> {
+        algos::succ(&self.root, k)
+    }
+
+    /// Largest element `<= k`.
+    pub fn pred(&self, k: &K) -> Option<K> {
+        algos::pred(&self.root, k)
+    }
+
+    /// Smallest element.
+    pub fn first(&self) -> Option<K> {
+        algos::first(&self.root)
+    }
+
+    /// Largest element.
+    pub fn last(&self) -> Option<K> {
+        algos::last(&self.root)
+    }
+
+    /// Elements in `[lo, hi]` as a new set.
+    pub fn range(&self, lo: &K, hi: &K) -> Self {
+        PacSet {
+            root: algos::range(self.b, &self.root, lo, hi),
+            b: self.b,
+        }
+    }
+
+    /// Elements in `[lo, hi]` as a vector, without building a subtree.
+    pub fn range_keys(&self, lo: &K, hi: &K) -> Vec<K> {
+        algos::range_entries(&self.root, lo, hi)
+    }
+
+    /// Number of elements in `[lo, hi]` (two rank queries).
+    pub fn count_range(&self, lo: &K, hi: &K) -> usize {
+        let below_hi = algos::rank(&self.root, hi) + usize::from(self.contains(hi));
+        below_hi - algos::rank(&self.root, lo)
+    }
+
+    /// Aggregate of all elements.
+    pub fn aug_value(&self) -> A::Value {
+        aug_of(&self.root)
+    }
+
+    /// All elements in order.
+    pub fn to_vec(&self) -> Vec<K> {
+        algos::entries_vec(&self.root)
+    }
+
+    /// Streaming in-order iterator (snapshot semantics).
+    pub fn iter(&self) -> Iter<K, A, C> {
+        Iter::new(&self.root)
+    }
+
+    /// Heap-space statistics.
+    pub fn space_stats(&self) -> SpaceStats {
+        crate::node::space(&self.root)
+    }
+
+    /// Verifies every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String>
+    where
+        K: std::fmt::Debug,
+        A::Value: PartialEq + std::fmt::Debug,
+    {
+        verify::check_ordered(self.b, &self.root)
+    }
+
+    /// Splits into (elements `< k`, membership of `k`, elements `> k`).
+    pub fn split(&self, k: &K) -> (Self, bool, Self) {
+        let (l, m, r) = jn::split(self.b, &self.root, k);
+        (
+            PacSet { root: l, b: self.b },
+            m.is_some(),
+            PacSet { root: r, b: self.b },
+        )
+    }
+}
+
+impl<K, A, C> PartialEq for PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<K, A, C> FromIterator<K> for PacSet<K, A, C>
+where
+    K: ScalarKey,
+    A: Augmentation<K>,
+    C: Codec<K>,
+{
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        Self::from_keys_with(DEFAULT_B, iter.into_iter().collect())
+    }
+}

@@ -1,0 +1,63 @@
+//! Global operation counters used by the cost-bound experiments
+//! (Table 1 / Fig. 3 validation in `EXPERIMENTS.md`).
+//!
+//! Counters are process-wide relaxed atomics: negligible cost next to the
+//! allocations they count, and precise enough to compare measured node
+//! copies against the paper's analytic bounds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NODE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BLOCK_ENCODES: AtomicU64 = AtomicU64::new(0);
+static BLOCK_DECODES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn count_node_alloc() {
+    NODE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_block_encode() {
+    BLOCK_ENCODES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_block_decode() {
+    BLOCK_DECODES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Tree nodes allocated (regular + flat).
+    pub node_allocs: u64,
+    /// Leaf blocks encoded (`fold`s).
+    pub block_encodes: u64,
+    /// Leaf blocks decoded (`unfold`s / `expose`s of flat nodes).
+    pub block_decodes: u64,
+}
+
+/// Reads the counters.
+///
+/// ```
+/// let before = cpam::stats::read();
+/// let _set = cpam::PacSet::<u64>::from_keys((0..1000).collect::<Vec<_>>());
+/// let after = cpam::stats::read();
+/// assert!(after.node_allocs > before.node_allocs);
+/// ```
+pub fn read() -> OpCounts {
+    OpCounts {
+        node_allocs: NODE_ALLOCS.load(Ordering::Relaxed),
+        block_encodes: BLOCK_ENCODES.load(Ordering::Relaxed),
+        block_decodes: BLOCK_DECODES.load(Ordering::Relaxed),
+    }
+}
+
+/// Difference between two snapshots (`later - earlier`).
+pub fn delta(earlier: OpCounts, later: OpCounts) -> OpCounts {
+    OpCounts {
+        node_allocs: later.node_allocs - earlier.node_allocs,
+        block_encodes: later.block_encodes - earlier.block_encodes,
+        block_decodes: later.block_decodes - earlier.block_decodes,
+    }
+}

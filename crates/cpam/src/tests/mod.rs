@@ -1,0 +1,5 @@
+//! Unit tests for the cpam crate internals and wrappers.
+
+mod map_tests;
+mod seq_tests;
+mod set_tests;

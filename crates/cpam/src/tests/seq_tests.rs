@@ -1,0 +1,139 @@
+//! Sequence behaviour against a `Vec` oracle.
+
+use crate::PacSeq;
+
+fn seq_of(n: u64, b: usize) -> (PacSeq<u64>, Vec<u64>) {
+    // Deliberately unsorted values: sequences must preserve order.
+    let values: Vec<u64> = (0..n).map(|i| (i * 7919) % 1000).collect();
+    (PacSeq::from_slice_with(b, &values), values)
+}
+
+#[test]
+fn build_preserves_order() {
+    for &b in &[1usize, 2, 8, 64, 128] {
+        let (s, oracle) = seq_of(500, b);
+        s.check_invariants().unwrap_or_else(|e| panic!("b={b}: {e}"));
+        assert_eq!(s.to_vec(), oracle);
+    }
+}
+
+#[test]
+fn nth_matches_indexing() {
+    let (s, oracle) = seq_of(1000, 16);
+    for i in [0usize, 1, 500, 998, 999] {
+        assert_eq!(s.nth(i), Some(oracle[i]));
+    }
+    assert_eq!(s.nth(1000), None);
+}
+
+#[test]
+fn take_drop_subseq() {
+    let (s, oracle) = seq_of(1000, 8);
+    assert_eq!(s.take(100).to_vec(), &oracle[..100]);
+    assert_eq!(s.drop_first(900).to_vec(), &oracle[900..]);
+    assert_eq!(s.subseq(250, 750).to_vec(), &oracle[250..750]);
+    assert_eq!(s.take(0).len(), 0);
+    assert_eq!(s.take(5000).len(), 1000);
+    s.take(100).check_invariants().expect("take invariants");
+    s.subseq(250, 750).check_invariants().expect("subseq invariants");
+}
+
+#[test]
+fn append_matches_concat() {
+    for &b in &[2usize, 32] {
+        let (x, ox) = seq_of(300, b);
+        let (y, oy) = seq_of(170, b);
+        let z = x.append(&y);
+        z.check_invariants().unwrap_or_else(|e| panic!("b={b}: {e}"));
+        let expected: Vec<u64> = ox.iter().chain(oy.iter()).copied().collect();
+        assert_eq!(z.to_vec(), expected);
+    }
+}
+
+#[test]
+fn append_empty_cases() {
+    let (s, oracle) = seq_of(100, 8);
+    let e = PacSeq::<u64>::with_block_size(8);
+    assert_eq!(s.append(&e).to_vec(), oracle);
+    assert_eq!(e.append(&s).to_vec(), oracle);
+    assert!(e.append(&e).is_empty());
+}
+
+#[test]
+fn reverse_matches_oracle() {
+    for &b in &[1usize, 4, 128] {
+        let (s, mut oracle) = seq_of(777, b);
+        let r = s.reverse();
+        r.check_invariants().unwrap_or_else(|e| panic!("b={b}: {e}"));
+        oracle.reverse();
+        assert_eq!(r.to_vec(), oracle);
+        assert_eq!(r.reverse().to_vec(), s.to_vec());
+    }
+}
+
+#[test]
+fn map_filter_reduce() {
+    let (s, oracle) = seq_of(2000, 32);
+    let mapped = s.map(|v| v + 1);
+    assert_eq!(mapped.nth(0), Some(oracle[0] + 1));
+    let filtered = s.filter(|v| v % 2 == 0);
+    assert_eq!(
+        filtered.to_vec(),
+        oracle.iter().copied().filter(|v| v % 2 == 0).collect::<Vec<_>>()
+    );
+    let total = s.map_reduce(|v| *v, |a, b| a + b, 0u64);
+    assert_eq!(total, oracle.iter().sum::<u64>());
+    assert_eq!(s.reduce(0, |a, b| a.max(b)), *oracle.iter().max().unwrap());
+}
+
+#[test]
+fn find_first_matches_position() {
+    let (s, oracle) = seq_of(3000, 16);
+    for target in [0u64, 500, 999] {
+        assert_eq!(
+            s.find_first(|v| *v == target),
+            oracle.iter().position(|v| *v == target),
+            "target {target}"
+        );
+    }
+    assert_eq!(s.find_first(|v| *v > 10_000), None);
+}
+
+#[test]
+fn is_sorted_detects_order() {
+    let sorted: PacSeq<u64> = PacSeq::from_slice_with(16, &(0..5000).collect::<Vec<_>>());
+    assert!(sorted.is_sorted());
+    let (unsorted, _) = seq_of(5000, 16);
+    assert!(!unsorted.is_sorted());
+    let empty = PacSeq::<u64>::new();
+    assert!(empty.is_sorted());
+}
+
+#[test]
+fn persistence_of_sequence_versions() {
+    let (s, oracle) = seq_of(400, 8);
+    let v1 = s.append(&s);
+    let v2 = v1.reverse();
+    let v3 = v1.take(100);
+    assert_eq!(s.len(), 400);
+    assert_eq!(v1.len(), 800);
+    assert_eq!(v2.len(), 800);
+    assert_eq!(v3.len(), 100);
+    assert_eq!(s.to_vec(), oracle);
+}
+
+#[test]
+fn iterator_streams_in_order() {
+    let (s, oracle) = seq_of(1234, 32);
+    let collected: Vec<u64> = s.iter().collect();
+    assert_eq!(collected, oracle);
+}
+
+#[test]
+fn strings_as_elements() {
+    let words: Vec<String> = (0..300).map(|i| format!("w{i}")).collect();
+    let s: PacSeq<String> = PacSeq::from_slice_with(16, &words);
+    assert_eq!(s.nth(200), Some("w200".to_string()));
+    let joined_len = s.map_reduce(|w| w.len(), |a, b| a + b, 0usize);
+    assert_eq!(joined_len, words.iter().map(String::len).sum::<usize>());
+}

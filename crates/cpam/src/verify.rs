@@ -1,0 +1,183 @@
+//! Structural invariant checking (Definition 4.1), used by tests.
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::entry::{Element, Entry};
+use crate::join::balanced;
+use crate::node::{decode_flat, size, weight, Node, Tree};
+
+/// Checks every PaC-tree invariant on `t` and returns a description of
+/// the first violation, if any:
+///
+/// * weight balance (BB[α], α = 0.29) at every regular node;
+/// * blocked leaves: every flat block holds at most `2b` entries, and at
+///   least `b` when the whole tree has `b` or more entries; complex trees
+///   contain no regular leaf chains (every regular node is larger than
+///   `2b` or the whole tree is a simplex);
+/// * cached sizes are consistent.
+pub(crate) fn check_structure<E, A, C>(b: usize, t: &Tree<E, A, C>) -> Result<(), String>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let total = size(t);
+    check_rec(b, t, total)
+}
+
+fn check_rec<E, A, C>(b: usize, t: &Tree<E, A, C>, total: usize) -> Result<(), String>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return Ok(()) };
+    match &**node {
+        Node::Flat { block, .. } => {
+            let len = C::len(block);
+            if len == 0 {
+                return Err("empty flat node".into());
+            }
+            if len > 2 * b {
+                return Err(format!("flat node of {len} entries exceeds 2b = {}", 2 * b));
+            }
+            if total >= b && len < b && total != len {
+                return Err(format!(
+                    "flat node of {len} entries below b = {b} in a tree of {total}"
+                ));
+            }
+            Ok(())
+        }
+        Node::Regular {
+            left,
+            right,
+            size: sz,
+            ..
+        } => {
+            let computed = size(left) + size(right) + 1;
+            if *sz != computed {
+                return Err(format!("cached size {sz} != computed {computed}"));
+            }
+            if !balanced(weight(left), weight(right)) {
+                return Err(format!(
+                    "weight imbalance: left {} vs right {}",
+                    weight(left),
+                    weight(right)
+                ));
+            }
+            if *sz <= 2 * b {
+                return Err(format!(
+                    "regular node of size {sz} should have been folded (b = {b})"
+                ));
+            }
+            check_rec(b, left, total)?;
+            check_rec(b, right, total)
+        }
+    }
+}
+
+/// [`check_structure`] plus strict key ordering and augmented-value
+/// consistency for ordered trees.
+pub(crate) fn check_ordered<E, A, C>(b: usize, t: &Tree<E, A, C>) -> Result<(), String>
+where
+    E: Entry,
+    E::Key: std::fmt::Debug,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    A::Value: PartialEq + std::fmt::Debug,
+{
+    check_structure(b, t)?;
+    check_order_rec::<E, A, C>(t, None, None)?;
+    check_aug_rec::<E, A, C>(t)?;
+    Ok(())
+}
+
+fn check_order_rec<E, A, C>(
+    t: &Tree<E, A, C>,
+    lo: Option<&E::Key>,
+    hi: Option<&E::Key>,
+) -> Result<(), String>
+where
+    E: Entry,
+    E::Key: std::fmt::Debug,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return Ok(()) };
+    let in_bounds = |k: &E::Key| -> Result<(), String> {
+        if let Some(lo) = lo {
+            if k <= lo {
+                return Err(format!("key {k:?} not above lower bound {lo:?}"));
+            }
+        }
+        if let Some(hi) = hi {
+            if k >= hi {
+                return Err(format!("key {k:?} not below upper bound {hi:?}"));
+            }
+        }
+        Ok(())
+    };
+    match &**node {
+        Node::Flat { .. } => {
+            let entries = decode_flat(node);
+            for w in entries.windows(2) {
+                if w[0].key() >= w[1].key() {
+                    return Err(format!(
+                        "block keys out of order: {:?} !< {:?}",
+                        w[0].key(),
+                        w[1].key()
+                    ));
+                }
+            }
+            for e in &entries {
+                in_bounds(e.key())?;
+            }
+            Ok(())
+        }
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            in_bounds(entry.key())?;
+            check_order_rec::<E, A, C>(left, lo, Some(entry.key()))?;
+            check_order_rec::<E, A, C>(right, Some(entry.key()), hi)
+        }
+    }
+}
+
+fn check_aug_rec<E, A, C>(t: &Tree<E, A, C>) -> Result<(), String>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    A::Value: PartialEq + std::fmt::Debug,
+{
+    let Some(node) = t else { return Ok(()) };
+    match &**node {
+        Node::Flat { aug, .. } => {
+            let entries = decode_flat(node);
+            let expected = A::from_entries(&entries);
+            if *aug != expected {
+                return Err(format!("flat aug {aug:?} != recomputed {expected:?}"));
+            }
+            Ok(())
+        }
+        Node::Regular {
+            left,
+            entry,
+            right,
+            aug,
+            ..
+        } => {
+            let expected = A::combine(
+                &A::combine(&crate::node::aug_of(left), &A::from_entry(entry)),
+                &crate::node::aug_of(right),
+            );
+            if *aug != expected {
+                return Err(format!("regular aug {aug:?} != recomputed {expected:?}"));
+            }
+            check_aug_rec::<E, A, C>(left)?;
+            check_aug_rec::<E, A, C>(right)
+        }
+    }
+}

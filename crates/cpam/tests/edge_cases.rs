@@ -1,0 +1,184 @@
+//! Edge cases around block-size boundaries, codec variety, and deep
+//! operation sequences — the places where Definition 4.1 bookkeeping
+//! (fold / unfold / redistribute) actually triggers.
+
+use codecs::GammaCodec;
+use cpam::{NoAug, PacMap, PacSeq, PacSet};
+
+/// Sizes that straddle every fold/redistribute boundary for a given b.
+fn boundary_sizes(b: usize) -> Vec<usize> {
+    vec![
+        1,
+        b.saturating_sub(1).max(1),
+        b,
+        b + 1,
+        2 * b - 1,
+        2 * b,
+        2 * b + 1,
+        4 * b - 1,
+        4 * b,
+        4 * b + 1,
+        8 * b + 3,
+    ]
+}
+
+#[test]
+fn build_at_every_block_boundary() {
+    for b in [1usize, 2, 7, 16, 128] {
+        for n in boundary_sizes(b) {
+            let keys: Vec<u64> = (0..n as u64).map(|i| i * 2).collect();
+            let s = PacSet::<u64>::from_sorted_keys(b, &keys);
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("b={b} n={n}: {e}"));
+            assert_eq!(s.to_vec(), keys, "b={b} n={n}");
+        }
+    }
+}
+
+#[test]
+fn insert_across_block_split_boundary() {
+    // Growing a collection one element at a time forces every leaf
+    // split/fold transition.
+    for b in [2usize, 8] {
+        let mut s = PacSet::<u64>::with_block_size(b);
+        for i in 0..(8 * b as u64 + 5) {
+            s = s.insert(i * 3);
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("b={b} i={i}: {e}"));
+        }
+        assert_eq!(s.len(), 8 * b + 5);
+    }
+}
+
+#[test]
+fn remove_down_to_empty() {
+    for b in [2usize, 32] {
+        let keys: Vec<u64> = (0..(6 * b as u64)).collect();
+        let mut s = PacSet::<u64>::from_sorted_keys(b, &keys);
+        for k in &keys {
+            s = s.remove(k);
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("b={b} k={k}: {e}"));
+        }
+        assert!(s.is_empty());
+    }
+}
+
+#[test]
+fn union_at_boundary_sizes() {
+    let b = 16usize;
+    for n1 in boundary_sizes(b) {
+        for n2 in [1usize, b, 4 * b] {
+            let a = PacSet::<u64>::from_sorted_keys(
+                b,
+                &(0..n1 as u64).map(|i| i * 2).collect::<Vec<_>>(),
+            );
+            let c = PacSet::<u64>::from_sorted_keys(
+                b,
+                &(0..n2 as u64).map(|i| i * 3 + 1).collect::<Vec<_>>(),
+            );
+            let u = a.union(&c);
+            u.check_invariants()
+                .unwrap_or_else(|e| panic!("n1={n1} n2={n2}: {e}"));
+            let mut expected: Vec<u64> = (0..n1 as u64)
+                .map(|i| i * 2)
+                .chain((0..n2 as u64).map(|i| i * 3 + 1))
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(u.to_vec(), expected, "n1={n1} n2={n2}");
+        }
+    }
+}
+
+#[test]
+fn gamma_codec_set_roundtrip() {
+    let keys: Vec<u64> = (0..5000).map(|i| 100_000 + i * 2).collect();
+    let s = PacSet::<u64, NoAug, GammaCodec>::from_sorted_keys(64, &keys);
+    s.check_invariants().expect("gamma invariants");
+    assert_eq!(s.to_vec(), keys);
+    // Gamma beats bytes on unit gaps.
+    let dense: Vec<u64> = (0..50_000).collect();
+    let g = PacSet::<u64, NoAug, GammaCodec>::from_sorted_keys(128, &dense);
+    let d = cpam::DiffSet::<u64>::from_sorted_keys(128, &dense);
+    assert!(g.space_stats().total_bytes < d.space_stats().total_bytes);
+}
+
+#[test]
+fn key_delta_codec_map_roundtrip() {
+    // The graph vertex-tree codec: diff keys, opaque values.
+    use codecs::KeyDeltaCodec;
+    let pairs: Vec<(u64, String)> = (0..2000).map(|i| (i * 4, format!("v{i}"))).collect();
+    let m = PacMap::<u64, String, NoAug, KeyDeltaCodec>::from_sorted_pairs(64, &pairs);
+    m.check_invariants().expect("invariants");
+    assert_eq!(m.find(&4000), Some("v1000".to_string()));
+    assert_eq!(m.to_vec(), pairs);
+    let m2 = m.insert(5, "new".into()).remove(&0);
+    m2.check_invariants().expect("invariants");
+    assert_eq!(m2.len(), 2000);
+}
+
+#[test]
+fn deep_split_join_roundtrips() {
+    let b = 8usize;
+    let keys: Vec<u64> = (0..10_000).map(|i| i * 2 + 1).collect();
+    let s = PacSet::<u64>::from_sorted_keys(b, &keys);
+    // Split at many positions (members, non-members, extremes) and
+    // verify both halves stay valid and rejoinable.
+    for split_key in [0u64, 1, 2, 999, 10_001, 19_999, 50_000] {
+        let (lo, hit, hi) = s.split(&split_key);
+        lo.check_invariants().unwrap_or_else(|e| panic!("lo {split_key}: {e}"));
+        hi.check_invariants().unwrap_or_else(|e| panic!("hi {split_key}: {e}"));
+        assert_eq!(hit, split_key % 2 == 1 && split_key < 20_000);
+        let total = lo.len() + hi.len() + usize::from(hit);
+        assert_eq!(total, s.len(), "split {split_key}");
+    }
+}
+
+#[test]
+fn take_drop_boundary_positions() {
+    let b = 4usize;
+    let values: Vec<u64> = (0..1000).map(|i| i * 7 % 101).collect();
+    let s = PacSeq::<u64>::from_slice_with(b, &values);
+    for i in [0usize, 1, b - 1, b, 2 * b, 2 * b + 1, 500, 999, 1000] {
+        let front = s.take(i);
+        let back = s.drop_first(i);
+        front.check_invariants().unwrap_or_else(|e| panic!("take {i}: {e}"));
+        back.check_invariants().unwrap_or_else(|e| panic!("drop {i}: {e}"));
+        assert_eq!(front.len() + back.len(), 1000);
+        assert_eq!(front.append(&back).to_vec(), values, "i = {i}");
+    }
+}
+
+#[test]
+fn repeated_filter_keeps_invariants() {
+    let mut s = PacSet::<u64>::from_sorted_keys(16, &(0..20_000).collect::<Vec<_>>());
+    for p in [2u64, 3, 5, 7] {
+        s = s.filter(|k| k % p != 0 || *k == 0);
+        s.check_invariants().unwrap_or_else(|e| panic!("p={p}: {e}"));
+    }
+    // Survivors are coprime to 210 (plus 0).
+    assert!(s.to_vec().iter().skip(1).all(|k| k % 2 != 0 && k % 3 != 0 && k % 5 != 0 && k % 7 != 0));
+}
+
+#[test]
+fn stats_counters_move() {
+    let before = cpam::stats::read();
+    let s = PacSet::<u64>::from_keys((0..10_000).collect());
+    let _u = s.union(&PacSet::from_keys((5_000..15_000).collect()));
+    let after = cpam::stats::read();
+    let d = cpam::stats::delta(before, after);
+    assert!(d.node_allocs > 0);
+    assert!(d.block_encodes > 0);
+    assert!(d.block_decodes > 0);
+}
+
+#[test]
+fn multi_insert_with_combines_batch_duplicates() {
+    // Group-by semantics: duplicates inside one batch combine with f.
+    let m = PacMap::<u64, u64>::new();
+    let batch: Vec<(u64, u64)> = vec![(1, 1), (2, 1), (1, 1), (1, 1), (2, 1)];
+    let counts = m.multi_insert_with(batch, |a, b| a + b);
+    assert_eq!(counts.find(&1), Some(3));
+    assert_eq!(counts.find(&2), Some(2));
+}

@@ -1,0 +1,331 @@
+//! The CPAM graph representation (Section 9): an augmented PaC-tree of
+//! vertices over difference-encoded PaC-tree edge sets.
+//!
+//! * Vertex tree: `PacMap<u32, EdgeSet>` with `B = 64`, keys
+//!   difference-encoded ([`codecs::KeyDeltaCodec`]), augmented with the
+//!   total edge count — this vertex-tree chunking is what Aspen cannot
+//!   do and where the paper's Fig. 11 space advantage comes from.
+//! * Edge trees: `PacSet<u32>` with `B = 64` and full difference
+//!   encoding, ~2-3 bytes per edge on locality-friendly inputs.
+//!
+//! All updates are functional: a cheap `clone` is a consistent snapshot
+//! that concurrent queries can traverse while batches are applied
+//! (Fig. 14's experiment).
+
+use codecs::{DeltaCodec, KeyDeltaCodec};
+use cpam::{Augmentation, NoAug, PacMap, PacSet};
+
+use crate::snapshot::GraphSnapshot;
+
+/// Paper's block size for vertex and edge trees (Section 9).
+pub const GRAPH_B: usize = 64;
+
+/// A difference-encoded edge set (one vertex's neighbors).
+pub type EdgeSet = PacSet<u32, NoAug, DeltaCodec>;
+
+/// Vertex-tree augmentation: total number of edges in the graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeCountAug;
+
+impl Augmentation<(u32, EdgeSet)> for EdgeCountAug {
+    type Value = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn from_entry(e: &(u32, EdgeSet)) -> u64 {
+        e.1.len() as u64
+    }
+    fn combine(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+}
+
+type VertexTree = PacMap<u32, EdgeSet, EdgeCountAug, KeyDeltaCodec>;
+
+/// A purely-functional compressed graph on PaC-trees.
+pub struct PacGraph {
+    vertices: VertexTree,
+}
+
+impl Clone for PacGraph {
+    fn clone(&self) -> Self {
+        PacGraph {
+            vertices: self.vertices.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PacGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacGraph")
+            .field("vertices", &self.num_vertices())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl Default for PacGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Groups a sorted directed edge list into per-source neighbor vectors.
+fn group_by_source(edges: &[(u32, u32)]) -> Vec<(u32, Vec<u32>)> {
+    let mut out: Vec<(u32, Vec<u32>)> = Vec::new();
+    for &(u, v) in edges {
+        match out.last_mut() {
+            Some((src, ns)) if *src == u => ns.push(v),
+            _ => out.push((u, vec![v])),
+        }
+    }
+    out
+}
+
+impl PacGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        PacGraph {
+            vertices: PacMap::with_block_size(GRAPH_B),
+        }
+    }
+
+    /// Builds from a directed edge list over vertices `0..n` (sorted and
+    /// deduplicated internally; all `n` vertices are materialized so the
+    /// vertex tree matches the paper's all-vertices representation).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut sorted = edges.to_vec();
+        parlay::par_sort(&mut sorted);
+        sorted.dedup();
+        let grouped = group_by_source(&sorted);
+        let mut pairs: Vec<(u32, EdgeSet)> = Vec::with_capacity(n);
+        let mut at = 0usize;
+        for v in 0..n as u32 {
+            if at < grouped.len() && grouped[at].0 == v {
+                pairs.push((v, PacSet::from_sorted_keys(GRAPH_B, &grouped[at].1)));
+                at += 1;
+            } else {
+                pairs.push((v, PacSet::with_block_size(GRAPH_B)));
+            }
+        }
+        PacGraph {
+            vertices: PacMap::from_sorted_pairs(GRAPH_B, &pairs),
+        }
+    }
+
+    /// Number of vertices in the vertex tree.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Total number of directed edges — read off the root's augmented
+    /// value in `O(1)`.
+    pub fn num_edges(&self) -> u64 {
+        self.vertices.aug_value()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.vertices.find(&v).map_or(0, |es| es.len())
+    }
+
+    /// Inserts a batch of directed edges, returning the new version.
+    /// Sources not yet present are added as new vertices.
+    pub fn insert_edges(&self, mut batch: Vec<(u32, u32)>) -> Self {
+        parlay::par_sort(&mut batch);
+        batch.dedup();
+        let grouped = group_by_source(&batch);
+        let updates: Vec<(u32, EdgeSet)> = parlay::map(&grouped, |(src, ns)| {
+            (*src, PacSet::from_sorted_keys(GRAPH_B, ns))
+        });
+        PacGraph {
+            vertices: self
+                .vertices
+                .multi_insert_with(updates, |old, new| old.union(new)),
+        }
+    }
+
+    /// Deletes a batch of directed edges, returning the new version.
+    /// Edges whose source is absent are ignored.
+    pub fn delete_edges(&self, mut batch: Vec<(u32, u32)>) -> Self {
+        parlay::par_sort(&mut batch);
+        batch.dedup();
+        let grouped = group_by_source(&batch);
+        let updates: Vec<(u32, EdgeSet)> = grouped
+            .iter()
+            .filter(|(src, _)| self.vertices.contains_key(src))
+            .map(|(src, ns)| (*src, PacSet::from_sorted_keys(GRAPH_B, ns)))
+            .collect();
+        PacGraph {
+            vertices: self
+                .vertices
+                .multi_insert_with(updates, |old, dels| old.difference(dels)),
+        }
+    }
+
+    /// A snapshot that queries the vertex tree on every access (the
+    /// paper's "No-FS" configuration in Table 5).
+    pub fn snapshot(&self) -> TreeSnapshot<'_> {
+        TreeSnapshot { graph: self }
+    }
+
+    /// A flat snapshot: one `O(n)` traversal copies the edge-set handles
+    /// into an array indexed by vertex id, trading `O(n)` extra space
+    /// for `O(1)` per-vertex access (the paper's "FS" configuration).
+    pub fn flat_snapshot(&self) -> FlatSnapshot {
+        let entries = self.vertices.to_vec();
+        let n = entries
+            .iter()
+            .map(|(v, _)| *v as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut edges: Vec<Option<EdgeSet>> = vec![None; n];
+        for (v, es) in entries {
+            edges[v as usize] = Some(es);
+        }
+        FlatSnapshot { edges }
+    }
+
+    /// Heap bytes of the whole representation (vertex tree + edge trees).
+    pub fn space_bytes(&self) -> usize {
+        let vertex_tree = self.vertices.space_stats().total_bytes;
+        let edge_trees = self
+            .vertices
+            .map_reduce(|_, es| es.space_stats().total_bytes, |a, b| a + b, 0usize);
+        vertex_tree + edge_trees
+    }
+}
+
+/// Tree-walking snapshot: `O(log n)` vertex lookups (No-FS mode).
+pub struct TreeSnapshot<'a> {
+    graph: &'a PacGraph,
+}
+
+impl GraphSnapshot for TreeSnapshot<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.graph.degree(v)
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        if let Some(es) = self.graph.vertices.find(&v) {
+            for u in es.iter() {
+                f(u);
+            }
+        }
+    }
+}
+
+/// Array-indexed snapshot (FS mode): `O(1)` vertex access.
+pub struct FlatSnapshot {
+    edges: Vec<Option<EdgeSet>>,
+}
+
+impl GraphSnapshot for FlatSnapshot {
+    fn num_vertices(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.edges[v as usize].as_ref().map_or(0, |es| es.len())
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        if let Some(es) = &self.edges[v as usize] {
+            for u in es.iter() {
+                f(u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> PacGraph {
+        // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        PacGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn build_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn insert_edges_functional() {
+        let g = diamond();
+        let g2 = g.insert_edges(vec![(3, 0), (0, 3), (0, 1)]);
+        assert_eq!(g.num_edges(), 4, "old version untouched");
+        assert_eq!(g2.num_edges(), 6, "duplicate (0,1) ignored");
+        assert_eq!(g2.degree(3), 1);
+        let mut ns = Vec::new();
+        g2.snapshot().for_each_neighbor(0, &mut |u| ns.push(u));
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn delete_edges_functional() {
+        let g = diamond();
+        let g2 = g.delete_edges(vec![(0, 1), (9, 9)]);
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.degree(0), 1);
+        assert_eq!(g.num_edges(), 4);
+        // Deleting an absent source added nothing.
+        assert_eq!(g2.num_vertices(), 4);
+    }
+
+    #[test]
+    fn flat_snapshot_matches_tree_snapshot() {
+        let edges = crate::rmat::symmetrize(&crate::rmat::rmat_edges(8, 2000, 3));
+        let n = crate::rmat::vertex_count(&edges);
+        let g = PacGraph::from_edges(n, &edges);
+        let ts = g.snapshot();
+        let fs = g.flat_snapshot();
+        assert_eq!(ts.num_vertices(), fs.num_vertices());
+        for v in 0..n as u32 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            ts.for_each_neighbor(v, &mut |u| a.push(u));
+            fs.for_each_neighbor(v, &mut |u| b.push(u));
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn batch_updates_accumulate_correctly() {
+        let mut g = PacGraph::from_edges(64, &[]);
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut seed = 5u64;
+        for round in 0..10 {
+            let batch: Vec<(u32, u32)> = (0..200)
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    ((seed % 64) as u32, ((seed >> 8) % 64) as u32)
+                })
+                .collect();
+            if round % 3 == 2 {
+                for e in &batch {
+                    oracle.remove(e);
+                }
+                g = g.delete_edges(batch);
+            } else {
+                for e in &batch {
+                    oracle.insert(*e);
+                }
+                g = g.insert_edges(batch);
+            }
+            assert_eq!(g.num_edges(), oracle.len() as u64, "round {round}");
+        }
+    }
+}

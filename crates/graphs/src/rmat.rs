@@ -1,0 +1,126 @@
+//! Workload generators: rMAT graphs and grid "road" networks.
+//!
+//! The paper's evaluation uses SNAP graphs (LiveJournal, Twitter, ...)
+//! and rMAT-generated update streams. The real graphs are not available
+//! offline, so — per the substitution policy in `DESIGN.md` — we generate
+//! rMAT graphs with the paper's parameters (`a = 0.5, b = c = 0.1,
+//! d = 0.3`, Section 10.5) for the skewed social-network regime, and 2D
+//! grid graphs for the USA-Road-like low-degree/high-locality regime.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `m` directed rMAT edges over `2^scale` vertices.
+///
+/// Duplicates are possible, as in the paper's update streams.
+pub fn rmat_edges(scale: u32, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.5f64, 0.1f64, 0.1f64);
+    (0..m)
+        .map(|_| {
+            let (mut u, mut v) = (0u32, 0u32);
+            for _ in 0..scale {
+                let r: f64 = rng.gen();
+                let (ubit, vbit) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (0, 1)
+                } else if r < a + b + c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | ubit;
+                v = (v << 1) | vbit;
+            }
+            (u, v)
+        })
+        .collect()
+}
+
+/// Symmetrizes a directed edge list (adds reverse edges, removes
+/// self-loops and duplicates), as the paper does for its inputs.
+pub fn symmetrize(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        if u != v {
+            out.push((u, v));
+            out.push((v, u));
+        }
+    }
+    parlay::par_sort(&mut out);
+    out.dedup();
+    out
+}
+
+/// A `w x h` grid graph (4-neighbor), the stand-in for USA-Road:
+/// constant degree and high index locality.
+pub fn grid_edges(w: u32, h: u32) -> Vec<(u32, u32)> {
+    let id = |x: u32, y: u32| y * w + x;
+    let mut out = Vec::with_capacity((w * h * 4) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                out.push((id(x, y), id(x + 1, y)));
+                out.push((id(x + 1, y), id(x, y)));
+            }
+            if y + 1 < h {
+                out.push((id(x, y), id(x, y + 1)));
+                out.push((id(x, y + 1), id(x, y)));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Number of vertices referenced by an edge list (max id + 1).
+pub fn vertex_count(edges: &[(u32, u32)]) -> usize {
+    edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = rmat_edges(10, 1000, 42);
+        let b = rmat_edges(10, 1000, 42);
+        let c = rmat_edges(10, 1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&(u, v)| u < 1024 && v < 1024));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // The rMAT recursion concentrates edges on low ids (quadrant a).
+        let edges = rmat_edges(12, 20_000, 7);
+        let low = edges.iter().filter(|&&(u, _)| u < 2048).count();
+        assert!(low > edges.len() / 2, "expected skew toward low ids");
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses_and_dedups() {
+        let edges = vec![(0u32, 1u32), (1, 0), (2, 2), (0, 1)];
+        let sym = symmetrize(&edges);
+        assert_eq!(sym, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn grid_has_constant_degree() {
+        let edges = grid_edges(10, 10);
+        // Interior vertices have degree 4.
+        let deg55 = edges.iter().filter(|&&(u, _)| u == 55).count();
+        assert_eq!(deg55, 4);
+        // Corner vertex 0 has degree 2.
+        let deg0 = edges.iter().filter(|&&(u, _)| u == 0).count();
+        assert_eq!(deg0, 2);
+        assert_eq!(vertex_count(&edges), 100);
+    }
+}

@@ -1,0 +1,206 @@
+//! The snapshot interface and the Ligra-style graph algorithms
+//! (Section 9 of the paper: BFS, MIS, betweenness centrality).
+//!
+//! Algorithms are generic over [`GraphSnapshot`] so the same code runs
+//! on our PaC-tree graphs, the Aspen baseline, flat snapshots of either,
+//! and the static CSR — exactly how the paper shares `edgeMap` code
+//! between CPAM and Aspen.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Read-only view of a graph at one version.
+///
+/// Implementations must be cheap to query concurrently; all algorithms
+/// below issue `for_each_neighbor` from many workers at once.
+pub trait GraphSnapshot: Sync {
+    /// Number of vertex ids (vertices are `0..num_vertices()`).
+    fn num_vertices(&self) -> usize;
+    /// Out-degree of `v`.
+    fn degree(&self, v: u32) -> usize;
+    /// Calls `f` for each out-neighbor of `v`, in increasing order.
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32));
+}
+
+/// Breadth-first search from `src`: returns the parent array
+/// (`u32::MAX` = unreached; `parent[src] == src`).
+pub fn bfs(g: &impl GraphSnapshot, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let parents: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    parents[src as usize].store(src, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    while !frontier.is_empty() {
+        // Gather next frontier: each frontier vertex claims unvisited
+        // neighbors with CAS, so the result is duplicate-free.
+        let next: Vec<Vec<u32>> = parlay::map(&frontier, |&v| {
+            let mut mine = Vec::new();
+            g.for_each_neighbor(v, &mut |u| {
+                if parents[u as usize]
+                    .compare_exchange(u32::MAX, v, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    mine.push(u);
+                }
+            });
+            mine
+        });
+        frontier = next.into_iter().flatten().collect();
+    }
+    parents.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Maximal independent set via deterministic parallel greedy: a vertex
+/// joins when its hash priority beats all undecided neighbors. Returns
+/// the membership flags.
+pub fn mis(g: &impl GraphSnapshot) -> Vec<bool> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Undecided,
+        In,
+        Out,
+    }
+    let n = g.num_vertices();
+    let prio = |v: u32| -> u64 {
+        let mut x = u64::from(v).wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^ (x >> 31)
+    };
+    let mut state = vec![State::Undecided; n];
+    let mut undecided: Vec<u32> = (0..n as u32).collect();
+    while !undecided.is_empty() {
+        // A vertex enters the MIS if no undecided or in-MIS-this-round
+        // neighbor has a smaller (priority, id) pair.
+        let joins: Vec<bool> = parlay::map(&undecided, |&v| {
+            let mut wins = true;
+            g.for_each_neighbor(v, &mut |u| {
+                if u != v && state[u as usize] == State::Undecided {
+                    let pu = (prio(u), u);
+                    let pv = (prio(v), v);
+                    if pu < pv {
+                        wins = false;
+                    }
+                }
+            });
+            wins
+        });
+        for (i, &v) in undecided.iter().enumerate() {
+            if joins[i] {
+                state[v as usize] = State::In;
+            }
+        }
+        // Neighbors of new members leave.
+        for &v in &undecided {
+            if state[v as usize] == State::In {
+                g.for_each_neighbor(v, &mut |u| {
+                    if u != v && state[u as usize] == State::Undecided {
+                        state[u as usize] = State::Out;
+                    }
+                });
+            }
+        }
+        undecided.retain(|&v| state[v as usize] == State::Undecided);
+    }
+    state.into_iter().map(|s| s == State::In).collect()
+}
+
+/// Single-source betweenness centrality contribution (Brandes): forward
+/// BFS accumulating shortest-path counts, then backward dependency
+/// propagation. Returns per-vertex dependency scores.
+pub fn bc(g: &impl GraphSnapshot, src: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    dist[src as usize] = 0;
+    sigma[src as usize].store(1, Ordering::Relaxed);
+
+    let mut layers: Vec<Vec<u32>> = vec![vec![src]];
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    visited[src as usize].store(true, Ordering::Relaxed);
+
+    // Forward phase, layer by layer.
+    loop {
+        let frontier = layers.last().expect("nonempty");
+        let d = layers.len() as u32;
+        let next: Vec<Vec<u32>> = parlay::map(frontier, |&v| {
+            let mut mine = Vec::new();
+            g.for_each_neighbor(v, &mut |u| {
+                if !visited[u as usize].load(Ordering::Relaxed)
+                    && visited[u as usize]
+                        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    mine.push(u);
+                }
+            });
+            mine
+        });
+        let next: Vec<u32> = next.into_iter().flatten().collect();
+        for &u in &next {
+            dist[u as usize] = d;
+        }
+        // Path counting: sigma(u) = sum of sigma over predecessors.
+        let dist_ref = &dist;
+        parlay::for_each_index(next.len(), &|i| {
+            let u = next[i];
+            let mut total = 0u64;
+            g.for_each_neighbor(u, &mut |w| {
+                let dw = dist_ref[w as usize];
+                if dw != u32::MAX && dw + 1 == dist_ref[u as usize] {
+                    total += sigma[w as usize].load(Ordering::Relaxed);
+                }
+            });
+            sigma[u as usize].store(total, Ordering::Relaxed);
+        });
+        if next.is_empty() {
+            break;
+        }
+        layers.push(next);
+    }
+
+    // Backward phase: delta(v) = sum over successors u of
+    // sigma(v)/sigma(u) * (1 + delta(u)).
+    let mut delta = vec![0f64; n];
+    for layer in layers.iter().rev() {
+        let updates: Vec<(u32, f64)> = parlay::map(layer, |&v| {
+            let dv = dist[v as usize];
+            let sv = sigma[v as usize].load(Ordering::Relaxed) as f64;
+            let mut acc = 0f64;
+            g.for_each_neighbor(v, &mut |u| {
+                if dist[u as usize] == dv + 1 {
+                    let su = sigma[u as usize].load(Ordering::Relaxed) as f64;
+                    if su > 0.0 {
+                        acc += sv / su * (1.0 + delta[u as usize]);
+                    }
+                }
+            });
+            (v, acc)
+        });
+        for (v, acc) in updates {
+            delta[v as usize] = acc;
+        }
+    }
+    delta
+}
+
+/// Verifies that `flags` is a maximal independent set of `g` (for tests).
+pub fn verify_mis(g: &impl GraphSnapshot, flags: &[bool]) -> bool {
+    let n = g.num_vertices();
+    for v in 0..n as u32 {
+        let mut has_in_neighbor = false;
+        let mut conflict = false;
+        g.for_each_neighbor(v, &mut |u| {
+            if u != v && flags[u as usize] {
+                has_in_neighbor = true;
+                if flags[v as usize] {
+                    conflict = true;
+                }
+            }
+        });
+        if conflict {
+            return false; // independence violated
+        }
+        if !flags[v as usize] && !has_in_neighbor {
+            return false; // maximality violated
+        }
+    }
+    true
+}

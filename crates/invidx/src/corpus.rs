@@ -1,0 +1,107 @@
+//! Synthetic corpus generation.
+//!
+//! The paper indexes a 1.94-billion-word Wikipedia crawl. That corpus is
+//! not available offline, so — per `DESIGN.md` — we generate documents
+//! whose word frequencies follow a Zipf distribution (exponent ~1, as in
+//! natural language). The two properties the experiments depend on are
+//! preserved: a heavy head of very common words (whose long, dense
+//! posting lists dominate the index and compress best) and a long tail
+//! of rare words.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated corpus: `docs[d]` lists the word ids of document `d`.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Word ids per document.
+    pub docs: Vec<Vec<u32>>,
+    /// Vocabulary size.
+    pub vocab: u32,
+}
+
+impl Corpus {
+    /// Generates `num_docs` documents of ~`words_per_doc` words over a
+    /// `vocab`-word dictionary with Zipf-distributed frequencies.
+    pub fn zipf(num_docs: usize, words_per_doc: usize, vocab: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Precompute the Zipf CDF (s = 1.0).
+        let weights: Vec<f64> = (1..=vocab as usize).map(|r| 1.0 / r as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(vocab as usize);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let docs: Vec<Vec<u32>> = (0..num_docs)
+            .map(|_| {
+                let len = words_per_doc / 2 + rng.gen_range(0..words_per_doc.max(2));
+                (0..len)
+                    .map(|_| {
+                        let r: f64 = rng.gen();
+                        cdf.partition_point(|&c| c < r) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        Corpus { docs, vocab }
+    }
+
+    /// Total number of word occurrences.
+    pub fn total_words(&self) -> usize {
+        self.docs.iter().map(Vec::len).sum()
+    }
+
+    /// Flattens into `(word, doc, frequency)` triples — the input shape
+    /// of the index builder.
+    pub fn triples(&self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for (d, words) in self.docs.iter().enumerate() {
+            let mut sorted = words.clone();
+            sorted.sort_unstable();
+            let mut i = 0;
+            while i < sorted.len() {
+                let w = sorted[i];
+                let mut count = 0u32;
+                while i < sorted.len() && sorted[i] == w {
+                    count += 1;
+                    i += 1;
+                }
+                out.push((w, d as u32, count));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_zipfian() {
+        let c = Corpus::zipf(200, 50, 1000, 7);
+        let c2 = Corpus::zipf(200, 50, 1000, 7);
+        assert_eq!(c.docs, c2.docs);
+        // Word 0 (most frequent) appears far more often than word 500.
+        let count = |w: u32| {
+            c.docs
+                .iter()
+                .flat_map(|d| d.iter())
+                .filter(|&&x| x == w)
+                .count()
+        };
+        assert!(count(0) > 10 * count(500).max(1));
+    }
+
+    #[test]
+    fn triples_aggregate_frequencies() {
+        let c = Corpus {
+            docs: vec![vec![3, 1, 3, 3], vec![1]],
+            vocab: 4,
+        };
+        let t = c.triples();
+        assert_eq!(t, vec![(1, 0, 1), (3, 0, 3), (1, 1, 1)]);
+    }
+}

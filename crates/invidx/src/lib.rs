@@ -1,0 +1,313 @@
+//! A weighted inverted index on PaC-trees (Section 9 of the paper).
+//!
+//! The index is a two-level structure: a top-level map from words to
+//! posting lists, where each posting list maps document ids to
+//! importance scores and is augmented with its maximum score. Document
+//! ids are difference-encoded and scores byte-encoded — the paper's
+//! custom combined encoder, which reaches under two bytes per posting.
+//!
+//! Queries: AND (posting-list intersection), OR (union), and top-k by
+//! importance. Batches of new documents merge in with
+//! posting-list unions, all functionally (readers keep consistent
+//! snapshots).
+//!
+//! ```
+//! use invidx::{Corpus, InvertedIndex};
+//!
+//! let corpus = Corpus::zipf(100, 40, 500, 1);
+//! let index = InvertedIndex::build(&corpus.triples());
+//! let hits = index.and_query(0, 1); // docs containing both top words
+//! let top = index.top_k(0, 5);
+//! assert!(top.len() <= 5);
+//! assert!(hits.len() <= corpus.docs.len());
+//! ```
+
+mod corpus;
+
+pub use corpus::Corpus;
+
+use codecs::DeltaCodec;
+use cpam::{MaxAug, PacMap};
+use pam::PamMap;
+
+/// A posting list: document id -> importance score, difference-encoded,
+/// augmented with the maximum score.
+pub type PostingList = PacMap<u32, u32, MaxAug, DeltaCodec>;
+
+/// Posting-list block size (the paper uses `B = 128` for both levels).
+pub const POSTING_B: usize = 128;
+
+/// The inverted index: word id -> posting list.
+pub struct InvertedIndex {
+    words: PacMap<u32, PostingList>,
+}
+
+impl Clone for InvertedIndex {
+    fn clone(&self) -> Self {
+        InvertedIndex {
+            words: self.words.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for InvertedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvertedIndex")
+            .field("words", &self.words.len())
+            .finish()
+    }
+}
+
+/// Groups sorted `(word, doc, weight)` triples into per-word lists.
+fn group_triples(triples: &[(u32, u32, u32)]) -> Vec<(u32, Vec<(u32, u32)>)> {
+    let mut out: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+    for &(w, d, c) in triples {
+        match out.last_mut() {
+            Some((word, posts)) if *word == w => posts.push((d, c)),
+            _ => out.push((w, vec![(d, c)])),
+        }
+    }
+    out
+}
+
+impl InvertedIndex {
+    /// Builds the index from `(word, doc, weight)` triples, in parallel.
+    pub fn build(triples: &[(u32, u32, u32)]) -> Self {
+        let mut sorted = triples.to_vec();
+        parlay::par_sort(&mut sorted);
+        sorted.dedup_by_key(|t| (t.0, t.1));
+        let grouped = group_triples(&sorted);
+        let pairs: Vec<(u32, PostingList)> = parlay::map(&grouped, |(w, posts)| {
+            (*w, PacMap::from_sorted_pairs(POSTING_B, posts))
+        });
+        InvertedIndex {
+            words: PacMap::from_sorted_pairs(cpam::DEFAULT_B, &pairs),
+        }
+    }
+
+    /// Number of distinct words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total number of postings.
+    pub fn num_postings(&self) -> usize {
+        self.words.map_reduce(|_, p| p.len(), |a, b| a + b, 0usize)
+    }
+
+    /// The posting list for `word`, if any.
+    pub fn postings(&self, word: u32) -> Option<PostingList> {
+        self.words.find(&word)
+    }
+
+    /// Documents containing both words, with summed scores (AND query).
+    pub fn and_query(&self, w1: u32, w2: u32) -> Vec<(u32, u32)> {
+        match (self.words.find(&w1), self.words.find(&w2)) {
+            (Some(p1), Some(p2)) => p1.intersect_with(&p2, |a, b| a + b).to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Documents containing either word, with summed scores (OR query).
+    pub fn or_query(&self, w1: u32, w2: u32) -> Vec<(u32, u32)> {
+        match (self.words.find(&w1), self.words.find(&w2)) {
+            (Some(p1), Some(p2)) => p1.union_with(&p2, |a, b| a + b).to_vec(),
+            (Some(p), None) | (None, Some(p)) => p.to_vec(),
+            (None, None) => Vec::new(),
+        }
+    }
+
+    /// The `k` documents with the highest scores for `word`
+    /// (descending by score, ties by doc id).
+    pub fn top_k(&self, word: u32, k: usize) -> Vec<(u32, u32)> {
+        let Some(p) = self.words.find(&word) else {
+            return Vec::new();
+        };
+        let mut docs = p.to_vec();
+        docs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        docs.truncate(k);
+        docs
+    }
+
+    /// AND query followed by top-k on the combined score — the query mix
+    /// measured in Table 3.
+    pub fn and_top_k(&self, w1: u32, w2: u32, k: usize) -> Vec<(u32, u32)> {
+        let mut hits = self.and_query(w1, w2);
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Merges a batch of new documents into the index, functionally.
+    pub fn add_documents(&self, triples: &[(u32, u32, u32)]) -> Self {
+        let mut sorted = triples.to_vec();
+        parlay::par_sort(&mut sorted);
+        sorted.dedup_by_key(|t| (t.0, t.1));
+        let grouped = group_triples(&sorted);
+        let updates: Vec<(u32, PostingList)> = parlay::map(&grouped, |(w, posts)| {
+            (*w, PacMap::from_sorted_pairs(POSTING_B, posts))
+        });
+        InvertedIndex {
+            words: self
+                .words
+                .multi_insert_with(updates, |old, new| old.union(new)),
+        }
+    }
+
+    /// Heap bytes of the whole index.
+    pub fn space_bytes(&self) -> usize {
+        self.words.space_stats().total_bytes
+            + self
+                .words
+                .map_reduce(|_, p| p.space_stats().total_bytes, |a, b| a + b, 0usize)
+    }
+}
+
+/// The PAM-baseline index (P-trees at both levels), for Table 3.
+pub struct PamIndex {
+    words: PamMap<u32, PamMap<u32, u32, MaxAug>>,
+}
+
+impl PamIndex {
+    /// Builds the baseline index.
+    pub fn build(triples: &[(u32, u32, u32)]) -> Self {
+        let mut sorted = triples.to_vec();
+        parlay::par_sort(&mut sorted);
+        sorted.dedup_by_key(|t| (t.0, t.1));
+        let grouped = group_triples(&sorted);
+        let pairs: Vec<(u32, PamMap<u32, u32, MaxAug>)> = parlay::map(&grouped, |(w, posts)| {
+            (*w, PamMap::from_sorted_pairs(posts))
+        });
+        PamIndex {
+            words: PamMap::from_sorted_pairs(&pairs),
+        }
+    }
+
+    /// Number of distinct words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// AND query with summed scores.
+    pub fn and_query(&self, w1: u32, w2: u32) -> Vec<(u32, u32)> {
+        match (self.words.find(&w1), self.words.find(&w2)) {
+            (Some(p1), Some(p2)) => p1.intersect_with(&p2, |a, b| a + b).to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// AND + top-k (Table 3's query).
+    pub fn and_top_k(&self, w1: u32, w2: u32, k: usize) -> Vec<(u32, u32)> {
+        let mut hits = self.and_query(w1, w2);
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Heap bytes of the baseline index.
+    pub fn space_bytes(&self) -> usize {
+        self.words.space_bytes()
+            + self
+                .words
+                .map_reduce(|_, p| p.space_bytes(), |a, b| a + b, 0usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn small_corpus() -> Corpus {
+        Corpus::zipf(300, 30, 800, 99)
+    }
+
+    fn brute_index(c: &Corpus) -> BTreeMap<u32, BTreeMap<u32, u32>> {
+        let mut idx: BTreeMap<u32, BTreeMap<u32, u32>> = BTreeMap::new();
+        for (d, words) in c.docs.iter().enumerate() {
+            for &w in words {
+                *idx.entry(w).or_default().entry(d as u32).or_default() += 1;
+            }
+        }
+        idx
+    }
+
+    #[test]
+    fn build_matches_brute_force() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c.triples());
+        let oracle = brute_index(&c);
+        assert_eq!(idx.num_words(), oracle.len());
+        for w in [0u32, 1, 10, 100] {
+            let got = idx.postings(w).map(|p| p.to_vec()).unwrap_or_default();
+            let expected: Vec<(u32, u32)> = oracle
+                .get(&w)
+                .map(|m| m.iter().map(|(d, c)| (*d, *c)).collect())
+                .unwrap_or_default();
+            assert_eq!(got, expected, "word {w}");
+        }
+    }
+
+    #[test]
+    fn and_query_matches_brute_force() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c.triples());
+        let pam = PamIndex::build(&c.triples());
+        let oracle = brute_index(&c);
+        for (w1, w2) in [(0u32, 1u32), (0, 5), (2, 3), (50, 100)] {
+            let expected: Vec<(u32, u32)> = match (oracle.get(&w1), oracle.get(&w2)) {
+                (Some(a), Some(b)) => a
+                    .iter()
+                    .filter_map(|(d, c1)| b.get(d).map(|c2| (*d, c1 + c2)))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            assert_eq!(idx.and_query(w1, w2), expected, "pac {w1} & {w2}");
+            assert_eq!(pam.and_query(w1, w2), expected, "pam {w1} & {w2}");
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_score() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c.triples());
+        let top = idx.top_k(0, 10);
+        assert!(top.len() <= 10);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Max-score augmentation agrees with the top result.
+        let max_aug = idx.postings(0).expect("word 0 exists").aug_value();
+        assert_eq!(top.first().map(|e| e.1), Some(max_aug));
+    }
+
+    #[test]
+    fn or_query_unions_lists() {
+        let triples = vec![(1u32, 0u32, 2u32), (1, 2, 1), (2, 1, 3), (2, 2, 4)];
+        let idx = InvertedIndex::build(&triples);
+        assert_eq!(idx.or_query(1, 2), vec![(0, 2), (1, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn add_documents_merges_functionally() {
+        let idx = InvertedIndex::build(&[(1, 0, 1), (2, 0, 1)]);
+        let idx2 = idx.add_documents(&[(1, 1, 5), (3, 1, 1)]);
+        assert_eq!(idx.num_words(), 2, "old version");
+        assert_eq!(idx2.num_words(), 3);
+        assert_eq!(
+            idx2.postings(1).expect("word 1").to_vec(),
+            vec![(0, 1), (1, 5)]
+        );
+    }
+
+    #[test]
+    fn compressed_index_is_smaller_than_pam() {
+        let c = Corpus::zipf(500, 60, 2000, 5);
+        let idx = InvertedIndex::build(&c.triples());
+        let pam = PamIndex::build(&c.triples());
+        assert!(
+            idx.space_bytes() * 2 < pam.space_bytes(),
+            "pac {} vs pam {}",
+            idx.space_bytes(),
+            pam.space_bytes()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! A binary fork-join work-stealing scheduler and parallel primitives.
+//!
+//! This crate is the parallelism substrate of the CPAM/PaC-tree
+//! reproduction, playing the role that [ParlayLib] plays for the original
+//! C++ implementation: it provides nested fork-join parallelism
+//! ([`join`]) on a global work-stealing thread pool, plus a toolkit of
+//! parallel slice primitives (map, reduce, scan, filter, sort, merge) used
+//! by the tree algorithms and by the array-based sequence baseline
+//! (the stand-in for Intel ParallelSTL in the paper's Figure 2).
+//!
+//! # Quick start
+//!
+//! ```
+//! let xs: Vec<u64> = (0..100_000).collect();
+//! let total = parlay::run(|| parlay::reduce(&xs, 0u64, |x| *x, |a, b| a + b));
+//! assert_eq!(total, 100_000 * 99_999 / 2);
+//! ```
+//!
+//! [`join`] may be called from anywhere: on a pool worker it forks in
+//! place; on any other thread it routes the pair through the pool first.
+//! [`run`] moves a closure onto the pool explicitly, which avoids that
+//! per-call routing overhead in hot loops.
+//!
+//! [ParlayLib]: https://github.com/cmuparlay/parlaylib
+
+mod job;
+mod registry;
+
+pub mod ops;
+pub mod slice;
+pub mod sort;
+
+pub use ops::{
+    blocked, filter, for_each_index, map, map_indexed, reduce, scan_inplace, sum, tabulate,
+    SendPtr,
+};
+pub use registry::{num_threads, set_num_threads};
+pub use sort::{merge_by, par_sort, par_sort_by, par_sort_by_key};
+
+use job::{ExternalJob, StackJob};
+use registry::WorkerThread;
+
+/// Granularity below which recursive primitives run sequentially.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// This is the binary-forking primitive of the paper's cost model: `a`
+/// runs on the current thread while `b` is exposed for stealing; if no
+/// other worker is idle, `b` is popped back and run inline, so the
+/// sequential overhead is a few atomic operations.
+///
+/// If called from a thread outside the pool, the pair is first moved onto
+/// the pool (blocking the calling thread until both complete).
+///
+/// # Panics
+///
+/// If either closure panics, the panic is propagated to the caller after
+/// both closures have stopped running.
+///
+/// # Examples
+///
+/// ```
+/// fn fib(n: u64) -> u64 {
+///     if n < 20 {
+///         (1..=n).fold((0, 1), |(a, b), _| (b, a + b)).0
+///     } else {
+///         let (x, y) = parlay::join(|| fib(n - 1), || fib(n - 2));
+///         x + y
+///     }
+/// }
+/// assert_eq!(fib(24), 46_368);
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        if registry::num_threads() <= 1 {
+            // Single-threaded pool: nothing to gain from routing.
+            return (a(), b());
+        }
+        return run(move || join(a, b));
+    }
+    // SAFETY: `worker` is the current thread's own WorkerThread, valid for
+    // the duration of this call.
+    let worker = unsafe { &*worker };
+
+    let job_b = StackJob::new(b);
+    // SAFETY: `job_b` lives on this stack frame and we do not leave the
+    // frame until `job_b.done()` is observed true.
+    unsafe { worker.push(job_b.as_job_ref()) };
+
+    // Run `a` while `b` is up for grabs. If `a` panics we still must wait
+    // for `b` to finish (a thief may hold a pointer into our stack).
+    let result_a = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(a)) {
+        Ok(value) => value,
+        Err(payload) => {
+            worker.wait_until(|| job_b.done());
+            std::panic::resume_unwind(payload);
+        }
+    };
+
+    worker.wait_until(|| job_b.done());
+    let result_b = job_b.into_result().into_return_value();
+    (result_a, result_b)
+}
+
+/// Executes `f` on the thread pool and blocks until it completes.
+///
+/// Use this to enter the pool once at the top of a parallel computation;
+/// nested [`join`] calls inside `f` then fork without any routing
+/// overhead. Calling `run` from inside the pool simply invokes `f`.
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f`.
+///
+/// # Examples
+///
+/// ```
+/// let v: Vec<u32> = (0..1000).collect();
+/// let doubled = parlay::run(|| parlay::map(&v, |x| x * 2));
+/// assert_eq!(doubled[999], 1998);
+/// ```
+pub fn run<F, R>(f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if !WorkerThread::current().is_null() {
+        return f();
+    }
+    let registry = registry::global();
+    let job = ExternalJob::new(f);
+    // SAFETY: we block on the latch below, so `job` outlives its execution.
+    unsafe { registry.inject(job.as_job_ref()) };
+    job.wait();
+    job.into_result().into_return_value()
+}
+
+/// True if the current thread is a pool worker.
+pub fn in_worker() -> bool {
+    !WorkerThread::current().is_null()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fib(n: u64) -> u64 {
+        if n < 10 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..n {
+                let t = a + b;
+                a = b;
+                b = t;
+            }
+            a
+        } else {
+            let (x, y) = join(|| fib(n - 1), || fib(n - 2));
+            x + y
+        }
+    }
+
+    #[test]
+    fn join_computes_nested_recursion() {
+        assert_eq!(run(|| fib(28)), 317_811);
+    }
+
+    #[test]
+    fn join_outside_pool_routes_through_pool() {
+        let (a, b) = join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn join_returns_both_closure_results() {
+        let (a, b) = run(|| join(|| "left".to_string(), || vec![1, 2, 3]));
+        assert_eq!(a, "left");
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_nested_inside_pool_is_inline() {
+        let r = run(|| run(|| 7));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn panic_in_left_closure_propagates() {
+        let result = std::panic::catch_unwind(|| run(|| join(|| panic!("left boom"), || 42)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_in_right_closure_propagates() {
+        let result = std::panic::catch_unwind(|| run(|| join(|| 42, || panic!("right boom"))));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn many_concurrent_external_runs() {
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let n = run(|| fib(15));
+                        assert_eq!(n, 610);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn deeply_nested_joins() {
+        fn depth(d: usize) -> usize {
+            if d == 0 {
+                0
+            } else {
+                let (a, b) = join(|| depth(d - 1), || depth(d - 1));
+                1 + a.max(b)
+            }
+        }
+        assert_eq!(run(|| depth(12)), 12);
+    }
+}

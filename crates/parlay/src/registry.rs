@@ -1,0 +1,231 @@
+//! The global work-stealing thread pool.
+//!
+//! A fixed set of worker threads each own a LIFO [`Worker`] deque. `join`
+//! pushes the second closure onto the local deque and runs the first; idle
+//! workers steal from the FIFO end of other deques or from a global
+//! [`Injector`] that receives jobs from threads outside the pool.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::JobRef;
+
+/// Shared state of the pool.
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleepers: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    num_threads: usize,
+}
+
+static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Requests a specific worker count for the global pool.
+///
+/// Only effective before the pool is first used; afterwards it is ignored.
+/// The environment variable `PARLAY_NUM_THREADS` has the same effect.
+pub fn set_num_threads(n: usize) {
+    REQUESTED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads in the global pool.
+pub fn num_threads() -> usize {
+    global().num_threads
+}
+
+fn configured_threads() -> usize {
+    let requested = REQUESTED_THREADS.load(Ordering::Relaxed);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("PARLAY_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub(crate) fn global() -> &'static Arc<Registry> {
+    REGISTRY.get_or_init(|| {
+        let num_threads = configured_threads();
+        let workers: Vec<Worker<JobRef>> =
+            (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            sleepers: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            num_threads,
+        });
+        for (index, worker) in workers.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(format!("parlay-{index}"))
+                .spawn(move || worker_main(registry, worker, index))
+                .expect("failed to spawn parlay worker thread");
+        }
+        registry
+    })
+}
+
+impl Registry {
+    /// Queues a job from outside the pool and wakes a sleeping worker.
+    ///
+    /// # Safety
+    /// The job must stay alive until executed.
+    pub(crate) unsafe fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.notify_sleepers();
+    }
+
+    fn notify_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock();
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    /// One full attempt at finding work from the injector or a victim deque.
+    fn steal_work(&self, self_index: usize, rng: &Cell<u64>) -> Option<JobRef> {
+        // Try the global injector first.
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        // Then sweep the other workers, starting from a random victim.
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (next_rand(rng) as usize) % n;
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == self_index {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+fn next_rand(state: &Cell<u64>) -> u64 {
+    // xorshift64*; cheap per-worker victim selection.
+    let mut x = state.get();
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state.set(x);
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Per-worker state, reachable from thread-local storage while on a worker.
+pub(crate) struct WorkerThread {
+    worker: Worker<JobRef>,
+    registry: Arc<Registry>,
+    index: usize,
+    rng: Cell<u64>,
+}
+
+thread_local! {
+    static WORKER_THREAD: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+impl WorkerThread {
+    /// The current worker, or null if this thread is not a pool worker.
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER_THREAD.with(Cell::get)
+    }
+
+    pub(crate) fn push(&self, job: JobRef) {
+        self.worker.push(job);
+        self.registry.notify_sleepers();
+    }
+
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.worker.pop()
+    }
+
+    /// Executes local, stolen, or injected jobs until `done()` is true.
+    ///
+    /// This is the heart of `join`: while the second closure may have been
+    /// stolen, the waiting worker keeps itself busy with other work rather
+    /// than blocking.
+    pub(crate) fn wait_until<F: Fn() -> bool>(&self, done: F) {
+        while !done() {
+            if let Some(job) = self.pop() {
+                // SAFETY: every JobRef in a deque points at live storage and
+                // is executed exactly once. If this was our own pushed job it
+                // runs inline here and `done()` turns true.
+                unsafe { job.execute() };
+            } else if let Some(job) = self.registry.steal_work(self.index, &self.rng) {
+                // SAFETY: as above.
+                unsafe { job.execute() };
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, worker: Worker<JobRef>, index: usize) {
+    let me = WorkerThread {
+        worker,
+        registry: Arc::clone(&registry),
+        index,
+        rng: Cell::new(0x9E3779B97F4A7C15u64.wrapping_mul(index as u64 + 1) | 1),
+    };
+    WORKER_THREAD.with(|cell| cell.set(&me as *const WorkerThread));
+
+    let mut idle_rounds = 0u32;
+    loop {
+        let job = me.pop().or_else(|| registry.steal_work(index, &me.rng));
+        match job {
+            Some(job) => {
+                idle_rounds = 0;
+                // SAFETY: jobs in deques are live and executed exactly once.
+                unsafe { job.execute() };
+            }
+            None => {
+                idle_rounds += 1;
+                if idle_rounds < 64 {
+                    std::thread::yield_now();
+                } else {
+                    // Register as a sleeper and park briefly. The timeout
+                    // bounds the cost of any lost-wakeup race.
+                    registry.sleepers.fetch_add(1, Ordering::SeqCst);
+                    let mut guard = registry.sleep_mutex.lock();
+                    registry
+                        .sleep_cond
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                    drop(guard);
+                    registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}

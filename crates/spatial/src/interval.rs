@@ -1,0 +1,238 @@
+//! 1D interval trees with stabbing queries (Section 9 of the paper).
+//!
+//! Intervals `[left, right]` are stored in an augmented map keyed by
+//! `(left, right)` (packed into a `u128` so equal left endpoints
+//! coexist), with value `right` and a max-right-endpoint augmentation.
+//! A stabbing query at `q` collects intervals with `left <= q <=
+//! right` by descending only into subtrees whose max right endpoint
+//! reaches `q` — `O(k log n)` for `k` reported intervals.
+
+use codecs::RawCodec;
+use cpam::{MaxAug, PacMap};
+use pam::PamMap;
+
+/// Packs an interval into an order-preserving composite key.
+fn pack(left: u64, right: u64) -> u128 {
+    (u128::from(left) << 64) | u128::from(right)
+}
+
+/// Largest key with a left endpoint `<= q`.
+fn kmax(q: u64) -> u128 {
+    (u128::from(q) << 64) | u128::from(u64::MAX)
+}
+
+/// An interval tree on PaC-trees (paper uses `B = 32` here).
+pub struct IntervalTree {
+    map: PacMap<u128, u64, MaxAug, RawCodec>,
+}
+
+impl Clone for IntervalTree {
+    fn clone(&self) -> Self {
+        IntervalTree {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for IntervalTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalTree")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Default for IntervalTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntervalTree {
+    /// The paper's block size for the interval tree application.
+    pub const B: usize = 32;
+
+    /// An empty interval tree.
+    pub fn new() -> Self {
+        IntervalTree {
+            map: PacMap::with_block_size(Self::B),
+        }
+    }
+
+    /// Builds from `(left, right)` intervals (`left <= right`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an interval has `left > right`.
+    pub fn from_intervals(intervals: &[(u64, u64)]) -> Self {
+        debug_assert!(intervals.iter().all(|&(l, r)| l <= r));
+        let pairs: Vec<(u128, u64)> = intervals.iter().map(|&(l, r)| (pack(l, r), r)).collect();
+        IntervalTree {
+            map: PacMap::from_pairs_with(Self::B, pairs),
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// A new tree with `[left, right]` added. `O(log n + B)`.
+    pub fn insert(&self, left: u64, right: u64) -> Self {
+        assert!(left <= right, "interval endpoints out of order");
+        IntervalTree {
+            map: self.map.insert(pack(left, right), right),
+        }
+    }
+
+    /// A new tree without `[left, right]`.
+    pub fn remove(&self, left: u64, right: u64) -> Self {
+        IntervalTree {
+            map: self.map.remove(&pack(left, right)),
+        }
+    }
+
+    /// A new tree with a batch of intervals added in parallel.
+    pub fn insert_batch(&self, intervals: &[(u64, u64)]) -> Self {
+        let pairs: Vec<(u128, u64)> = intervals.iter().map(|&(l, r)| (pack(l, r), r)).collect();
+        IntervalTree {
+            map: self.map.multi_insert(pairs),
+        }
+    }
+
+    /// All intervals containing `q` (the stabbing query).
+    pub fn stab(&self, q: u64) -> Vec<(u64, u64)> {
+        self.map
+            .prune_search(&kmax(q), |max_right| *max_right >= q, |_, right| *right >= q)
+            .into_iter()
+            .map(|(k, r)| ((k >> 64) as u64, r))
+            .collect()
+    }
+
+    /// True if any interval contains `q`.
+    pub fn stabs(&self, q: u64) -> bool {
+        !self.stab(q).is_empty()
+    }
+
+    /// Heap bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.map.space_stats().total_bytes
+    }
+}
+
+/// The PAM-baseline interval tree (one entry per node), for Table 3.
+pub struct PamIntervalTree {
+    map: PamMap<u128, u64, MaxAug>,
+}
+
+impl Default for PamIntervalTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PamIntervalTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        PamIntervalTree { map: PamMap::new() }
+    }
+
+    /// Builds from `(left, right)` intervals.
+    pub fn from_intervals(intervals: &[(u64, u64)]) -> Self {
+        let pairs: Vec<(u128, u64)> = intervals.iter().map(|&(l, r)| (pack(l, r), r)).collect();
+        PamIntervalTree {
+            map: PamMap::from_pairs(pairs),
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// All intervals containing `q`.
+    pub fn stab(&self, q: u64) -> Vec<(u64, u64)> {
+        self.map
+            .prune_search(&kmax(q), |max_right| *max_right >= q, |_, right| *right >= q)
+            .into_iter()
+            .map(|(k, r)| ((k >> 64) as u64, r))
+            .collect()
+    }
+
+    /// Heap bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.map.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_stab(intervals: &[(u64, u64)], q: u64) -> Vec<(u64, u64)> {
+        let mut hits: Vec<(u64, u64)> = intervals
+            .iter()
+            .copied()
+            .filter(|&(l, r)| l <= q && q <= r)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn stab_matches_brute_force() {
+        let mut state = 42u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let intervals: Vec<(u64, u64)> = (0..2000)
+            .map(|_| {
+                let l = rand() % 10_000;
+                let len = rand() % 100;
+                (l, l + len)
+            })
+            .collect();
+        let t = IntervalTree::from_intervals(&intervals);
+        let p = PamIntervalTree::from_intervals(&intervals);
+        let mut dedup = intervals.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        for q in [0u64, 500, 5000, 9999, 10_050, 20_000] {
+            let expected = brute_stab(&dedup, q);
+            assert_eq!(t.stab(q), expected, "pac q={q}");
+            assert_eq!(p.stab(q), expected, "pam q={q}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_stab() {
+        let t = IntervalTree::new().insert(10, 20).insert(15, 30).insert(40, 50);
+        assert_eq!(t.stab(18), vec![(10, 20), (15, 30)]);
+        assert_eq!(t.stab(35), Vec::<(u64, u64)>::new());
+        let t2 = t.remove(10, 20);
+        assert_eq!(t2.stab(18), vec![(15, 30)]);
+        assert_eq!(t.stab(18).len(), 2, "persistence");
+    }
+
+    #[test]
+    fn equal_left_endpoints_coexist() {
+        let t = IntervalTree::from_intervals(&[(5, 10), (5, 20), (5, 6)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.stab(8), vec![(5, 10), (5, 20)]);
+    }
+
+    #[test]
+    fn batch_insert() {
+        let t = IntervalTree::new().insert_batch(&[(0, 5), (3, 9), (8, 12)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.stab(4), vec![(0, 5), (3, 9)]);
+    }
+}

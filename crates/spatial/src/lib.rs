@@ -1,0 +1,19 @@
+//! Spatial query structures from Section 9 of the paper: 1D interval
+//! trees (stabbing queries) and 2D range trees (count/report queries),
+//! each with a PAM-baseline twin for the Table 3 comparisons.
+//!
+//! ```
+//! use spatial::{IntervalTree, RangeTree2D};
+//!
+//! let t = IntervalTree::from_intervals(&[(0, 10), (5, 15)]);
+//! assert_eq!(t.stab(7).len(), 2);
+//!
+//! let r = RangeTree2D::from_points(&[(1, 1), (5, 5), (9, 2)]);
+//! assert_eq!(r.count(0, 0, 6, 6), 2);
+//! ```
+
+mod interval;
+mod range_tree;
+
+pub use interval::{IntervalTree, PamIntervalTree};
+pub use range_tree::{InnerSet, PamRangeTree2D, RangeTree2D, YSetAug};

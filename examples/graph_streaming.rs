@@ -1,0 +1,71 @@
+//! Graph streaming: batch updates racing read-only analytics on
+//! snapshots — the scenario motivating Aspen and Section 10.5.
+//!
+//! One thread applies rMAT edge batches; another runs BFS on whatever
+//! version was current when it started. Because versions are immutable,
+//! no locks are needed and every query sees a consistent graph.
+//!
+//! Run with: `cargo run --release --example graph_streaming`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use graphs::snapshot::bfs;
+use graphs::PacGraph;
+
+fn main() {
+    let scale = 14;
+    let initial = graphs::rmat::symmetrize(&graphs::rmat::rmat_edges(scale, 100_000, 1));
+    let n = 1usize << scale;
+    let graph = parlay::run(|| PacGraph::from_edges(n, &initial));
+    println!(
+        "initial graph: {} vertices, {} directed edges, {:.1} MiB",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.space_bytes() as f64 / (1 << 20) as f64
+    );
+
+    let current = Mutex::new(graph);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Writer: applies 50 batches of 1000 directed edges each.
+        scope.spawn(|| {
+            for round in 0..50 {
+                let batch = graphs::rmat::rmat_edges(scale, 1000, 100 + round);
+                let next = {
+                    let g = current.lock().expect("writer lock").clone();
+                    parlay::run(|| g.insert_edges(batch))
+                };
+                *current.lock().expect("writer publish") = next;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Reader: repeatedly snapshots and runs BFS, concurrently.
+        scope.spawn(|| {
+            let mut queries = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = current.lock().expect("reader lock").clone();
+                let fs = snap.flat_snapshot();
+                let parents = parlay::run(|| bfs(&fs, 0));
+                let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
+                queries += 1;
+                if queries % 10 == 0 {
+                    println!(
+                        "  query {queries}: BFS reached {reached} vertices on a {}-edge version",
+                        snap.num_edges()
+                    );
+                }
+            }
+            println!("reader finished {queries} BFS queries while writes proceeded");
+        });
+    });
+
+    let final_graph = current.into_inner().expect("final graph");
+    println!(
+        "final graph: {} directed edges, {:.1} MiB",
+        final_graph.num_edges(),
+        final_graph.space_bytes() as f64 / (1 << 20) as f64
+    );
+}

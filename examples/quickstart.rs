@@ -1,0 +1,59 @@
+//! Quickstart: the three CPAM collection types, persistence, and
+//! compression in one tour.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cpam::{DiffSet, PacMap, PacSeq, PacSet, SumAug};
+
+fn main() {
+    parlay::run(|| {
+        // --- Ordered sets ------------------------------------------------
+        let primes: PacSet<u64> = PacSet::from_keys(vec![2, 3, 5, 7, 11, 13]);
+        let odds: PacSet<u64> = PacSet::from_keys((0..8).map(|i| 2 * i + 1).collect());
+        println!("|primes ∪ odds| = {}", primes.union(&odds).len());
+        println!("|primes ∩ odds| = {}", primes.intersect(&odds).len());
+
+        // Every operation is functional: `primes` is unchanged.
+        assert_eq!(primes.len(), 6);
+
+        // --- Compression -------------------------------------------------
+        // A difference-encoded set stores dense 8-byte keys in ~1 byte.
+        let keys: Vec<u64> = (0..1_000_000).map(|i| 5_000_000 + i * 2).collect();
+        let plain: PacSet<u64> = PacSet::from_keys(keys.clone());
+        let packed: DiffSet<u64> = DiffSet::from_keys(keys);
+        println!(
+            "1M keys: raw blocks {:.1} MiB, difference-encoded {:.1} MiB",
+            plain.space_stats().total_bytes as f64 / (1 << 20) as f64,
+            packed.space_stats().total_bytes as f64 / (1 << 20) as f64,
+        );
+
+        // --- Augmented maps ----------------------------------------------
+        // Keep a running sum of all values, queryable per key range.
+        let sales: PacMap<u64, u64, SumAug> =
+            PacMap::from_pairs((0..10_000u64).map(|day| (day, day % 97)).collect());
+        println!("total sales = {}", sales.aug_value());
+        println!("sales in days [100, 199] = {}", sales.aug_range(&100, &199));
+
+        // --- Snapshots ---------------------------------------------------
+        // A clone is O(1); updates never disturb existing readers.
+        let snapshot = sales.clone();
+        let updated = sales.multi_insert((0..100u64).map(|d| (d, 1_000)).collect());
+        println!(
+            "snapshot total {} vs updated total {}",
+            snapshot.aug_value(),
+            updated.aug_value()
+        );
+
+        // --- Sequences ---------------------------------------------------
+        // O(log n + B) append and subsequence, unlike O(n) array copies.
+        let a: PacSeq<u64> = PacSeq::from_slice(&(0..500_000).collect::<Vec<_>>());
+        let b: PacSeq<u64> = PacSeq::from_slice(&(500_000..1_000_000).collect::<Vec<_>>());
+        let joined = a.append(&b);
+        println!(
+            "appended sequence: len {}, element[750_000] = {:?}, sorted: {}",
+            joined.len(),
+            joined.nth(750_000),
+            joined.is_sorted()
+        );
+    });
+}

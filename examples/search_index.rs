@@ -1,0 +1,54 @@
+//! A small search engine: build a weighted inverted index over a
+//! Zipf-distributed corpus, run AND/OR/top-k queries, and merge in new
+//! documents while old snapshots keep serving (Section 9's application).
+//!
+//! Run with: `cargo run --release --example search_index`
+
+use invidx::{Corpus, InvertedIndex};
+
+fn main() {
+    parlay::run(|| {
+        let corpus = Corpus::zipf(20_000, 120, 50_000, 42);
+        println!(
+            "corpus: {} documents, {} words total, vocabulary {}",
+            corpus.docs.len(),
+            corpus.total_words(),
+            corpus.vocab
+        );
+
+        let index = InvertedIndex::build(&corpus.triples());
+        println!(
+            "index: {} words, {} postings, {:.1} MiB",
+            index.num_words(),
+            index.num_postings(),
+            index.space_bytes() as f64 / (1 << 20) as f64
+        );
+
+        // Top-10 documents for the most common word.
+        let top = index.top_k(0, 10);
+        println!("top-10 docs for word 0 (score): {top:?}");
+
+        // AND query over the two most common words, ranked.
+        let hits = index.and_top_k(0, 1, 10);
+        println!("word0 AND word1, top 10 by combined score: {hits:?}");
+
+        // OR query over two mid-frequency words.
+        let either = index.or_query(500, 501);
+        println!("word500 OR word501 matches {} documents", either.len());
+
+        // Merge a fresh batch of documents; the old snapshot still works.
+        let snapshot = index.clone();
+        let more = Corpus::zipf(2_000, 120, 50_000, 77);
+        let fresh: Vec<(u32, u32, u32)> = more
+            .triples()
+            .into_iter()
+            .map(|(w, d, c)| (w, d + 20_000, c))
+            .collect();
+        let updated = index.add_documents(&fresh);
+        println!(
+            "after merge: {} words (snapshot still {})",
+            updated.num_words(),
+            snapshot.num_words()
+        );
+    });
+}

@@ -1,0 +1,56 @@
+//! Spatial analytics: 1D interval stabbing and 2D range queries
+//! (Section 9's interval-tree and range-tree applications).
+//!
+//! Run with: `cargo run --release --example spatial_queries`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial::{IntervalTree, RangeTree2D};
+
+fn main() {
+    parlay::run(|| {
+        let mut rng = StdRng::seed_from_u64(7);
+
+        // --- Interval tree: TCP-connection-style sessions -----------------
+        let sessions: Vec<(u64, u64)> = (0..200_000)
+            .map(|_| {
+                let start = rng.gen_range(0..1_000_000u64);
+                (start, start + rng.gen_range(1..2_000))
+            })
+            .collect();
+        let tree = IntervalTree::from_intervals(&sessions);
+        println!(
+            "interval tree: {} sessions, {:.1} MiB",
+            tree.len(),
+            tree.space_bytes() as f64 / (1 << 20) as f64
+        );
+        for t in [0u64, 250_000, 500_000, 999_999] {
+            println!("  {} sessions active at t = {t}", tree.stab(t).len());
+        }
+
+        // Functional updates: end one session, open another.
+        let updated = tree.remove(sessions[0].0, sessions[0].1).insert(0, 2_000_000);
+        println!(
+            "  after update: {} active at t=1.5M (old tree: {})",
+            updated.stab(1_500_000).len(),
+            tree.stab(1_500_000).len()
+        );
+
+        // --- 2D range tree: point-in-rectangle analytics -------------------
+        let points: Vec<(u32, u32)> = (0..200_000)
+            .map(|_| (rng.gen_range(0..100_000), rng.gen_range(0..100_000)))
+            .collect();
+        let rt = RangeTree2D::from_points(&points);
+        let (outer, inner) = rt.space_bytes();
+        println!(
+            "range tree: {} points, outer {:.1} MiB + inner {:.1} MiB",
+            rt.len(),
+            outer as f64 / (1 << 20) as f64,
+            inner as f64 / (1 << 20) as f64
+        );
+        let count = rt.count(10_000, 10_000, 30_000, 40_000);
+        println!("  points in [10k,30k]x[10k,40k]: {count}");
+        let sample = rt.report(10_000, 10_000, 10_500, 10_500);
+        println!("  small window holds {} points: {:?}", sample.len(), &sample[..sample.len().min(5)]);
+    });
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: differential testing between the
+//! PaC-tree implementation and the independent P-tree baseline, plus
+//! snapshot semantics under concurrent readers.
+
+use cpam::{PacMap, PacSet};
+use pam::{PamMap, PamSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn cpam_and_pam_agree_on_set_algebra() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for round in 0..5 {
+        let xs: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..5000)).collect();
+        let ys: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..5000)).collect();
+        let (cx, cy) = (
+            PacSet::<u64>::from_keys(xs.clone()),
+            PacSet::<u64>::from_keys(ys.clone()),
+        );
+        let (px, py) = (PamSet::from_keys(xs), PamSet::from_keys(ys));
+        assert_eq!(cx.union(&cy).to_vec(), px.union(&py).to_vec(), "round {round}");
+        assert_eq!(
+            cx.intersect(&cy).to_vec(),
+            px.intersect(&py).to_vec(),
+            "round {round}"
+        );
+        assert_eq!(
+            cx.difference(&cy).to_vec(),
+            px.difference(&py).to_vec(),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn cpam_and_pam_agree_on_map_updates() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut c: PacMap<u64, u64> = PacMap::new();
+    let mut p: PamMap<u64, u64> = PamMap::new();
+    for step in 0..400u64 {
+        match rng.gen_range(0..4) {
+            0 | 1 => {
+                let (k, v) = (rng.gen_range(0..500), step);
+                c = c.insert(k, v);
+                p = p.insert(k, v);
+            }
+            2 => {
+                let k = rng.gen_range(0..500);
+                c = c.remove(&k);
+                p = p.remove(&k);
+            }
+            _ => {
+                let batch: Vec<(u64, u64)> =
+                    (0..50).map(|i| (rng.gen_range(0..500), step + i)).collect();
+                c = c.multi_insert(batch.clone());
+                p = p.multi_insert(batch);
+            }
+        }
+    }
+    assert_eq!(c.to_vec(), p.to_vec());
+}
+
+#[test]
+fn snapshots_survive_concurrent_updates() {
+    // Writers produce new versions while readers consume fixed snapshots.
+    let base: PacSet<u64> = PacSet::from_keys((0..100_000).collect());
+    let snapshot = base.clone();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let snap = snapshot.clone();
+            std::thread::spawn(move || {
+                // Each reader checks the snapshot is intact.
+                assert_eq!(snap.len(), 100_000);
+                assert!(snap.contains(&(t * 10_000)));
+                snap.map_reduce(|k| *k, |a, b| a.wrapping_add(b), 0u64)
+            })
+        })
+        .collect();
+    // Meanwhile produce 20 new versions.
+    let mut latest = base;
+    for i in 0..20 {
+        latest = latest.multi_insert((0..1000).map(|j| 200_000 + i * 1000 + j).collect());
+    }
+    let expected: u64 = (0..100_000u64).fold(0, |a, b| a.wrapping_add(b));
+    for h in handles {
+        assert_eq!(h.join().expect("reader"), expected);
+    }
+    assert_eq!(latest.len(), 120_000);
+}
+
+#[test]
+fn graph_updates_match_model() {
+    use graphs::{GraphSnapshot, PacGraph};
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = PacGraph::from_edges(256, &[]);
+    let mut model = std::collections::BTreeSet::new();
+    for _ in 0..20 {
+        let batch: Vec<(u32, u32)> = (0..300)
+            .map(|_| (rng.gen_range(0..256), rng.gen_range(0..256)))
+            .collect();
+        if rng.gen_bool(0.3) {
+            for e in &batch {
+                model.remove(e);
+            }
+            g = g.delete_edges(batch);
+        } else {
+            for e in &batch {
+                model.insert(*e);
+            }
+            g = g.insert_edges(batch);
+        }
+        assert_eq!(g.num_edges(), model.len() as u64);
+    }
+    let snap = g.flat_snapshot();
+    for v in 0..256u32 {
+        let mut got = Vec::new();
+        snap.for_each_neighbor(v, &mut |u| got.push(u));
+        let expected: Vec<u32> = model
+            .range((v, 0)..=(v, u32::MAX))
+            .map(|&(_, u)| u)
+            .collect();
+        assert_eq!(got, expected, "vertex {v}");
+    }
+}
+
+#[test]
+fn inverted_index_matches_linear_scan() {
+    let corpus = invidx::Corpus::zipf(400, 40, 1000, 3);
+    let index = invidx::InvertedIndex::build(&corpus.triples());
+    // Linear-scan oracle for an AND query.
+    for (w1, w2) in [(0u32, 1u32), (3, 9)] {
+        let expected: Vec<u32> = corpus
+            .docs
+            .iter()
+            .enumerate()
+            .filter(|(_, ws)| ws.contains(&w1) && ws.contains(&w2))
+            .map(|(d, _)| d as u32)
+            .collect();
+        let got: Vec<u32> = index.and_query(w1, w2).into_iter().map(|(d, _)| d).collect();
+        assert_eq!(got, expected, "{w1} AND {w2}");
+    }
+}
+
+#[test]
+fn spatial_structures_agree_with_each_other() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let intervals: Vec<(u64, u64)> = (0..5000)
+        .map(|_| {
+            let l = rng.gen_range(0..100_000u64);
+            (l, l + rng.gen_range(0..500))
+        })
+        .collect();
+    let pac = spatial::IntervalTree::from_intervals(&intervals);
+    let pam = spatial::PamIntervalTree::from_intervals(&intervals);
+    for q in [0u64, 50_000, 99_999, 100_400] {
+        assert_eq!(pac.stab(q), pam.stab(q), "stab {q}");
+    }
+
+    let points: Vec<(u32, u32)> = (0..5000)
+        .map(|_| (rng.gen_range(0..10_000), rng.gen_range(0..10_000)))
+        .collect();
+    let rt = spatial::RangeTree2D::from_points(&points);
+    let prt = spatial::PamRangeTree2D::from_points(&points);
+    for _ in 0..10 {
+        let (x1, y1) = (rng.gen_range(0..9000u32), rng.gen_range(0..9000u32));
+        let (x2, y2) = (x1 + rng.gen_range(0..1000), y1 + rng.gen_range(0..1000));
+        assert_eq!(rt.count(x1, y1, x2, y2), prt.count(x1, y1, x2, y2));
+    }
+}
+
+#[test]
+fn sequence_baselines_agree_with_arrays() {
+    // CPAM sequences vs the ParallelSTL-style array baseline.
+    let values: Vec<u64> = (0..50_000).map(|i| (i * 31) % 1013).collect();
+    let seq = cpam::PacSeq::<u64>::from_slice(&values);
+
+    let sum_tree = seq.map_reduce(|v| *v, |a, b| a + b, 0u64);
+    let sum_array = parlay::run(|| parlay::sum(&values));
+    assert_eq!(sum_tree, sum_array);
+
+    assert_eq!(seq.is_sorted(), parlay::slice::is_sorted(&values));
+
+    let pred = |v: &u64| *v == 999;
+    assert_eq!(
+        seq.find_first(pred),
+        parlay::run(|| parlay::slice::find_first(&values, pred))
+    );
+
+    let rev_tree = seq.reverse().to_vec();
+    let rev_array = parlay::slice::reverse(&values);
+    assert_eq!(rev_tree, rev_array);
+}
