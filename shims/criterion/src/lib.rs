@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmark harness exposing the criterion 0.5 API
+//! subset `benches/micro.rs` uses: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function` with a [`Bencher`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (use with
+//! `harness = false`).
+//!
+//! Instead of criterion's statistical analysis it reports the mean,
+//! minimum, and maximum wall-clock time per iteration over the
+//! configured number of samples — enough to eyeball regressions until
+//! the real criterion (or a custom harness) replaces it.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints per-iteration statistics.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        per_iter: Vec::new(),
+    };
+    f(&mut bencher);
+    let times = &bencher.per_iter;
+    if times.is_empty() {
+        println!("  {id:<24} (no measurements)");
+        return;
+    }
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let min = times.iter().min().unwrap();
+    let max = times.iter().max().unwrap();
+    println!(
+        "  {id:<24} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        times.len()
+    );
+}
+
+/// Timer handed to a benchmark closure; call [`Bencher::iter`] once.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, first warming up, then collecting timed samples.
+    ///
+    /// Each sample runs `f` enough times to exceed a minimum measurable
+    /// window and records the mean per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up first so one-time costs (lazy pool spawn, cold caches)
+        // don't skew the calibration of iterations-per-sample.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        while Instant::now() < warmup_deadline {
+            std::hint::black_box(f());
+        }
+        let calibration = Instant::now();
+        std::hint::black_box(f());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters_per_sample =
+            ((target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as u32;
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.per_iter.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        demo_group();
+    }
+}

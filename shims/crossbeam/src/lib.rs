@@ -1,0 +1,204 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors an API-compatible subset of `crossbeam::deque` — the only
+//! module the `parlay` scheduler uses — implemented with locked
+//! `VecDeque`s instead of the lock-free Chase–Lev deque. Semantics
+//! match the original ([`deque::Worker`] pops LIFO, [`deque::Stealer`]
+//! and [`deque::Injector`] steal FIFO); throughput under contention is lower,
+//! which is an accepted trade-off until a lock-free deque lands (see
+//! DESIGN.md §Substitutions).
+
+pub mod deque {
+    //! Work-stealing deques: a per-worker LIFO [`Worker`] end, FIFO
+    //! [`Stealer`] handles, and a shared FIFO [`Injector`].
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        ///
+        /// The locked implementation never loses races, but callers
+        /// written against crossbeam match on this variant.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The owner end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops the most recently pushed task (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals from the opposite (FIFO) end of a [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A FIFO queue for tasks injected from outside the worker pool.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals the oldest injected task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_pops_lifo_stealer_steals_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(2));
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert!(matches!(inj.steal(), Steal::Success("a")));
+            assert!(matches!(inj.steal(), Steal::Success("b")));
+            assert!(matches!(inj.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn concurrent_steals_see_each_task_once() {
+            let w = Worker::new_lifo();
+            for i in 0..10_000u64 {
+                w.push(i);
+            }
+            let total = std::sync::atomic::AtomicU64::new(0);
+            let count = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = w.stealer();
+                    let total = &total;
+                    let count = &count;
+                    scope.spawn(move || loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.into_inner(), 10_000);
+            assert_eq!(total.into_inner(), 10_000 * 9_999 / 2);
+        }
+    }
+}

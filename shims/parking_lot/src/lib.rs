@@ -1,0 +1,171 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal API-compatible subset of `parking_lot` implemented
+//! on top of `std::sync`. Only the surface the `parlay` scheduler uses
+//! is provided: a [`Mutex`] whose `lock` returns a guard directly (no
+//! poison `Result`), and a [`Condvar`] that waits on a `&mut` guard.
+//!
+//! Lock poisoning is deliberately ignored (`parking_lot` has no notion
+//! of it): a poisoned `std` lock is recovered with `into_inner`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::time::Duration;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-transparent API.
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(recover(self.0.lock())))
+    }
+}
+
+fn recover<G>(result: Result<G, sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(sync::PoisonError::into_inner)
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`]/[`Condvar::wait_for`], which need to move the `std`
+/// guard by value and put a fresh one back before returning.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during condvar wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`]s.
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing and reacquiring the lock.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard taken during condvar wait");
+        guard.0 = Some(recover(self.0.wait(inner)));
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during condvar wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result)
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timing out rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+    }
+}
