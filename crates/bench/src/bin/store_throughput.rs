@@ -1,0 +1,155 @@
+//! pacstore throughput: commit throughput vs batch size, group-commit
+//! scaling with concurrent writers, and readers-while-writing.
+//!
+//! Not a paper figure — this exercises the `store` subsystem layered on
+//! top of the paper's trees (EXPERIMENTS.md §pacstore). Expected shape:
+//! per-op commit cost amortizes with batch size (batch sorting plus one
+//! `O(log n)`-path tree merge per group), concurrent writers coalesce
+//! into fewer versions than commits, and pinned readers are unaffected
+//! by write load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bench::{header, time};
+use store::{Op, PacStore};
+
+fn main() {
+    header("store_throughput", "pacstore commit/read throughput");
+    let n = bench::base_n();
+
+    // --- Commit throughput vs batch size (single writer) --------------
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "batch", "commits", "puts/s", "versions"
+    );
+    for batch_size in [10usize, 100, 1_000, 10_000] {
+        let total_ops = (n / 10).max(batch_size);
+        let commits = total_ops / batch_size;
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        let mut next_key = 0u64;
+        let (_, secs) = time(|| {
+            for _ in 0..commits {
+                let batch: Vec<Op<u64, u64>> = (0..batch_size)
+                    .map(|i| {
+                        let k = (next_key + i as u64) * 11 % (total_ops as u64 * 2);
+                        Op::Put(k, k)
+                    })
+                    .collect();
+                next_key += batch_size as u64;
+                store.commit(batch).expect("commit");
+            }
+        });
+        println!(
+            "{:>10} {:>14} {:>16.0} {:>12}",
+            batch_size,
+            commits,
+            (commits * batch_size) as f64 / secs,
+            store.current_version()
+        );
+    }
+    println!();
+
+    // --- Group commit: concurrent writers coalesce ---------------------
+    println!(
+        "{:>10} {:>14} {:>16} {:>12} {:>14}",
+        "writers", "commits", "puts/s", "versions", "commits/ver"
+    );
+    for writers in [1usize, 2, 4, 8] {
+        let per_writer = (n / 100).max(100);
+        let batch = 32;
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        let (_, secs) = time(|| {
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let store = store.clone();
+                    scope.spawn(move || {
+                        for c in 0..per_writer / batch {
+                            let base = (w * per_writer + c * batch) as u64;
+                            let ops = (0..batch as u64)
+                                .map(|i| Op::Put(base + i, base + i))
+                                .collect();
+                            store.commit(ops).expect("commit");
+                        }
+                    });
+                }
+            });
+        });
+        let commits = writers * (per_writer / batch);
+        let versions = store.current_version();
+        println!(
+            "{:>10} {:>14} {:>16.0} {:>12} {:>14.2}",
+            writers,
+            commits,
+            (commits * batch) as f64 / secs,
+            versions,
+            commits as f64 / versions as f64
+        );
+    }
+    println!();
+
+    // --- Readers while writing ----------------------------------------
+    let store: PacStore<u64, u64> = PacStore::in_memory();
+    let preload = (n / 10).max(10_000);
+    store
+        .commit((0..preload as u64).map(|k| Op::Put(k, k)).collect())
+        .expect("preload");
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let readers = 4;
+    let (_, secs) = time(|| {
+        std::thread::scope(|scope| {
+            for r in 0..readers {
+                let store = store.clone();
+                let stop = &stop;
+                let reads = &reads;
+                scope.spawn(move || {
+                    let mut k = r as u64;
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Pin a snapshot, read a run of keys from it.
+                        let snap = store.snapshot();
+                        for _ in 0..100 {
+                            k = k.wrapping_mul(6364136223846793005).wrapping_add(1)
+                                % preload as u64;
+                            std::hint::black_box(snap.get(&k));
+                            local += 1;
+                        }
+                    }
+                    reads.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+            let writer = store.clone();
+            let stop = &stop;
+            let writes = &writes;
+            scope.spawn(move || {
+                let target = (n / 20).max(5_000);
+                let batch = 256;
+                let mut done = 0u64;
+                while done < target as u64 {
+                    let ops = (0..batch)
+                        .map(|i| Op::Put(preload as u64 + done + i, i))
+                        .collect();
+                    writer.commit(ops).expect("commit");
+                    done += batch;
+                }
+                writes.store(done, Ordering::Relaxed);
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    });
+    println!("readers-while-writing ({readers} readers, 1 writer):");
+    println!(
+        "  reader point lookups/s = {:.0} (pinned snapshots, never blocked)",
+        reads.load(Ordering::Relaxed) as f64 / secs
+    );
+    println!(
+        "  writer puts/s          = {:.0}",
+        writes.load(Ordering::Relaxed) as f64 / secs
+    );
+    println!(
+        "  final version          = {}, entries = {}",
+        store.current_version(),
+        store.len()
+    );
+}

@@ -45,6 +45,29 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
     }
 }
 
+/// Fallible [`read_varint`]: returns `None` instead of panicking when
+/// the buffer ends mid-varint or the varint overflows 64 bits, leaving
+/// `*pos` unspecified. Used by storage code reading untrusted bytes.
+#[inline]
+pub fn try_read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut shift = 0u32;
+    let mut value = 0u64;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let group = u64::from(byte & 0x7f);
+        // At shift 63 only the lowest bit still fits in the u64 domain.
+        if shift >= 64 || (shift == 63 && group > 1) {
+            return None;
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
 /// Number of bytes [`write_varint`] would use for `v`.
 #[inline]
 pub fn varint_len(v: u64) -> usize {
@@ -119,6 +142,39 @@ mod tests {
             assert_eq!(read_varint(&buf, &mut pos), v * v);
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn try_read_varint_matches_and_rejects_truncation() {
+        let mut buf = Vec::new();
+        for &v in &[0u64, 127, 128, u64::MAX] {
+            buf.clear();
+            write_varint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(try_read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+            // Every strict prefix is a truncated varint.
+            for cut in 0..buf.len() {
+                let mut pos = 0;
+                assert_eq!(try_read_varint(&buf[..cut], &mut pos), None);
+            }
+        }
+        // 10 continuation bytes + terminator: overflows the 64-bit domain.
+        let mut overlong = vec![0x80u8; 10];
+        overlong.push(0x01);
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&overlong, &mut pos), None);
+        // 10th byte whose high bits fall off the end of the u64: also
+        // rejected, not silently wrapped ...
+        let mut dropped = vec![0x80u8; 9];
+        dropped.push(0x02);
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&dropped, &mut pos), None);
+        // ... while the largest encodable value still parses.
+        let mut max = Vec::new();
+        write_varint(u64::MAX, &mut max);
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&max, &mut pos), Some(u64::MAX));
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl EncodedBlock {
     pub fn count(&self) -> usize {
         self.count as usize
     }
+
+    /// Reassembles a block from its parts, byte-for-byte identical to the
+    /// block they were taken from. This is how deserialization copies an
+    /// already-compressed block off disk *without* re-encoding it.
+    pub fn from_parts(bytes: Box<[u8]>, count: u32) -> Self {
+        EncodedBlock { bytes, count }
+    }
 }
 
 /// Entry types supporting difference encoding relative to a predecessor.
@@ -145,6 +152,11 @@ pub trait Delta: Sized {
 }
 
 /// Fixed or variable-width byte encoding for the value part of an entry.
+///
+/// `read` assumes its input was produced by `write` and has passed an
+/// integrity check (the storage layers guard every payload with a
+/// CRC-32 and a type fingerprint before decoding); feeding it arbitrary
+/// bytes may panic, but never causes undefined behavior.
 pub trait ByteEncode: Sized {
     /// Appends the encoded value.
     fn write(&self, out: &mut Vec<u8>);
@@ -180,9 +192,39 @@ macro_rules! impl_byte_encode_int {
 }
 impl_byte_encode_int!(i8, i16, i32, i64, isize);
 
+impl<A: ByteEncode, B: ByteEncode> ByteEncode for (A, B) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+    fn read(buf: &[u8], pos: &mut usize) -> Self {
+        let a = A::read(buf, pos);
+        let b = B::read(buf, pos);
+        (a, b)
+    }
+}
+
 impl ByteEncode for () {
     fn write(&self, _out: &mut Vec<u8>) {}
     fn read(_buf: &[u8], _pos: &mut usize) -> Self {}
+}
+
+impl ByteEncode for String {
+    fn write(&self, out: &mut Vec<u8>) {
+        bytecode::write_varint(self.len() as u64, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn read(buf: &[u8], pos: &mut usize) -> Self {
+        let len = bytecode::read_varint(buf, pos) as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&end| end <= buf.len())
+            .expect("string length runs past buffer (corrupt or mistyped input)");
+        let s = String::from_utf8(buf[*pos..end].to_vec())
+            .expect("invalid UTF-8 (corrupt or mistyped input)");
+        *pos = end;
+        s
+    }
 }
 
 impl ByteEncode for f32 {
@@ -460,6 +502,161 @@ impl<E: GammaKey + Clone + Send + Sync + 'static> Codec<E> for GammaCodec {
     }
 }
 
+/// Error from [`BlockIo::read_block`]'s framing checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockIoError {
+    /// The byte stream ended inside a block frame.
+    Truncated,
+    /// A frame field was structurally impossible (e.g. a length running
+    /// past the buffer, or an entry count over the block limit).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for BlockIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockIoError::Truncated => f.write_str("block frame truncated"),
+            BlockIoError::Malformed(what) => write!(f, "malformed block frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockIoError {}
+
+/// Byte-stream serialization of encoded blocks, for storage.
+///
+/// A codec implementing `BlockIo` can write its blocks into a flat byte
+/// stream and read them back. For compressed codecs ([`DeltaCodec`],
+/// [`GammaCodec`]) the block payload is copied *verbatim* — the entries
+/// are never re-encoded, so a deserialized block is byte-identical to
+/// the one written (and so is its [`Codec::heap_bytes`] accounting).
+///
+/// Every frame is self-delimiting: `varint entry-count`, `varint
+/// payload-length`, then `payload-length` bytes. `read_block` validates
+/// the framing (truncation, impossible lengths) and returns a typed
+/// error; it does **not** defend against arbitrary payload corruption —
+/// callers are expected to verify an outer checksum first, which is what
+/// the `store` crate's page format does.
+pub trait BlockIo<E>: Codec<E> {
+    /// Identifies the codec in on-disk headers. Stable across versions:
+    /// raw = 0, byte-code delta = 1, gamma = 2.
+    const CODEC_ID: u8;
+    /// Human-readable codec name for error messages.
+    const CODEC_NAME: &'static str;
+
+    /// Appends one framed block to `out`.
+    fn write_block(block: &Self::Block, out: &mut Vec<u8>);
+
+    /// Reads one framed block from `buf` at `*pos`, advancing `*pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockIoError`] on truncated or structurally impossible framing.
+    fn read_block(buf: &[u8], pos: &mut usize) -> Result<Self::Block, BlockIoError>;
+}
+
+/// Reads the `(count, payload)` frame header shared by all `BlockIo`
+/// impls and bounds-checks the payload.
+fn read_frame<'a>(buf: &'a [u8], pos: &mut usize) -> Result<(usize, &'a [u8]), BlockIoError> {
+    let count =
+        bytecode::try_read_varint(buf, pos).ok_or(BlockIoError::Truncated)? as usize;
+    let len = bytecode::try_read_varint(buf, pos).ok_or(BlockIoError::Truncated)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or(BlockIoError::Malformed("payload length overflows"))?;
+    if end > buf.len() {
+        return Err(BlockIoError::Truncated);
+    }
+    let payload = &buf[*pos..end];
+    *pos = end;
+    Ok((count, payload))
+}
+
+impl<E: ByteEncode + Clone + Send + Sync + 'static> BlockIo<E> for RawCodec {
+    const CODEC_ID: u8 = 0;
+    const CODEC_NAME: &'static str = "raw";
+
+    fn write_block(block: &Self::Block, out: &mut Vec<u8>) {
+        bytecode::write_varint(block.len() as u64, out);
+        let mut payload = Vec::with_capacity(block.len() * 2);
+        for e in block.iter() {
+            e.write(&mut payload);
+        }
+        bytecode::write_varint(payload.len() as u64, out);
+        out.extend_from_slice(&payload);
+    }
+
+    fn read_block(buf: &[u8], pos: &mut usize) -> Result<Self::Block, BlockIoError> {
+        let (count, payload) = read_frame(buf, pos)?;
+        // Every tree entry encodes to at least one byte (keys are never
+        // zero-width), so a count beyond the payload length is malformed
+        // — reject it up front rather than panicking inside `E::read`.
+        if count > payload.len() {
+            return Err(BlockIoError::Malformed("raw block entry count exceeds payload"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut at = 0;
+        for _ in 0..count {
+            if at > payload.len() {
+                return Err(BlockIoError::Malformed("raw block entries overrun payload"));
+            }
+            entries.push(E::read(payload, &mut at));
+        }
+        if at != payload.len() {
+            return Err(BlockIoError::Malformed("raw block payload length mismatch"));
+        }
+        Ok(entries.into_boxed_slice())
+    }
+}
+
+/// Shared `BlockIo` body for codecs whose block is an [`EncodedBlock`]:
+/// the compressed bytes are copied verbatim, never re-encoded.
+fn write_encoded_block(block: &EncodedBlock, out: &mut Vec<u8>) {
+    bytecode::write_varint(u64::from(block.count), out);
+    bytecode::write_varint(block.bytes.len() as u64, out);
+    out.extend_from_slice(&block.bytes);
+}
+
+fn read_encoded_block(buf: &[u8], pos: &mut usize) -> Result<EncodedBlock, BlockIoError> {
+    let (count, payload) = read_frame(buf, pos)?;
+    if count > u32::MAX as usize {
+        return Err(BlockIoError::Malformed("entry count exceeds u32"));
+    }
+    if count == 0 && !payload.is_empty() {
+        return Err(BlockIoError::Malformed("empty block with payload bytes"));
+    }
+    Ok(EncodedBlock::from_parts(
+        payload.to_vec().into_boxed_slice(),
+        count as u32,
+    ))
+}
+
+impl<E: Delta + Clone + Send + Sync + 'static> BlockIo<E> for DeltaCodec {
+    const CODEC_ID: u8 = 1;
+    const CODEC_NAME: &'static str = "delta";
+
+    fn write_block(block: &Self::Block, out: &mut Vec<u8>) {
+        write_encoded_block(block, out);
+    }
+
+    fn read_block(buf: &[u8], pos: &mut usize) -> Result<Self::Block, BlockIoError> {
+        read_encoded_block(buf, pos)
+    }
+}
+
+impl<E: GammaKey + Clone + Send + Sync + 'static> BlockIo<E> for GammaCodec {
+    const CODEC_ID: u8 = 2;
+    const CODEC_NAME: &'static str = "gamma";
+
+    fn write_block(block: &Self::Block, out: &mut Vec<u8>) {
+        write_encoded_block(block, out);
+    }
+
+    fn read_block(buf: &[u8], pos: &mut usize) -> Result<Self::Block, BlockIoError> {
+        read_encoded_block(buf, pos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +744,75 @@ mod tests {
         let mut out: Vec<u64> = Vec::new();
         <DeltaCodec as Codec<u64>>::decode(&d, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn block_io_roundtrips_delta_verbatim() {
+        let entries: Vec<u64> = (0..300).map(|i| 7_000 + 11 * i).collect();
+        let block = <DeltaCodec as Codec<u64>>::encode(&entries);
+        let mut out = Vec::new();
+        <DeltaCodec as BlockIo<u64>>::write_block(&block, &mut out);
+        let mut pos = 0;
+        let back = <DeltaCodec as BlockIo<u64>>::read_block(&out, &mut pos).unwrap();
+        assert_eq!(pos, out.len());
+        // Verbatim copy: same compressed bytes, same space accounting.
+        assert_eq!(back.bytes(), block.bytes());
+        assert_eq!(back.count(), block.count());
+        assert_eq!(
+            <DeltaCodec as Codec<u64>>::heap_bytes(&back),
+            <DeltaCodec as Codec<u64>>::heap_bytes(&block)
+        );
+    }
+
+    #[test]
+    fn block_io_roundtrips_raw_pairs() {
+        let entries: Vec<(u64, u32)> = (0..97).map(|i| (i * 5, (i % 13) as u32)).collect();
+        let block = <RawCodec as Codec<(u64, u32)>>::encode(&entries);
+        let mut out = Vec::new();
+        <RawCodec as BlockIo<(u64, u32)>>::write_block(&block, &mut out);
+        let mut pos = 0;
+        let back = <RawCodec as BlockIo<(u64, u32)>>::read_block(&out, &mut pos).unwrap();
+        assert_eq!(&back[..], &entries[..]);
+    }
+
+    #[test]
+    fn block_io_rejects_truncation() {
+        let entries: Vec<u64> = (0..64).collect();
+        let block = <DeltaCodec as Codec<u64>>::encode(&entries);
+        let mut out = Vec::new();
+        <DeltaCodec as BlockIo<u64>>::write_block(&block, &mut out);
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            assert!(
+                <DeltaCodec as BlockIo<u64>>::read_block(&out[..cut], &mut pos).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn block_io_rejects_impossible_raw_count() {
+        // A frame claiming more entries than payload bytes must be a
+        // typed error, not a panic inside entry decoding.
+        let mut frame = Vec::new();
+        bytecode::write_varint(1000, &mut frame); // count
+        bytecode::write_varint(4, &mut frame); // payload length
+        frame.extend_from_slice(&[1, 2, 3, 4]);
+        let mut pos = 0;
+        assert!(matches!(
+            <RawCodec as BlockIo<u64>>::read_block(&frame, &mut pos),
+            Err(BlockIoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn byte_encode_string_and_tuple_roundtrip() {
+        let mut buf = Vec::new();
+        ("hello".to_string(), 42u64).write(&mut buf);
+        let mut pos = 0;
+        let back = <(String, u64) as ByteEncode>::read(&buf, &mut pos);
+        assert_eq!(back, ("hello".to_string(), 42));
+        assert_eq!(pos, buf.len());
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod set;
 mod tradeoff;
 
 pub mod stats;
+pub mod structure;
 
 pub use aug::{Augmentation, MaxAug, NoAug, SumAug};
 pub use entry::{Element, Entry, ScalarKey};

@@ -6,7 +6,7 @@ use crate::aug::{Augmentation, NoAug};
 use crate::entry::{Element, ScalarKey};
 use crate::iter::Iter;
 use crate::node::{aug_of, size, SpaceStats, Tree};
-use crate::{algos, base, join as jn, seq, setops, verify, DEFAULT_B};
+use crate::{algos, base, join as jn, seq, setops, structure, verify, DEFAULT_B};
 
 /// One piece of a canonical range decomposition (see
 /// [`PacMap::range_decompose`]).
@@ -429,6 +429,38 @@ where
     /// Heap-space statistics (the paper's Fig. 13 measurements).
     pub fn space_stats(&self) -> SpaceStats {
         crate::node::space(&self.root)
+    }
+
+    /// Pre-order walk over the tree's nodes: regular pivot entries and
+    /// *already-encoded* leaf blocks (see [`crate::structure`]). This is
+    /// the serialization hook — a snapshot codec copies blocks verbatim
+    /// instead of flattening and re-encoding the map.
+    pub fn visit_nodes(&self, f: &mut impl FnMut(structure::NodeRef<'_, (K, V), C::Block>)) {
+        structure::visit_preorder(&self.root, f);
+    }
+
+    /// Bulk constructor from a pre-order node stream — the inverse of
+    /// [`PacMap::visit_nodes`]. Rebuilds the identical tree (same shape,
+    /// same encoded blocks, no re-sorting) with block size `b`,
+    /// recomputing cached sizes and augmented values.
+    ///
+    /// # Errors
+    ///
+    /// [`structure::BuildError`] when the stream's source fails or the
+    /// stream is structurally invalid (oversized blocks, runaway depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn from_node_stream<S>(
+        b: usize,
+        next: &mut impl FnMut() -> Result<structure::NodeOwned<(K, V), C::Block>, S>,
+    ) -> Result<Self, structure::BuildError<S>> {
+        assert!(b > 0, "block size must be positive");
+        Ok(PacMap {
+            root: structure::build_preorder(b, next)?,
+            b,
+        })
     }
 
     /// Verifies every structural invariant; returns the first violation.

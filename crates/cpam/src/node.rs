@@ -150,6 +150,25 @@ where
     }))
 }
 
+/// Builds a flat node directly from an already-encoded block, computing
+/// the augmentation by streaming the block's entries. Used by
+/// deserialization ([`crate::structure`]) so compressed blocks read off
+/// disk are adopted verbatim instead of being decoded and re-encoded.
+pub(crate) fn make_flat_from_block<E, A, C>(block: C::Block) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if C::is_empty(&block) {
+        return None;
+    }
+    stats::count_node_alloc();
+    let mut aug = A::identity();
+    C::for_each(&block, &mut |e| aug = A::combine(&aug, &A::from_entry(e)));
+    Some(Arc::new(Node::Flat { aug, block }))
+}
+
 /// Decodes a flat node's block into a fresh vector.
 pub(crate) fn decode_flat<E, A, C>(node: &Node<E, A, C>) -> Vec<E>
 where

@@ -6,7 +6,7 @@ use crate::aug::{Augmentation, NoAug};
 use crate::entry::ScalarKey;
 use crate::iter::Iter;
 use crate::node::{aug_of, size, SpaceStats, Tree};
-use crate::{algos, base, join as jn, setops, verify, DEFAULT_B};
+use crate::{algos, base, join as jn, setops, structure, verify, DEFAULT_B};
 
 /// A purely-functional ordered set with blocked, optionally compressed
 /// leaves.
@@ -309,6 +309,37 @@ where
     /// Heap-space statistics.
     pub fn space_stats(&self) -> SpaceStats {
         crate::node::space(&self.root)
+    }
+
+    /// Pre-order walk over the tree's nodes: regular pivot entries and
+    /// *already-encoded* leaf blocks (see [`crate::structure`]). The
+    /// serialization hook used by the `store` crate's snapshot codec.
+    pub fn visit_nodes(&self, f: &mut impl FnMut(structure::NodeRef<'_, K, C::Block>)) {
+        structure::visit_preorder(&self.root, f);
+    }
+
+    /// Bulk constructor from a pre-order node stream — the inverse of
+    /// [`PacSet::visit_nodes`]: rebuilds the identical tree with block
+    /// size `b`, adopting encoded blocks verbatim (no re-sorting or
+    /// re-encoding) and recomputing cached sizes and aggregates.
+    ///
+    /// # Errors
+    ///
+    /// [`structure::BuildError`] when the stream's source fails or the
+    /// stream is structurally invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn from_node_stream<S>(
+        b: usize,
+        next: &mut impl FnMut() -> Result<structure::NodeOwned<K, C::Block>, S>,
+    ) -> Result<Self, structure::BuildError<S>> {
+        assert!(b > 0, "block size must be positive");
+        Ok(PacSet {
+            root: structure::build_preorder(b, next)?,
+            b,
+        })
     }
 
     /// Verifies every structural invariant.

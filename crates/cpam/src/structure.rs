@@ -1,0 +1,250 @@
+//! Structural hooks: walking a tree's nodes and rebuilding one from a
+//! node stream, without going through entry arrays.
+//!
+//! These are the serialization hooks the `store` crate's snapshot codec
+//! is built on. A PaC-tree's value is that its leaves are *already
+//! encoded* blocks ([`codecs::Codec::Block`]); a byte-level snapshot
+//! should therefore copy those blocks verbatim rather than flatten the
+//! tree to entries and rebuild it (which would re-sort, re-balance and
+//! re-encode `O(n)` data). The hooks expose exactly enough structure to
+//! do that while keeping the node representation private:
+//!
+//! * [`PacMap::visit_nodes`](crate::PacMap::visit_nodes) /
+//!   [`PacSet::visit_nodes`](crate::PacSet::visit_nodes) walk the tree
+//!   in *pre-order*, reporting each node as a [`NodeRef`]: a regular
+//!   node's pivot entry, a flat node's encoded block, or an empty
+//!   subtree. Every regular node is followed by the full visit of its
+//!   left subtree, then its right — so the visit order alone
+//!   reconstructs the shape.
+//! * [`PacMap::from_node_stream`](crate::PacMap::from_node_stream) /
+//!   [`PacSet::from_node_stream`](crate::PacSet::from_node_stream) are
+//!   the inverse bulk constructors: they pull [`NodeOwned`]s from a
+//!   callback in the same pre-order and rebuild the identical tree —
+//!   same shape, same blocks — recomputing only the cached sizes and
+//!   augmented values. No sorting, no re-encoding.
+//!
+//! The builder trusts the stream's *entry data* (a tree read back from
+//! bytes whose integrity was verified upstream, e.g. by the `store`
+//! page checksum) but still validates structure: impossible block sizes,
+//! runaway recursion depth, and truncated streams all produce a typed
+//! [`BuildError`] instead of a panic or an invalid tree.
+
+use codecs::Codec;
+
+use crate::aug::Augmentation;
+use crate::entry::Element;
+use crate::node::{make_flat_from_block, make_regular, Node, Tree};
+
+/// One node of a pre-order tree walk, by reference.
+#[derive(Debug)]
+pub enum NodeRef<'a, E, B> {
+    /// An empty subtree (also emitted for an empty collection).
+    Empty,
+    /// A regular (binary) node's pivot entry; its left subtree is
+    /// visited next, then its right.
+    Regular(&'a E),
+    /// A flat leaf's encoded block.
+    Flat(&'a B),
+}
+
+/// One node of a pre-order tree stream, by value (the decode-side
+/// counterpart of [`NodeRef`]).
+#[derive(Debug)]
+pub enum NodeOwned<E, B> {
+    /// An empty subtree.
+    Empty,
+    /// A regular node's pivot entry (left subtree follows, then right).
+    Regular(E),
+    /// A flat leaf's encoded block, adopted verbatim.
+    Flat(B),
+}
+
+/// Why [`from_node_stream`](crate::PacMap::from_node_stream) rejected a
+/// stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BuildError<S> {
+    /// The stream's own source failed (e.g. truncated or corrupt bytes).
+    Source(S),
+    /// The stream was structurally invalid for this tree.
+    Invalid(&'static str),
+}
+
+impl<S: std::fmt::Display> std::fmt::Display for BuildError<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Source(e) => write!(f, "node stream source: {e}"),
+            BuildError::Invalid(what) => write!(f, "invalid node stream: {what}"),
+        }
+    }
+}
+
+impl<S: std::fmt::Debug + std::fmt::Display> std::error::Error for BuildError<S> {}
+
+/// Maximum regular-node nesting a stream may request. A weight-balanced
+/// tree's height is `O(log n)` — far below this for any feasible size —
+/// so deeper streams can only come from corrupt or adversarial input.
+const MAX_DEPTH: usize = 512;
+
+/// Pre-order walk of `t`, invoking `f` on every node (including empty
+/// subtrees, which delimit the shape).
+pub(crate) fn visit_preorder<E, A, C, F>(t: &Tree<E, A, C>, f: &mut F)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: FnMut(NodeRef<'_, E, C::Block>),
+{
+    match t {
+        None => f(NodeRef::Empty),
+        Some(node) => match &**node {
+            Node::Regular {
+                left, entry, right, ..
+            } => {
+                f(NodeRef::Regular(entry));
+                visit_preorder(left, f);
+                visit_preorder(right, f);
+            }
+            Node::Flat { block, .. } => f(NodeRef::Flat(block)),
+        },
+    }
+}
+
+/// Rebuilds a tree from a pre-order node stream; inverse of
+/// [`visit_preorder`]. Cached sizes and augmented values are recomputed
+/// bottom-up; blocks are adopted as-is.
+pub(crate) fn build_preorder<E, A, C, S, N>(
+    b: usize,
+    next: &mut N,
+) -> Result<Tree<E, A, C>, BuildError<S>>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    N: FnMut() -> Result<NodeOwned<E, C::Block>, S>,
+{
+    build_rec(b, next, 0)
+}
+
+fn build_rec<E, A, C, S, N>(
+    b: usize,
+    next: &mut N,
+    depth: usize,
+) -> Result<Tree<E, A, C>, BuildError<S>>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    N: FnMut() -> Result<NodeOwned<E, C::Block>, S>,
+{
+    if depth > MAX_DEPTH {
+        return Err(BuildError::Invalid("node stream deeper than any balanced tree"));
+    }
+    match next().map_err(BuildError::Source)? {
+        NodeOwned::Empty => Ok(None),
+        NodeOwned::Flat(block) => {
+            let len = C::len(&block);
+            if len == 0 {
+                return Err(BuildError::Invalid("empty flat block"));
+            }
+            if len > 2 * b {
+                return Err(BuildError::Invalid("flat block larger than 2b"));
+            }
+            Ok(make_flat_from_block(block))
+        }
+        NodeOwned::Regular(entry) => {
+            let left = build_rec(b, next, depth + 1)?;
+            let right = build_rec(b, next, depth + 1)?;
+            Ok(make_regular(left, entry, right))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoAug, PacMap, PacSet};
+    use codecs::DeltaCodec;
+
+    fn drain<E: Clone, B: Clone>(
+        nodes: Vec<NodeOwned<E, B>>,
+    ) -> impl FnMut() -> Result<NodeOwned<E, B>, &'static str> {
+        let mut it = nodes.into_iter();
+        move || it.next().ok_or("stream exhausted")
+    }
+
+    fn collect_set<K, A, C>(s: &PacSet<K, A, C>) -> Vec<NodeOwned<K, C::Block>>
+    where
+        K: crate::ScalarKey,
+        A: Augmentation<K>,
+        C: Codec<K>,
+    {
+        let mut nodes = Vec::new();
+        s.visit_nodes(&mut |n| {
+            nodes.push(match n {
+                NodeRef::Empty => NodeOwned::Empty,
+                NodeRef::Regular(e) => NodeOwned::Regular(e.clone()),
+                NodeRef::Flat(b) => NodeOwned::Flat(b.clone()),
+            });
+        });
+        nodes
+    }
+
+    #[test]
+    fn set_roundtrips_through_node_stream() {
+        let s: PacSet<u64, NoAug, DeltaCodec> =
+            PacSet::from_keys_with(16, (0..10_000).map(|i| 3 * i).collect());
+        let rebuilt: PacSet<u64, NoAug, DeltaCodec> =
+            PacSet::from_node_stream(16, &mut drain(collect_set(&s))).expect("rebuild");
+        assert_eq!(rebuilt.to_vec(), s.to_vec());
+        // Blocks were adopted verbatim: identical space accounting.
+        assert_eq!(rebuilt.space_stats(), s.space_stats());
+        rebuilt.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn map_roundtrips_through_node_stream() {
+        let m: PacMap<u64, u32> =
+            PacMap::from_pairs_with(32, (0..5_000).map(|i| (i, (i % 97) as u32)).collect());
+        let mut nodes = Vec::new();
+        m.visit_nodes(&mut |n| {
+            nodes.push(match n {
+                NodeRef::Empty => NodeOwned::Empty,
+                NodeRef::Regular(e) => NodeOwned::Regular(e.clone()),
+                NodeRef::Flat(b) => NodeOwned::Flat(b.clone()),
+            });
+        });
+        let rebuilt: PacMap<u64, u32> =
+            PacMap::from_node_stream(32, &mut drain(nodes)).expect("rebuild");
+        assert_eq!(rebuilt.to_vec(), m.to_vec());
+        assert_eq!(rebuilt.space_stats(), m.space_stats());
+        rebuilt.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn empty_and_singleton_roundtrip() {
+        for keys in [vec![], vec![42u64]] {
+            let s: PacSet<u64> = PacSet::from_keys(keys);
+            let rebuilt: PacSet<u64> =
+                PacSet::from_node_stream(s.block_size(), &mut drain(collect_set(&s)))
+                    .expect("rebuild");
+            assert_eq!(rebuilt.to_vec(), s.to_vec());
+        }
+    }
+
+    #[test]
+    fn truncated_stream_reports_source_error() {
+        let s: PacSet<u64> = PacSet::from_keys_with(4, (0..1000).collect());
+        let mut nodes = collect_set(&s);
+        nodes.truncate(nodes.len() / 2);
+        let err = PacSet::<u64>::from_node_stream(4, &mut drain(nodes)).unwrap_err();
+        assert_eq!(err, BuildError::Source("stream exhausted"));
+    }
+
+    #[test]
+    fn oversized_block_is_rejected() {
+        let s: PacSet<u64> = PacSet::from_keys_with(64, (0..100).collect());
+        // Rebuild claiming a block size too small for the stored block.
+        let err = PacSet::<u64>::from_node_stream(4, &mut drain(collect_set(&s))).unwrap_err();
+        assert!(matches!(err, BuildError::Invalid(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! CRC-32 (IEEE 802.3, reflected) for corruption detection in snapshot
+//! pages and log records. Table-driven, table built at compile time —
+//! no dependency needed.
+
+/// The reflected CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes`.
+///
+/// ```
+/// // The standard check value for CRC-32/IEEE.
+/// assert_eq!(store::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// A 32-bit fingerprint of a type, stored in on-disk headers so that a
+/// store directory written as, say, `PacStore<u64, u64>` is rejected
+/// with a typed error — instead of misparsed — when reopened with
+/// different key/value types.
+///
+/// Implementation: FNV-1a over [`std::any::type_name`]. The name's
+/// exact rendering is not guaranteed across compiler versions, so a
+/// fingerprint mismatch can also mean "written by a differently
+/// rendered toolchain" — a safe false positive.
+pub fn schema_id<T: ?Sized>() -> u32 {
+    let mut hash = 0x811C_9DC5u32;
+    for byte in std::any::type_name::<T>().bytes() {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_ids_distinguish_types() {
+        assert_ne!(schema_id::<(u64, u64)>(), schema_id::<(u64, u32)>());
+        assert_ne!(schema_id::<(u64, u64)>(), schema_id::<u64>());
+        assert_ne!(schema_id::<(u64, String)>(), schema_id::<(u64, u64)>());
+        assert_eq!(schema_id::<(u64, u64)>(), schema_id::<(u64, u64)>());
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 1024];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 31) as u8;
+        }
+        let clean = crc32(&data);
+        for byte in [0usize, 500, 1023] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The store's error type: every way a disk image or a commit can fail,
+//! as a typed error rather than a panic.
+
+use codecs::BlockIoError;
+
+/// Errors from store operations (open, load, save, commit, version
+/// lookup).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — not a pacstore
+    /// snapshot (or the header itself was clobbered).
+    BadMagic,
+    /// The snapshot was written with a different block codec than the
+    /// one this store is instantiated with.
+    CodecMismatch {
+        /// Codec id found in the file header.
+        found: u8,
+        /// Codec id of the store's type parameter.
+        expected: u8,
+        /// Name of the expected codec, for the error message.
+        expected_name: &'static str,
+    },
+    /// The checksum stored in the file does not match the checksum of
+    /// its contents: the file was truncated or bit-flipped.
+    ChecksumMismatch {
+        /// Checksum read from the file trailer.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// The file was written with different key/value types than the
+    /// ones this store is instantiated with (entry-type fingerprints
+    /// differ; see [`crate::checksum::schema_id`]).
+    SchemaMismatch {
+        /// Fingerprint found in the file.
+        found: u32,
+        /// Fingerprint of the store's key/value types.
+        expected: u32,
+    },
+    /// The byte stream ended inside the named structure.
+    Truncated(&'static str),
+    /// The bytes parsed but described an impossible structure.
+    Corrupt(String),
+    /// [`crate::PacStore::snapshot_at`] was asked for a version that is
+    /// neither current nor retained in history.
+    VersionNotFound(u64),
+    /// A disk operation (`save`, log append) on an in-memory store.
+    Ephemeral,
+    /// The store directory is already open (its lock file is held by
+    /// another live handle, possibly in another process).
+    Locked,
+    /// An earlier failed log append could not be rolled back, so the
+    /// log cannot accept further records until [`crate::PacStore::save`]
+    /// resets it.
+    LogPoisoned,
+    /// The commit group this batch was part of failed; the message is
+    /// the leader's error.
+    CommitFailed(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => f.write_str("not a pacstore snapshot (bad magic)"),
+            StoreError::CodecMismatch {
+                found,
+                expected,
+                expected_name,
+            } => write!(
+                f,
+                "snapshot written with codec id {found}, store expects {expected} ({expected_name})"
+            ),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): \
+                 file truncated or corrupted"
+            ),
+            StoreError::SchemaMismatch { found, expected } => write!(
+                f,
+                "entry-type mismatch: file written with key/value types fingerprinted \
+                 {found:#010x}, store expects {expected:#010x}"
+            ),
+            StoreError::Truncated(what) => write!(f, "truncated while reading {what}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            StoreError::VersionNotFound(v) => write!(f, "version {v} not in history"),
+            StoreError::Ephemeral => f.write_str("store has no directory (in-memory)"),
+            StoreError::Locked => {
+                f.write_str("store directory is locked by another live handle")
+            }
+            StoreError::LogPoisoned => f.write_str(
+                "batch log poisoned by an unrolled-back append failure; save() resets it"
+            ),
+            StoreError::CommitFailed(msg) => write!(f, "commit group failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<BlockIoError> for StoreError {
+    fn from(e: BlockIoError) -> Self {
+        match e {
+            BlockIoError::Truncated => StoreError::Truncated("block frame"),
+            BlockIoError::Malformed(what) => StoreError::Corrupt(what.to_string()),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! pacstore: a versioned, persistent key-value store on PaC-trees.
+//!
+//! The paper's headline property — array-like space with O(1)
+//! purely-functional snapshots — is exactly the substrate a
+//! multi-version store needs (the PAM line of work serves databases
+//! this way). This crate turns the workspace's [`cpam::PacMap`] into a
+//! serveable system:
+//!
+//! * **[`PacStore`]** — an MVCC key-value store. Writers submit batches
+//!   to a group-commit pipeline (one tree update and one log write per
+//!   *group*, not per batch); readers pin any retained version as an
+//!   O(1) [`Snapshot`] and never block.
+//! * **Snapshot pages** ([`pagefmt`]) — a binary codec serializing a
+//!   whole PaC-tree: interior structure as a tagged pre-order stream,
+//!   leaves as their *already-encoded compressed blocks*, copied
+//!   verbatim both ways (decode does no re-sorting and no re-encoding,
+//!   so space accounting is bit-identical). Pages carry a CRC-32 so
+//!   truncation and bit flips surface as typed [`StoreError`]s.
+//! * **Durability** ([`wal`]) — `save`/`open` of snapshot pages plus an
+//!   append-only batch log replayed on open, with standard
+//!   torn-tail recovery.
+//!
+//! ```
+//! use store::{Op, PacStore};
+//!
+//! let store: PacStore<u64, String> = PacStore::in_memory();
+//!
+//! // Commit batches; each group of concurrent batches becomes one
+//! // immutable version.
+//! let v1 = store.commit(vec![Op::Put(1, "one".into())]).unwrap();
+//! let pinned = store.snapshot(); // O(1), never blocks writers
+//! let v2 = store
+//!     .commit(vec![Op::Put(1, "uno".into()), Op::Put(2, "dos".into())])
+//!     .unwrap();
+//!
+//! assert_eq!(store.get(&1), Some("uno".into()));
+//! assert_eq!(pinned.get(&1), Some("one".into())); // time travel
+//! assert_eq!(store.snapshot_at(v1).unwrap().len(), 1);
+//! assert_eq!(store.snapshot_at(v2).unwrap().len(), 2);
+//! ```
+//!
+//! Durable stores work the same way, plus [`PacStore::open`] /
+//! [`PacStore::save`]; see `examples/versioned_store.rs` for the tour
+//! and `DESIGN.md` §"pacstore on-disk formats" for the byte layouts.
+
+pub mod checksum;
+mod error;
+mod mvcc;
+pub mod pagefmt;
+pub mod wal;
+
+pub use error::StoreError;
+pub use mvcc::{
+    Op, PacStore, Snapshot, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE,
+    SNAPSHOT_FILE,
+};
+pub use pagefmt::{
+    decode_snapshot, encode_snapshot, read_snapshot_file, write_snapshot_file, DiskTree,
+    SNAPSHOT_MAGIC,
+};

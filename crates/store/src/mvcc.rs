@@ -1,0 +1,755 @@
+//! The versioned store: multi-version concurrency control with group
+//! commit, built directly on [`PacMap`]'s O(1) functional snapshots.
+//!
+//! * **Writers** submit batches of [`Op`]s to [`PacStore::commit`]. The
+//!   first writer to arrive becomes the group *leader*: it drains every
+//!   batch queued so far, applies them in submission order with one
+//!   parallel batch insert/delete, appends one record to the
+//!   write-ahead log, and publishes the result as a single new
+//!   immutable version. Followers just wait for their ticket — under
+//!   contention, many batches ride one tree update and one log write.
+//! * **Readers** never block on writers: pinning a version is cloning a
+//!   `PacMap` root (`Arc` bump) under a briefly-held lock. A pinned
+//!   [`Snapshot`] stays alive and consistent no matter how many
+//!   versions are committed — or evicted from history — after it.
+//! * **Versions** are retained in a bounded history for time-travel
+//!   reads ([`PacStore::snapshot_at`]); structural sharing between
+//!   consecutive versions makes this cheap (`O(log n)` fresh nodes per
+//!   version, the paper's path-copying bound).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use codecs::{BlockIo, ByteEncode, Codec, RawCodec};
+use cpam::{Element, NoAug, PacMap, ScalarKey, DEFAULT_B};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::StoreError;
+use crate::pagefmt;
+use crate::wal;
+
+/// Key bound for [`PacStore`]: ordered (a PaC-tree key) and
+/// byte-encodable (for the log and snapshot formats).
+pub trait StoreKey: ScalarKey + ByteEncode {}
+impl<T: ScalarKey + ByteEncode> StoreKey for T {}
+
+/// Value bound for [`PacStore`]: storable and byte-encodable.
+pub trait StoreValue: Element + ByteEncode {}
+impl<T: Element + ByteEncode> StoreValue for T {}
+
+/// One write operation in a commit batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op<K, V> {
+    /// Insert or overwrite `key -> value`.
+    Put(K, V),
+    /// Remove `key` (a no-op if absent).
+    Delete(K),
+}
+
+/// Tunables for a [`PacStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Leaf block size of the state tree (paper default 128). Ignored
+    /// when opening an existing snapshot, which records its own.
+    pub block_size: usize,
+    /// How many recent versions [`PacStore::snapshot_at`] can reach.
+    /// Pinned [`Snapshot`]s outlive eviction.
+    pub history_limit: usize,
+    /// If true, a torn or corrupt log tail fails [`PacStore::open_with`]
+    /// instead of being truncated away.
+    pub strict_log: bool,
+    /// If true, every commit group is `fsync`ed (`sync_data`) to disk
+    /// before it is acknowledged — surviving power loss, at a large
+    /// per-group latency cost. When false (default), log records are
+    /// flushed to the OS only: they survive a process crash but not a
+    /// machine crash.
+    pub fsync_commits: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            block_size: DEFAULT_B,
+            history_limit: 64,
+            strict_log: false,
+            fsync_commits: false,
+        }
+    }
+}
+
+/// File name of the snapshot page inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.pac";
+/// File name of the append-only batch log inside a store directory.
+pub const LOG_FILE: &str = "wal.pac";
+/// File name of the advisory lock inside a store directory: held for a
+/// handle's lifetime so two handles (or processes) can never interleave
+/// versions in one log.
+pub const LOCK_FILE: &str = "lock.pac";
+
+/// An immutable view of one store version, pinned for as long as it
+/// lives. Obtained from [`PacStore::snapshot`] / [`PacStore::snapshot_at`].
+pub struct Snapshot<K, V, C = RawCodec>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    version: u64,
+    map: PacMap<K, V, NoAug, C>,
+}
+
+impl<K, V, C> Clone for Snapshot<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    fn clone(&self) -> Self {
+        Snapshot {
+            version: self.version,
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<K, V, C> Snapshot<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    /// The version this snapshot pinned.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The underlying map, for the full query interface (ranges,
+    /// map-reduce, iteration, ...).
+    pub fn map(&self) -> &PacMap<K, V, NoAug, C> {
+        &self.map
+    }
+
+    /// The value under `k` at this version.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.map.find(k)
+    }
+
+    /// True if `k` exists at this version.
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Number of entries at this version.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if this version is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K, V, C> std::fmt::Debug for Snapshot<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version", &self.version)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+struct State<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    version: u64,
+    map: PacMap<K, V, NoAug, C>,
+    /// Recent `(version, map)` pairs, oldest first; always contains the
+    /// current version as its back element.
+    history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
+}
+
+struct CommitQueue<K, V> {
+    pending: Vec<(u64, Vec<Op<K, V>>)>,
+    next_ticket: u64,
+    results: HashMap<u64, Result<u64, String>>,
+    leader_running: bool,
+}
+
+/// The batch log handle. `Poisoned` means an append failure could not
+/// be rolled back: the stranded partial record would swallow every
+/// later record at replay, so commits are refused until `save()`
+/// truncates the log and restores `Active`.
+enum LogState {
+    /// In-memory store: nothing to log.
+    None,
+    /// Healthy log, appends allowed.
+    Active(File),
+    /// Unrolled-back append failure; the file is kept so `save()` can
+    /// reset and heal it.
+    Poisoned(File),
+}
+
+struct Inner<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    opts: StoreOptions,
+    dir: Option<PathBuf>,
+    /// Held for the lifetime of this store's handles; the OS releases
+    /// the advisory lock when the file closes, even on a crash.
+    _dir_lock: Option<File>,
+    /// Log handle. Lock order: `log` before `state`; leaders hold it
+    /// across append *and* publish, so under this lock every logged
+    /// record's version is `<=` the published version — which is what
+    /// makes [`PacStore::save`]'s log reset safe.
+    log: Mutex<LogState>,
+    state: Mutex<State<K, V, C>>,
+    commit: Mutex<CommitQueue<K, V>>,
+    commit_cv: Condvar,
+}
+
+/// A versioned, persistent key-value store whose state is a [`PacMap`].
+///
+/// Handles are cheap to clone and share one store; all methods take
+/// `&self`. See the [crate docs](crate) for an end-to-end example.
+pub struct PacStore<K, V, C = RawCodec>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    inner: Arc<Inner<K, V, C>>,
+}
+
+impl<K, V, C> Clone for PacStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn clone(&self) -> Self {
+        PacStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K, V, C> std::fmt::Debug for PacStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.inner.state.lock();
+        f.debug_struct("PacStore")
+            .field("version", &s.version)
+            .field("len", &s.map.len())
+            .field("dir", &self.inner.dir)
+            .finish()
+    }
+}
+
+/// Applies a batch to a map: collapses to last-op-wins per key (ops are
+/// in submission order), then one parallel batch insert plus one batch
+/// delete. Used identically by commit and by log replay, so a replayed
+/// store converges to the same state.
+fn apply_ops<K, V, C>(
+    map: &PacMap<K, V, NoAug, C>,
+    ops: impl IntoIterator<Item = Op<K, V>>,
+) -> PacMap<K, V, NoAug, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    let mut effects: BTreeMap<K, Option<V>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                effects.insert(k, Some(v));
+            }
+            Op::Delete(k) => {
+                effects.insert(k, None);
+            }
+        }
+    }
+    let mut puts = Vec::new();
+    let mut dels = Vec::new();
+    for (k, v) in effects {
+        match v {
+            Some(v) => puts.push((k, v)),
+            None => dels.push(k),
+        }
+    }
+    let mut out = map.clone();
+    if !puts.is_empty() {
+        out = out.multi_insert(puts);
+    }
+    if !dels.is_empty() {
+        out = out.multi_delete(dels);
+    }
+    out
+}
+
+impl<K, V, C> PacStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn from_parts(
+        opts: StoreOptions,
+        dir: Option<PathBuf>,
+        dir_lock: Option<File>,
+        log: LogState,
+        version: u64,
+        map: PacMap<K, V, NoAug, C>,
+        history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
+    ) -> Self {
+        PacStore {
+            inner: Arc::new(Inner {
+                opts,
+                dir,
+                _dir_lock: dir_lock,
+                log: Mutex::new(log),
+                state: Mutex::new(State { version, map, history }),
+                commit: Mutex::new(CommitQueue {
+                    pending: Vec::new(),
+                    next_ticket: 0,
+                    results: HashMap::new(),
+                    leader_running: false,
+                }),
+                commit_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An empty, ephemeral store (no directory: `save` is an error).
+    pub fn in_memory() -> Self {
+        Self::in_memory_with(StoreOptions::default())
+    }
+
+    /// [`PacStore::in_memory`] with explicit options.
+    pub fn in_memory_with(opts: StoreOptions) -> Self {
+        let map = PacMap::with_block_size(opts.block_size);
+        let mut history = VecDeque::new();
+        history.push_back((0, map.clone()));
+        Self::from_parts(opts, None, None, LogState::None, 0, map, history)
+    }
+
+    /// Opens (or creates) a durable store in `dir`: loads the snapshot
+    /// page if present, then replays the batch log past it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; every snapshot-integrity error of
+    /// [`crate::pagefmt::decode_snapshot`]; [`StoreError::Corrupt`] for
+    /// a torn log tail under [`StoreOptions::strict_log`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`PacStore::open`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacStore::open`].
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        // Exclusive advisory lock: without it, two live handles would
+        // each assign versions independently and interleave them in one
+        // log — acknowledged commits would vanish at replay.
+        let dir_lock = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .open(dir.join(LOCK_FILE))?;
+        match dir_lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => return Err(StoreError::Locked),
+            Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
+        }
+
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (mut map, mut version) = if snap_path.exists() {
+            pagefmt::read_snapshot_file::<PacMap<K, V, NoAug, C>>(&snap_path)?
+        } else {
+            (PacMap::with_block_size(opts.block_size), 0)
+        };
+
+        let mut history = VecDeque::new();
+        history.push_back((version, map.clone()));
+
+        let log_path = dir.join(LOG_FILE);
+        if log_path.exists() {
+            let bytes = std::fs::read(&log_path)?;
+            let expected = crate::checksum::schema_id::<(K, V)>();
+            let replay = wal::replay::<K, V>(&bytes, expected);
+            if let Some(found) = replay.schema_mismatch {
+                return Err(StoreError::SchemaMismatch { found, expected });
+            }
+            if replay.torn && opts.strict_log {
+                return Err(StoreError::Corrupt(format!(
+                    "torn or corrupt log tail after byte {}",
+                    replay.valid_len
+                )));
+            }
+            for record in replay.records {
+                if record.version <= version {
+                    // Already covered by the snapshot page.
+                    continue;
+                }
+                version = record.version;
+                map = apply_ops(&map, record.ops);
+                history.push_back((version, map.clone()));
+                while history.len() > opts.history_limit.max(1) {
+                    history.pop_front();
+                }
+            }
+            if replay.torn {
+                // Drop the bad tail so future appends start at a clean
+                // record boundary.
+                let f = OpenOptions::new().write(true).open(&log_path)?;
+                f.set_len(replay.valid_len as u64)?;
+            }
+        }
+
+        let log = OpenOptions::new().create(true).append(true).open(&log_path)?;
+        Ok(Self::from_parts(
+            opts,
+            Some(dir),
+            Some(dir_lock),
+            LogState::Active(log),
+            version,
+            map,
+            history,
+        ))
+    }
+
+    /// Submits one batch and blocks until it is in the log (flushed to
+    /// the OS; `fsync`ed when [`StoreOptions::fsync_commits`] is set)
+    /// and visible in a published version; returns that version.
+    /// Batches queued concurrently are applied together by a group
+    /// leader — one tree update, one log append for the whole group.
+    ///
+    /// Within a batch and across a group, later ops win per key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CommitFailed`] when the group's log append failed;
+    /// no version is published in that case.
+    pub fn commit(&self, ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
+        let inner = &self.inner;
+        let mut q = inner.commit.lock();
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        q.pending.push((ticket, ops));
+        loop {
+            if let Some(result) = q.results.remove(&ticket) {
+                return result.map_err(StoreError::CommitFailed);
+            }
+            if q.leader_running {
+                inner.commit_cv.wait(&mut q);
+                continue;
+            }
+            // Become the leader for everything queued so far.
+            q.leader_running = true;
+            let group = std::mem::take(&mut q.pending);
+            drop(q);
+            let tickets: Vec<u64> = group.iter().map(|(t, _)| *t).collect();
+            let all_ops: Vec<Op<K, V>> =
+                group.into_iter().flat_map(|(_, ops)| ops).collect();
+            let outcome = self.apply_group(all_ops);
+            q = inner.commit.lock();
+            q.leader_running = false;
+            match &outcome {
+                Ok(version) => {
+                    for t in tickets {
+                        q.results.insert(t, Ok(*version));
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for t in tickets {
+                        q.results.insert(t, Err(msg.clone()));
+                    }
+                }
+            }
+            inner.commit_cv.notify_all();
+        }
+    }
+
+    /// Shorthand for committing a single [`Op::Put`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PacStore::commit`].
+    pub fn put(&self, key: K, value: V) -> Result<u64, StoreError> {
+        self.commit(vec![Op::Put(key, value)])
+    }
+
+    /// Shorthand for committing a single [`Op::Delete`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PacStore::commit`].
+    pub fn delete(&self, key: K) -> Result<u64, StoreError> {
+        self.commit(vec![Op::Delete(key)])
+    }
+
+    /// Applies one commit group: one tree update, one log record, one
+    /// published version.
+    fn apply_group(&self, all_ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
+        let mut log_guard = self.inner.log.lock();
+        if matches!(*log_guard, LogState::Poisoned(_)) {
+            return Err(StoreError::LogPoisoned);
+        }
+        let (base_map, base_version) = {
+            let s = self.inner.state.lock();
+            (s.map.clone(), s.version)
+        };
+        let new_version = base_version + 1;
+        // Serialize the record first: applying consumes the ops.
+        let record = matches!(*log_guard, LogState::Active(_)).then(|| {
+            wal::encode_record(new_version, crate::checksum::schema_id::<(K, V)>(), &all_ops)
+        });
+        let new_map = apply_ops(&base_map, all_ops);
+
+        // Durability before visibility: log the group (all-or-nothing,
+        // so a failed group can never strand a record whose version the
+        // next group reuses), then publish.
+        if let (LogState::Active(file), Some(record)) = (&mut *log_guard, record) {
+            if let Err(fail) = wal::append_bytes(file, &record, self.inner.opts.fsync_commits)
+            {
+                if !fail.rolled_back {
+                    // A stranded partial record would swallow every
+                    // later append at replay: refuse them until save()
+                    // resets the log.
+                    let state = std::mem::replace(&mut *log_guard, LogState::None);
+                    if let LogState::Active(file) = state {
+                        *log_guard = LogState::Poisoned(file);
+                    }
+                }
+                return Err(fail.error.into());
+            }
+        }
+
+        let mut s = self.inner.state.lock();
+        s.version = new_version;
+        s.map = new_map.clone();
+        s.history.push_back((new_version, new_map));
+        while s.history.len() > self.inner.opts.history_limit.max(1) {
+            s.history.pop_front();
+        }
+        drop(s);
+        drop(log_guard);
+        Ok(new_version)
+    }
+
+    /// Pins the current version: O(1), never blocked by writers beyond
+    /// a brief lock for the pointer copy.
+    pub fn snapshot(&self) -> Snapshot<K, V, C> {
+        let s = self.inner.state.lock();
+        Snapshot {
+            version: s.version,
+            map: s.map.clone(),
+        }
+    }
+
+    /// Pins a historical version (time-travel read).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VersionNotFound`] if `version` is older than the
+    /// retained history (or never existed).
+    pub fn snapshot_at(&self, version: u64) -> Result<Snapshot<K, V, C>, StoreError> {
+        let s = self.inner.state.lock();
+        s.history
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(v, m)| Snapshot {
+                version: *v,
+                map: m.clone(),
+            })
+            .ok_or(StoreError::VersionNotFound(version))
+    }
+
+    /// The versions currently reachable via [`PacStore::snapshot_at`],
+    /// oldest first (the last one is the current version).
+    pub fn versions(&self) -> Vec<u64> {
+        self.inner.state.lock().history.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// The current (latest committed) version.
+    pub fn current_version(&self) -> u64 {
+        self.inner.state.lock().version
+    }
+
+    /// The value under `k` in the current version.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.snapshot().get(k)
+    }
+
+    /// Number of entries in the current version.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().map.len()
+    }
+
+    /// True if the current version is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the current version to the snapshot page (atomic and
+    /// durable: temp file + `fsync` + rename + directory `fsync`) and
+    /// resets the log, whose records it now covers. Returns the saved
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
+    pub fn save(&self) -> Result<u64, StoreError> {
+        let dir = self.inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let mut log_guard = self.inner.log.lock();
+        let (map, version) = {
+            let s = self.inner.state.lock();
+            (s.map.clone(), s.version)
+        };
+        pagefmt::write_snapshot_file(&dir.join(SNAPSHOT_FILE), &map, version)?;
+        // Holding the log lock, no group is between append and publish,
+        // so every logged record has version <= `version`: all covered.
+        // A successful truncation also heals a poisoned log — the
+        // stranded partial record is gone.
+        let state = std::mem::replace(&mut *log_guard, LogState::None);
+        match state {
+            LogState::None => {}
+            LogState::Active(f) | LogState::Poisoned(f) => match f.set_len(0) {
+                Ok(()) => *log_guard = LogState::Active(f),
+                Err(e) => {
+                    // Keep refusing appends: the snapshot is saved but
+                    // the log still holds stale (covered) records.
+                    *log_guard = LogState::Poisoned(f);
+                    return Err(e.into());
+                }
+            },
+        }
+        Ok(version)
+    }
+
+    /// The store's directory (`None` for in-memory stores).
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_read_back() {
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        assert_eq!(store.current_version(), 0);
+        let v1 = store.commit(vec![Op::Put(1, 10), Op::Put(2, 20)]).unwrap();
+        assert_eq!(v1, 1);
+        let v2 = store.commit(vec![Op::Delete(1), Op::Put(3, 30)]).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(store.get(&1), None);
+        assert_eq!(store.get(&2), Some(20));
+        assert_eq!(store.get(&3), Some(30));
+    }
+
+    #[test]
+    fn last_op_wins_within_a_batch() {
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        store
+            .commit(vec![Op::Put(5, 1), Op::Put(5, 2), Op::Delete(5), Op::Put(5, 3)])
+            .unwrap();
+        assert_eq!(store.get(&5), Some(3));
+        store.commit(vec![Op::Put(6, 1), Op::Delete(6)]).unwrap();
+        assert_eq!(store.get(&6), None);
+    }
+
+    #[test]
+    fn snapshots_pin_versions() {
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        store.put(1, 100).unwrap();
+        let pinned = store.snapshot();
+        store.put(1, 200).unwrap();
+        store.delete(1).unwrap();
+        assert_eq!(pinned.get(&1), Some(100));
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(store.get(&1), None);
+        // Time travel through retained history.
+        assert_eq!(store.snapshot_at(2).unwrap().get(&1), Some(200));
+        assert_eq!(store.versions(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn history_is_bounded_but_pins_survive() {
+        let opts = StoreOptions {
+            history_limit: 3,
+            ..StoreOptions::default()
+        };
+        let store: PacStore<u64, u64> = PacStore::in_memory_with(opts);
+        store.put(0, 0).unwrap();
+        let pinned = store.snapshot();
+        for i in 1..10u64 {
+            store.put(i, i).unwrap();
+        }
+        assert_eq!(store.versions().len(), 3);
+        assert!(matches!(
+            store.snapshot_at(1),
+            Err(StoreError::VersionNotFound(1))
+        ));
+        // The pin still reads version 1 even though history evicted it.
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned.get(&0), Some(0));
+    }
+
+    #[test]
+    fn concurrent_commits_all_land() {
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        let threads = 8;
+        let per_thread = 50;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let k = (t * per_thread + i) as u64;
+                        store.commit(vec![Op::Put(k, k * 2)]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), threads * per_thread);
+        for k in 0..(threads * per_thread) as u64 {
+            assert_eq!(store.get(&k), Some(k * 2), "key {k}");
+        }
+        // Group commit coalesces: version count <= commit count.
+        assert!(store.current_version() <= (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn ephemeral_save_is_typed_error() {
+        let store: PacStore<u64, u64> = PacStore::in_memory();
+        assert!(matches!(store.save(), Err(StoreError::Ephemeral)));
+    }
+}

@@ -1,0 +1,362 @@
+//! The on-disk snapshot page format (see DESIGN.md §"pacstore on-disk
+//! formats" for the byte-level specification).
+//!
+//! A snapshot page serializes a whole PaC-tree: the interior structure
+//! as a tagged pre-order stream, and the leaves as their
+//! *already-encoded* blocks, copied verbatim through
+//! [`codecs::BlockIo`]. Deserialization adopts those blocks as-is via
+//! [`cpam::structure`]'s bulk constructor — no re-sorting, no
+//! re-encoding — so a decoded tree has byte-identical leaf payloads
+//! (and identical [`cpam::SpaceStats`]) to the one encoded.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic      8 bytes   b"PACSNP01"
+//! codec id   1 byte    BlockIo::CODEC_ID (raw = 0, delta = 1, gamma = 2)
+//! schema     4 bytes   little-endian entry-type fingerprint (schema_id)
+//! block size varint    the tree's B parameter
+//! version    varint    store version this snapshot captured
+//! count      varint    number of entries
+//! length     varint    byte length of the node stream that follows
+//! nodes      length    tagged pre-order node stream
+//! crc32      4 bytes   little-endian, over everything above
+//! ```
+//!
+//! Node stream: tag `0` = empty subtree, tag `1` = regular node
+//! followed by its pivot entry ([`codecs::ByteEncode`]), tag `2` = flat
+//! leaf followed by a framed block ([`codecs::BlockIo`]). Pre-order
+//! with explicit empties is self-delimiting, so the shape needs no
+//! side table.
+//!
+//! Integrity: [`decode_snapshot`] verifies the trailer CRC-32 over the
+//! full page *before* touching the payload, so truncations and bit
+//! flips surface as typed [`StoreError`]s, never as panics or silently
+//! wrong data.
+
+use std::path::Path;
+
+use codecs::{bytecode, BlockIo, ByteEncode};
+use cpam::structure::{BuildError, NodeOwned, NodeRef};
+use cpam::{Augmentation, Element, PacMap, PacSet, ScalarKey};
+
+use crate::checksum::{crc32, schema_id};
+use crate::error::StoreError;
+
+/// Identifies a pacstore snapshot page, version 01.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PACSNP01";
+
+const TAG_EMPTY: u8 = 0;
+const TAG_REGULAR: u8 = 1;
+const TAG_FLAT: u8 = 2;
+
+/// A collection that can be written to and read from a snapshot page:
+/// implemented for [`PacMap`] and [`PacSet`] whose entries are
+/// byte-encodable and whose codec supports [`BlockIo`].
+pub trait DiskTree: Clone + Sized + Send + Sync + 'static {
+    /// The codec id stored in (and checked against) the page header.
+    const CODEC_ID: u8;
+    /// The codec's name, for error messages.
+    const CODEC_NAME: &'static str;
+
+    /// Fingerprint of the entry type, stored in (and checked against)
+    /// the page header so mistyped loads fail with a typed error.
+    fn schema() -> u32;
+
+    /// The tree's block size parameter.
+    fn disk_block_size(&self) -> usize;
+    /// Number of entries, for the header's count field.
+    fn disk_len(&self) -> usize;
+    /// Appends the tagged pre-order node stream.
+    fn write_nodes(&self, out: &mut Vec<u8>);
+    /// Rebuilds a tree from a node stream that must fill `buf` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on truncated or structurally invalid streams.
+    /// Assumes `buf` passed an integrity check (the page CRC): entry
+    /// payload bytes themselves are trusted.
+    fn read_nodes(b: usize, buf: &[u8]) -> Result<Self, StoreError>;
+}
+
+fn flatten_build_error(e: BuildError<StoreError>) -> StoreError {
+    match e {
+        BuildError::Source(s) => s,
+        BuildError::Invalid(what) => StoreError::Corrupt(what.to_string()),
+    }
+}
+
+/// Parses one node of the tagged stream.
+fn read_node<E, C>(buf: &[u8], pos: &mut usize) -> Result<NodeOwned<E, C::Block>, StoreError>
+where
+    E: ByteEncode + Element,
+    C: BlockIo<E>,
+{
+    let tag = *buf.get(*pos).ok_or(StoreError::Truncated("node tag"))?;
+    *pos += 1;
+    match tag {
+        TAG_EMPTY => Ok(NodeOwned::Empty),
+        TAG_REGULAR => Ok(NodeOwned::Regular(E::read(buf, pos))),
+        TAG_FLAT => Ok(NodeOwned::Flat(C::read_block(buf, pos)?)),
+        other => Err(StoreError::Corrupt(format!("unknown node tag {other}"))),
+    }
+}
+
+/// Serializes one node of the tagged stream; shared by both `DiskTree`
+/// impls so the format lives in one place.
+fn write_node<E, C>(n: NodeRef<'_, E, C::Block>, out: &mut Vec<u8>)
+where
+    E: ByteEncode + Element,
+    C: BlockIo<E>,
+{
+    match n {
+        NodeRef::Empty => out.push(TAG_EMPTY),
+        NodeRef::Regular(e) => {
+            out.push(TAG_REGULAR);
+            e.write(out);
+        }
+        NodeRef::Flat(b) => {
+            out.push(TAG_FLAT);
+            C::write_block(b, out);
+        }
+    }
+}
+
+impl<K, V, A, C> DiskTree for PacMap<K, V, A, C>
+where
+    K: ScalarKey + ByteEncode,
+    V: Element + ByteEncode,
+    A: Augmentation<(K, V)>,
+    C: BlockIo<(K, V)>,
+{
+    const CODEC_ID: u8 = <C as BlockIo<(K, V)>>::CODEC_ID;
+    const CODEC_NAME: &'static str = <C as BlockIo<(K, V)>>::CODEC_NAME;
+
+    fn schema() -> u32 {
+        schema_id::<(K, V)>()
+    }
+
+    fn disk_block_size(&self) -> usize {
+        self.block_size()
+    }
+
+    fn disk_len(&self) -> usize {
+        self.len()
+    }
+
+    fn write_nodes(&self, out: &mut Vec<u8>) {
+        self.visit_nodes(&mut |n| write_node::<(K, V), C>(n, out));
+    }
+
+    fn read_nodes(b: usize, buf: &[u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let tree = Self::from_node_stream(b, &mut || read_node::<(K, V), C>(buf, &mut pos))
+            .map_err(flatten_build_error)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
+        }
+        Ok(tree)
+    }
+}
+
+impl<K, A, C> DiskTree for PacSet<K, A, C>
+where
+    K: ScalarKey + ByteEncode,
+    A: Augmentation<K>,
+    C: BlockIo<K>,
+{
+    const CODEC_ID: u8 = <C as BlockIo<K>>::CODEC_ID;
+    const CODEC_NAME: &'static str = <C as BlockIo<K>>::CODEC_NAME;
+
+    fn schema() -> u32 {
+        schema_id::<K>()
+    }
+
+    fn disk_block_size(&self) -> usize {
+        self.block_size()
+    }
+
+    fn disk_len(&self) -> usize {
+        self.len()
+    }
+
+    fn write_nodes(&self, out: &mut Vec<u8>) {
+        self.visit_nodes(&mut |n| write_node::<K, C>(n, out));
+    }
+
+    fn read_nodes(b: usize, buf: &[u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let tree = Self::from_node_stream(b, &mut || read_node::<K, C>(buf, &mut pos))
+            .map_err(flatten_build_error)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
+        }
+        Ok(tree)
+    }
+}
+
+/// Encodes `tree` (captured at `version`) into a complete snapshot page.
+pub fn encode_snapshot<T: DiskTree>(tree: &T, version: u64) -> Vec<u8> {
+    let mut nodes = Vec::new();
+    tree.write_nodes(&mut nodes);
+
+    let mut page = Vec::with_capacity(nodes.len() + 64);
+    page.extend_from_slice(&SNAPSHOT_MAGIC);
+    page.push(T::CODEC_ID);
+    page.extend_from_slice(&T::schema().to_le_bytes());
+    bytecode::write_varint(tree.disk_block_size() as u64, &mut page);
+    bytecode::write_varint(version, &mut page);
+    bytecode::write_varint(tree.disk_len() as u64, &mut page);
+    bytecode::write_varint(nodes.len() as u64, &mut page);
+    page.extend_from_slice(&nodes);
+    let crc = crc32(&page);
+    page.extend_from_slice(&crc.to_le_bytes());
+    page
+}
+
+/// Decodes a snapshot page produced by [`encode_snapshot`], returning
+/// the tree and the version it captured.
+///
+/// # Errors
+///
+/// Typed [`StoreError`]s: [`StoreError::BadMagic`] for foreign files,
+/// [`StoreError::ChecksumMismatch`] for truncated or bit-flipped pages
+/// (verified before the payload is parsed),
+/// [`StoreError::CodecMismatch`] / [`StoreError::SchemaMismatch`] when
+/// `T`'s codec or entry types differ from the ones the page was written
+/// with, and [`StoreError::Truncated`] / [`StoreError::Corrupt`] for
+/// framing violations.
+pub fn decode_snapshot<T: DiskTree>(bytes: &[u8]) -> Result<(T, u64), StoreError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 1 + 4 + 4 {
+        return Err(StoreError::Truncated("snapshot header"));
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut pos = SNAPSHOT_MAGIC.len();
+    let codec_id = body[pos];
+    pos += 1;
+    if codec_id != T::CODEC_ID {
+        return Err(StoreError::CodecMismatch {
+            found: codec_id,
+            expected: T::CODEC_ID,
+            expected_name: T::CODEC_NAME,
+        });
+    }
+    let found_schema = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"));
+    pos += 4;
+    if found_schema != T::schema() {
+        return Err(StoreError::SchemaMismatch {
+            found: found_schema,
+            expected: T::schema(),
+        });
+    }
+    let b = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("block size"))? as usize;
+    if b == 0 {
+        return Err(StoreError::Corrupt("zero block size".into()));
+    }
+    let version =
+        bytecode::try_read_varint(body, &mut pos).ok_or(StoreError::Truncated("version"))?;
+    let count = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("entry count"))? as usize;
+    let len = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("payload length"))? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| StoreError::Corrupt("payload length overflows".into()))?;
+    if end != body.len() {
+        return Err(StoreError::Corrupt(format!(
+            "payload length {len} does not match page size"
+        )));
+    }
+
+    let tree = T::read_nodes(b, &body[pos..end])?;
+    if tree.disk_len() != count {
+        return Err(StoreError::Corrupt(format!(
+            "entry count mismatch: header {count}, decoded {}",
+            tree.disk_len()
+        )));
+    }
+    Ok((tree, version))
+}
+
+/// Writes a snapshot page to `path` atomically and durably: temp file,
+/// `fsync`, rename, then `fsync` of the containing directory — so after
+/// this returns, a machine crash leaves either the old page or the new
+/// one, never a torn or vanished file.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_snapshot_file<T: DiskTree>(
+    path: &Path,
+    tree: &T,
+    version: u64,
+) -> Result<(), StoreError> {
+    let page = encode_snapshot(tree, version);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, &page)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself (directory entry update).
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot page from `path`; see [`decode_snapshot`] for the
+/// integrity guarantees.
+///
+/// # Errors
+///
+/// I/O errors plus every [`decode_snapshot`] error.
+pub fn read_snapshot_file<T: DiskTree>(path: &Path) -> Result<(T, u64), StoreError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codecs::DeltaCodec;
+    use cpam::NoAug;
+
+    #[test]
+    fn snapshot_page_roundtrip_preserves_space_stats() {
+        let m: PacMap<u64, u64, NoAug, DeltaCodec> =
+            PacMap::from_pairs_with(32, (0..20_000u64).map(|i| (2 * i, i)).collect());
+        let page = encode_snapshot(&m, 7);
+        let (back, version): (PacMap<u64, u64, NoAug, DeltaCodec>, u64) =
+            decode_snapshot(&page).expect("decode");
+        assert_eq!(version, 7);
+        assert_eq!(back.to_vec(), m.to_vec());
+        assert_eq!(back.space_stats(), m.space_stats());
+        back.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn codec_mismatch_is_typed() {
+        let s: PacSet<u64> = PacSet::from_keys((0..100).collect());
+        let page = encode_snapshot(&s, 1);
+        let err = decode_snapshot::<PacSet<u64, NoAug, DeltaCodec>>(&page).unwrap_err();
+        assert!(matches!(err, StoreError::CodecMismatch { found: 0, expected: 1, .. }));
+    }
+
+    #[test]
+    fn foreign_file_is_bad_magic() {
+        let err = decode_snapshot::<PacSet<u64>>(b"definitely not a snapshot").unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic));
+    }
+}

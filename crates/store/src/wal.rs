@@ -1,0 +1,325 @@
+//! The append-only batch log (write-ahead log).
+//!
+//! Every commit group appends one self-delimiting record; on open the
+//! store replays all records newer than the last saved snapshot. Record
+//! layout (see DESIGN.md §"pacstore on-disk formats"):
+//!
+//! ```text
+//! length   varint    byte length of the payload that follows
+//! payload  length    varint version, schema (4 bytes LE),
+//!                    varint op count, then ops
+//! crc32    4 bytes   little-endian, over the payload
+//! ```
+//!
+//! An op is a tag byte (`0` put, `1` delete) followed by the
+//! [`codecs::ByteEncode`]d key (and value, for puts). The schema field
+//! is the entry-type fingerprint ([`crate::checksum::schema_id`]):
+//! replaying a log with mismatched key/value types is a typed error,
+//! not a misparse.
+//!
+//! Torn-write policy: replay stops at the first record whose framing or
+//! checksum fails, or whose version is not strictly greater than its
+//! predecessor's. If that happens anywhere before the end of the file
+//! the log is *torn*; the store either truncates the bad tail (default,
+//! the standard WAL recovery) or refuses to open (`strict_log`).
+
+use std::fs::File;
+use std::io::Write;
+
+use codecs::{bytecode, ByteEncode};
+
+use crate::checksum::crc32;
+use crate::mvcc::Op;
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+/// One replayed log record: the version its commit group produced and
+/// the ops it applied, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord<K, V> {
+    /// Version the group commit produced.
+    pub version: u64,
+    /// The group's operations, in submission order.
+    pub ops: Vec<Op<K, V>>,
+}
+
+/// Encodes one record (framing + checksum included). `schema` is the
+/// entry-type fingerprint the replayer will demand.
+pub fn encode_record<K: ByteEncode, V: ByteEncode>(
+    version: u64,
+    schema: u32,
+    ops: &[Op<K, V>],
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(ops.len() * 8 + 16);
+    bytecode::write_varint(version, &mut payload);
+    payload.extend_from_slice(&schema.to_le_bytes());
+    bytecode::write_varint(ops.len() as u64, &mut payload);
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                payload.push(OP_PUT);
+                k.write(&mut payload);
+                v.write(&mut payload);
+            }
+            Op::Delete(k) => {
+                payload.push(OP_DELETE);
+                k.write(&mut payload);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    bytecode::write_varint(payload.len() as u64, &mut out);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// A failed [`append_bytes`]: the original I/O error plus whether the
+/// partial record was successfully rolled back. When it was *not*, the
+/// stranded bytes would make every later successful append unreachable
+/// at replay (torn-tail truncation stops at the first bad frame) — the
+/// caller must stop using the log until it is reset.
+#[derive(Debug)]
+pub struct AppendError {
+    /// The I/O error that failed the append.
+    pub error: std::io::Error,
+    /// True if the file was truncated back to its pre-append length.
+    pub rolled_back: bool,
+}
+
+/// Appends one already-encoded record, all-or-nothing: on a failed or
+/// partial write — or a failed `fsync` when requested — the file is
+/// truncated back to its previous length. Without the rollback, a
+/// record from a *failed* (unacknowledged) group would linger in the
+/// log, its version would be reused by the next successful group, and
+/// replay would apply the failed group and skip the acknowledged one.
+///
+/// # Errors
+///
+/// [`AppendError`]; check its `rolled_back` flag before reusing the log.
+pub fn append_bytes(file: &mut File, record: &[u8], fsync: bool) -> Result<(), AppendError> {
+    let prev_len = match file.metadata() {
+        Ok(m) => m.len(),
+        // Nothing written yet: failing here leaves the log untouched.
+        Err(error) => return Err(AppendError { error, rolled_back: true }),
+    };
+    let result = file
+        .write_all(record)
+        .and_then(|()| file.flush())
+        .and_then(|()| if fsync { file.sync_data() } else { Ok(()) });
+    match result {
+        Ok(()) => Ok(()),
+        Err(error) => Err(AppendError {
+            error,
+            rolled_back: file.set_len(prev_len).is_ok(),
+        }),
+    }
+}
+
+/// Result of replaying a log image.
+#[derive(Debug)]
+pub struct Replay<K, V> {
+    /// All records of the longest valid prefix, in order.
+    pub records: Vec<LogRecord<K, V>>,
+    /// Byte length of that valid prefix.
+    pub valid_len: usize,
+    /// True if bytes remained after the valid prefix (torn or corrupt
+    /// tail).
+    pub torn: bool,
+    /// Set when a checksum-valid record carried a different entry-type
+    /// fingerprint than `expected_schema` — the log belongs to a store
+    /// with different key/value types. Replay stops there.
+    pub schema_mismatch: Option<u32>,
+}
+
+/// Replays a log image, stopping at the first invalid record (bad
+/// framing or checksum, non-increasing version, or — reported
+/// separately — a mismatched entry-type fingerprint).
+pub fn replay<K: ByteEncode, V: ByteEncode>(bytes: &[u8], expected_schema: u32) -> Replay<K, V> {
+    let mut records: Vec<LogRecord<K, V>> = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let start = pos;
+        match read_record::<K, V>(bytes, &mut pos, expected_schema) {
+            Parse::Ok(rec) => {
+                if records.last().is_some_and(|prev| prev.version >= rec.version) {
+                    // Version reuse: a leftover from a failed group.
+                    return Replay {
+                        records,
+                        valid_len: start,
+                        torn: true,
+                        schema_mismatch: None,
+                    };
+                }
+                records.push(rec);
+            }
+            Parse::SchemaMismatch { found } => {
+                return Replay {
+                    records,
+                    valid_len: start,
+                    torn: false,
+                    schema_mismatch: Some(found),
+                }
+            }
+            Parse::Bad => {
+                return Replay {
+                    records,
+                    valid_len: start,
+                    torn: true,
+                    schema_mismatch: None,
+                }
+            }
+        }
+    }
+    Replay {
+        records,
+        valid_len: pos,
+        torn: false,
+        schema_mismatch: None,
+    }
+}
+
+enum Parse<K, V> {
+    Ok(LogRecord<K, V>),
+    SchemaMismatch { found: u32 },
+    Bad,
+}
+
+/// Parses one record; [`Parse::Bad`] (with `*pos` unspecified) when the
+/// frame is truncated, its checksum fails, or its payload is malformed.
+fn read_record<K: ByteEncode, V: ByteEncode>(
+    bytes: &[u8],
+    pos: &mut usize,
+    expected_schema: u32,
+) -> Parse<K, V> {
+    let mut parse = || -> Option<Parse<K, V>> {
+        let len = bytecode::try_read_varint(bytes, pos)? as usize;
+        let end = pos.checked_add(len)?;
+        if end.checked_add(4)? > bytes.len() {
+            return None;
+        }
+        let payload = &bytes[*pos..end];
+        let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return None;
+        }
+        *pos = end + 4;
+
+        // Payload is checksum-verified from here on; parse it.
+        let mut at = 0;
+        let version = bytecode::try_read_varint(payload, &mut at)?;
+        let schema_end = at.checked_add(4)?;
+        if schema_end > payload.len() {
+            return None;
+        }
+        let found = u32::from_le_bytes(payload[at..schema_end].try_into().expect("4 bytes"));
+        at = schema_end;
+        if found != expected_schema {
+            return Some(Parse::SchemaMismatch { found });
+        }
+        let count = bytecode::try_read_varint(payload, &mut at)? as usize;
+        if count > len {
+            return None; // each op takes at least one byte
+        }
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = *payload.get(at)?;
+            at += 1;
+            match tag {
+                OP_PUT => {
+                    let k = K::read(payload, &mut at);
+                    let v = V::read(payload, &mut at);
+                    ops.push(Op::Put(k, v));
+                }
+                OP_DELETE => ops.push(Op::Delete(K::read(payload, &mut at))),
+                _ => return None,
+            }
+        }
+        if at != payload.len() {
+            return None;
+        }
+        Some(Parse::Ok(LogRecord { version, ops }))
+    };
+    parse().unwrap_or(Parse::Bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::schema_id;
+
+    const SCHEMA: u32 = 0xD00D_F00D;
+
+    fn sample() -> Vec<u8> {
+        let mut log = Vec::new();
+        log.extend(encode_record::<u64, u64>(1, SCHEMA, &[Op::Put(1, 10), Op::Put(2, 20)]));
+        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Delete(1)]));
+        log.extend(encode_record::<u64, u64>(3, SCHEMA, &[Op::Put(3, 30)]));
+        log
+    }
+
+    #[test]
+    fn replay_roundtrips_records() {
+        let log = sample();
+        let replay = replay::<u64, u64>(&log, SCHEMA);
+        assert!(!replay.torn);
+        assert_eq!(replay.valid_len, log.len());
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0].version, 1);
+        assert_eq!(replay.records[1].ops, vec![Op::Delete(1)]);
+        assert_eq!(replay.records[2].ops, vec![Op::Put(3, 30)]);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let log = sample();
+        let first_two = replay::<u64, u64>(&log, SCHEMA).records[..2].to_vec();
+        // Cut anywhere inside the third record: first two survive.
+        let second_end =
+            log.len() - encode_record::<u64, u64>(3, SCHEMA, &[Op::Put(3, 30)]).len();
+        for cut in second_end + 1..log.len() {
+            let r = replay::<u64, u64>(&log[..cut], SCHEMA);
+            assert!(r.torn, "cut {cut}");
+            assert_eq!(r.valid_len, second_end);
+            assert_eq!(r.records, first_two);
+        }
+    }
+
+    #[test]
+    fn bit_flip_invalidates_record() {
+        let mut log = sample();
+        let n = log.len();
+        log[n - 10] ^= 0x40; // somewhere in the last record
+        let r = replay::<u64, u64>(&log, SCHEMA);
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 2);
+    }
+
+    #[test]
+    fn schema_mismatch_is_reported_not_misparsed() {
+        // A log written with (u64, u64) entries replayed expecting a
+        // different fingerprint: typed signal, no misparse, no panic.
+        let log = sample();
+        let r = replay::<u64, u64>(&log, schema_id::<(u64, String)>());
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 0);
+        assert_eq!(r.schema_mismatch, Some(SCHEMA));
+    }
+
+    #[test]
+    fn version_reuse_stops_replay() {
+        // A leftover record from a failed group followed by a
+        // successful group reusing the version: replay must not apply
+        // both.
+        let mut log = Vec::new();
+        log.extend(encode_record::<u64, u64>(1, SCHEMA, &[Op::Put(1, 1)]));
+        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Put(2, 2)]));
+        let clean = log.len();
+        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Put(9, 9)]));
+        let r = replay::<u64, u64>(&log, SCHEMA);
+        assert!(r.torn);
+        assert_eq!(r.valid_len, clean);
+        assert_eq!(r.records.len(), 2);
+    }
+}

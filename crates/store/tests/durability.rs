@@ -1,0 +1,224 @@
+//! Durability tests: save/open round trips, log replay, and the
+//! corruption-detection satellite — a truncated or bit-flipped snapshot
+//! must produce a typed error, never a panic or silent bad data.
+
+use std::path::PathBuf;
+
+use store::{Op, PacStore, StoreError, StoreOptions, LOG_FILE, SNAPSHOT_FILE};
+
+/// A fresh, empty scratch directory unique to this test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pacstore-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn save_and_reopen_serves_same_data() {
+    let dir = scratch("save-reopen");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store
+            .commit((0..5_000u64).map(|k| Op::Put(k, k * 7)).collect())
+            .unwrap();
+        store.commit(vec![Op::Delete(17), Op::Put(9_999, 1)]).unwrap();
+        assert_eq!(store.save().unwrap(), 2);
+    }
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.current_version(), 2);
+    assert_eq!(store.len(), 5_000);
+    assert_eq!(store.get(&17), None);
+    assert_eq!(store.get(&9_999), Some(1));
+    assert_eq!(store.get(&4_000), Some(28_000));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn log_replay_recovers_unsaved_commits() {
+    let dir = scratch("log-replay");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit((0..100u64).map(|k| Op::Put(k, k)).collect()).unwrap();
+        store.save().unwrap();
+        // These two commits live only in the log.
+        store.commit(vec![Op::Put(200, 200), Op::Delete(0)]).unwrap();
+        store.commit(vec![Op::Put(201, 201)]).unwrap();
+        // No save: drop the handle with the log dirty.
+    }
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.current_version(), 3);
+    assert_eq!(store.get(&200), Some(200));
+    assert_eq!(store.get(&201), Some(201));
+    assert_eq!(store.get(&0), None);
+    assert_eq!(store.get(&99), Some(99));
+    // Replayed versions are reachable for time travel.
+    assert_eq!(store.versions(), vec![1, 2, 3]);
+    assert_eq!(store.snapshot_at(2).unwrap().get(&201), None);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let dir = scratch("truncate-snap");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit((0..2_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
+        store.save().unwrap();
+    }
+    let path = dir.join(SNAPSHOT_FILE);
+    let full = std::fs::read(&path).unwrap();
+    // Truncate at a spread of byte positions, including header-only.
+    for cut in [0, 1, 7, 8, 9, 12, full.len() / 2, full.len() - 5, full.len() - 1] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = PacStore::<u64, u64>::open(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. } | StoreError::Truncated(_) | StoreError::BadMagic
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flipped_snapshot_is_a_checksum_error() {
+    let dir = scratch("bitflip-snap");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit((0..2_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
+        store.save().unwrap();
+    }
+    let path = dir.join(SNAPSHOT_FILE);
+    let full = std::fs::read(&path).unwrap();
+    for byte in [9, 20, full.len() / 2, full.len() - 2] {
+        let mut flipped = full.clone();
+        flipped[byte] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = PacStore::<u64, u64>::open(&dir).unwrap_err();
+        assert!(
+            matches!(err, StoreError::ChecksumMismatch { .. }),
+            "flip at {byte}: unexpected error {err}"
+        );
+    }
+    // Flipping the magic itself reports BadMagic (checked first).
+    let mut flipped = full.clone();
+    flipped[0] ^= 0xff;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir).unwrap_err(),
+        StoreError::BadMagic
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_log_tail_is_truncated_by_default_and_fatal_in_strict_mode() {
+    let dir = scratch("torn-log");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(1, 1)]).unwrap();
+        store.commit(vec![Op::Put(2, 2)]).unwrap();
+    }
+    // Simulate a torn write: garbage appended after the last record.
+    let log_path = dir.join(LOG_FILE);
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(&[0x55; 13]);
+    std::fs::write(&log_path, &bytes).unwrap();
+
+    // Strict mode refuses.
+    let strict = StoreOptions {
+        strict_log: true,
+        ..StoreOptions::default()
+    };
+    assert!(matches!(
+        PacStore::<u64, u64>::open_with(&dir, strict).unwrap_err(),
+        StoreError::Corrupt(_)
+    ));
+
+    // Default mode recovers the valid prefix and truncates the tail.
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.current_version(), 2);
+    assert_eq!(store.get(&1), Some(1));
+    assert_eq!(store.get(&2), Some(2));
+    drop(store);
+    assert_eq!(std::fs::read(&log_path).unwrap().len(), clean_len);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn second_handle_on_same_directory_is_locked_out() {
+    let dir = scratch("dir-lock");
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    store.commit(vec![Op::Put(1, 1)]).unwrap();
+    // A second live handle would interleave versions in the shared log.
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir),
+        Err(StoreError::Locked)
+    ));
+    // Cloned handles share the lock; dropping the last one releases it.
+    let clone = store.clone();
+    drop(store);
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir),
+        Err(StoreError::Locked)
+    ));
+    drop(clone);
+    let reopened: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(reopened.get(&1), Some(1));
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopening_with_different_types_is_a_typed_error() {
+    // Saved snapshot: schema check in the page header.
+    let dir = scratch("schema-snap");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(1, 300)]).unwrap();
+        store.save().unwrap();
+    }
+    assert!(matches!(
+        PacStore::<u64, String>::open(&dir).unwrap_err(),
+        StoreError::SchemaMismatch { .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Log-only store: schema check in each WAL record.
+    let dir = scratch("schema-log");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(1, 300)]).unwrap();
+    }
+    assert!(matches!(
+        PacStore::<u64, String>::open(&dir).unwrap_err(),
+        StoreError::SchemaMismatch { .. }
+    ));
+    // The right types still open it fine.
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.get(&1), Some(300));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn save_resets_log_and_later_commits_append_cleanly() {
+    let dir = scratch("save-resets-log");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        for i in 0..10u64 {
+            store.commit(vec![Op::Put(i, i)]).unwrap();
+        }
+        store.save().unwrap();
+        assert_eq!(std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(), 0);
+        store.commit(vec![Op::Put(100, 100)]).unwrap();
+        assert!(std::fs::metadata(dir.join(LOG_FILE)).unwrap().len() > 0);
+    }
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.current_version(), 11);
+    assert_eq!(store.len(), 11);
+    assert_eq!(store.get(&100), Some(100));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,64 @@
+//! pacstore tour: commits become versions, reads time-travel, and the
+//! whole store survives a restart via snapshot + log replay.
+//!
+//! Run with: `cargo run --release --example versioned_store`
+
+use store::{Op, PacStore};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pacstore-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Commit: batches become immutable versions -------------------
+    let db: PacStore<u64, u64> = PacStore::open(&dir).expect("open");
+    let v1 = db
+        .commit((0..1_000_000u64).map(|k| Op::Put(k, 0)).collect())
+        .expect("bulk load");
+    let v2 = db
+        .commit(vec![Op::Put(42, 1), Op::Put(43, 1), Op::Delete(0)])
+        .expect("update");
+    println!("bulk load -> version {v1} ({} keys)", db.len());
+    println!("update    -> version {v2}");
+
+    // --- Time travel: any retained version is an O(1) snapshot -------
+    let now = db.snapshot();
+    let before = db.snapshot_at(v1).expect("history");
+    println!(
+        "key 42: was {:?} at v{}, is {:?} at v{}",
+        before.get(&42),
+        before.version(),
+        now.get(&42),
+        now.version()
+    );
+    // Pinned snapshots are immune to later writes.
+    db.commit(vec![Op::Delete(42)]).expect("later write");
+    assert_eq!(now.get(&42), Some(1));
+
+    // --- Durability: save a snapshot page, commit more, restart ------
+    let saved = db.save().expect("save");
+    db.commit(vec![Op::Put(7_000_000, 7)]).expect("post-save commit");
+    let expected_len = db.len();
+    drop(db);
+
+    let db: PacStore<u64, u64> = PacStore::open(&dir).expect("reopen");
+    println!(
+        "reopened: version {} (saved snapshot v{saved} + log replay), {} keys",
+        db.current_version(),
+        db.len()
+    );
+    assert_eq!(db.len(), expected_len);
+    assert_eq!(db.get(&7_000_000), Some(7)); // replayed from the log
+    assert_eq!(db.get(&42), None);
+
+    let snap_bytes = std::fs::metadata(db.dir().unwrap().join(store::SNAPSHOT_FILE))
+        .expect("snapshot file")
+        .len();
+    println!(
+        "snapshot page: {:.1} MiB for {} u64->u64 entries ({:.1} bytes/entry)",
+        snap_bytes as f64 / (1 << 20) as f64,
+        db.len(),
+        snap_bytes as f64 / db.len() as f64
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -13,3 +13,4 @@ pub use invidx;
 pub use pam;
 pub use parlay;
 pub use spatial;
+pub use store;

@@ -169,6 +169,84 @@ fn spatial_structures_agree_with_each_other() {
 }
 
 #[test]
+fn store_survives_restart_with_concurrent_commits_and_pinned_readers() {
+    use store::{Op, PacStore, StoreError};
+
+    let dir = std::env::temp_dir().join(format!("pacstore-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (saved_version, expected, history_before) = {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).expect("open fresh");
+        store
+            .commit((0..10_000u64).map(|k| Op::Put(k, k)).collect())
+            .expect("preload");
+        let pinned = store.snapshot();
+
+        // Concurrent writers commit disjoint key ranges while readers
+        // hold pinned snapshots and verify they never change.
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for c in 0..10 {
+                        let base = 100_000 + w * 10_000 + c * 100;
+                        let ops = (0..100).map(|i| Op::Put(base + i, w)).collect();
+                        store.commit(ops).expect("commit");
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let pinned = pinned.clone();
+                scope.spawn(move || {
+                    for probe in 0..2_000u64 {
+                        assert_eq!(pinned.get(&(probe * 5 % 10_000)), Some(probe * 5 % 10_000));
+                    }
+                    assert_eq!(pinned.len(), 10_000);
+                });
+            }
+        });
+        assert_eq!(store.len(), 10_000 + 4 * 1_000);
+
+        let saved = store.save().expect("save");
+        // Post-save commits exist only in the batch log.
+        store.commit(vec![Op::Put(7, 700), Op::Delete(8)]).expect("log-only 1");
+        store.commit(vec![Op::Put(999_999, 1)]).expect("log-only 2");
+        (saved, store.snapshot().map().to_vec(), store.versions())
+    };
+
+    // Reopen: snapshot load + log replay must reproduce the exact state
+    // and the post-save version history.
+    let store: PacStore<u64, u64> = PacStore::open(&dir).expect("reopen");
+    assert_eq!(store.current_version(), saved_version + 2);
+    assert_eq!(store.snapshot().map().to_vec(), expected);
+    assert_eq!(store.get(&7), Some(700));
+    assert_eq!(store.get(&8), None);
+    assert_eq!(store.get(&999_999), Some(1));
+
+    // Version history: the reopened store reaches the saved version and
+    // each replayed one; those versions also appear in the pre-restart
+    // history (the old handle retains more, from before the save).
+    let history_after = store.versions();
+    assert_eq!(
+        history_after,
+        vec![saved_version, saved_version + 1, saved_version + 2]
+    );
+    for v in &history_after {
+        assert!(history_before.contains(v), "version {v} lost across restart");
+    }
+    // Time travel to the replayed middle version works after restart.
+    let mid = store.snapshot_at(saved_version + 1).expect("mid version");
+    assert_eq!(mid.get(&7), Some(700));
+    assert_eq!(mid.get(&999_999), None);
+    assert!(matches!(
+        store.snapshot_at(12345),
+        Err(StoreError::VersionNotFound(12345))
+    ));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn sequence_baselines_agree_with_arrays() {
     // CPAM sequences vs the ParallelSTL-style array baseline.
     let values: Vec<u64> = (0..50_000).map(|i| (i * 31) % 1013).collect();
