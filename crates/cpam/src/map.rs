@@ -205,12 +205,23 @@ where
     }
 
     /// Union; on duplicate keys the entry from `other` wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps have different block sizes (the result
+    /// shares subtrees with both inputs, so mismatched `B` would
+    /// silently violate the leaf-size invariant).
     pub fn union(&self, other: &Self) -> Self {
         self.union_with(other, |_, theirs| theirs.clone())
     }
 
     /// Union with `f(self_value, other_value)` combining duplicates.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
     pub fn union_with(&self, other: &Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+        assert_eq!(self.b, other.b, "union_with requires equal block sizes");
         let g = |a: &(K, V), b: &(K, V)| (a.0.clone(), f(&a.1, &b.1));
         PacMap {
             root: setops::union_with(self.b, self.root.clone(), other.root.clone(), &g),
@@ -219,7 +230,12 @@ where
     }
 
     /// Intersection; kept entries combine values with `f`.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
     pub fn intersect_with(&self, other: &Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+        assert_eq!(self.b, other.b, "intersect_with requires equal block sizes");
         let g = |a: &(K, V), b: &(K, V)| (a.0.clone(), f(&a.1, &b.1));
         PacMap {
             root: setops::intersect_with(self.b, self.root.clone(), other.root.clone(), &g),
@@ -228,7 +244,12 @@ where
     }
 
     /// Entries of `self` whose keys are not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
     pub fn difference(&self, other: &Self) -> Self {
+        assert_eq!(self.b, other.b, "difference requires equal block sizes");
         PacMap {
             root: setops::difference(self.b, self.root.clone(), other.root.clone()),
             b: self.b,

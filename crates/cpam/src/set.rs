@@ -163,7 +163,14 @@ where
     }
 
     /// Set union. Work `O(m log(n/m) + min(mB, n))` (Theorem 6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different block sizes (the result
+    /// shares subtrees with both inputs, so mismatched `B` would
+    /// silently violate the leaf-size invariant).
     pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(self.b, other.b, "union requires equal block sizes");
         PacSet {
             root: setops::union_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
                 a.clone()
@@ -173,7 +180,12 @@ where
     }
 
     /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacSet::union`].
     pub fn intersect(&self, other: &Self) -> Self {
+        assert_eq!(self.b, other.b, "intersect requires equal block sizes");
         PacSet {
             root: setops::intersect_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
                 a.clone()
@@ -183,7 +195,12 @@ where
     }
 
     /// Elements of `self` not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacSet::union`].
     pub fn difference(&self, other: &Self) -> Self {
+        assert_eq!(self.b, other.b, "difference requires equal block sizes");
         PacSet {
             root: setops::difference(self.b, self.root.clone(), other.root.clone()),
             b: self.b,

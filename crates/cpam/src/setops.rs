@@ -23,6 +23,23 @@ fn par_cutoff(b: usize) -> usize {
     (4 * b).max(1024)
 }
 
+/// Re-folds a small tree whose root is an (invariant-violating) regular
+/// node back into a flat leaf. [`expose`] unfolds flat nodes into their
+/// expanded all-regular form, and union's empty-side shortcut can
+/// return such a subtree verbatim; every other constructor folds via
+/// `node()`. Trees larger than `2b` are already valid and pass through.
+fn refold<E, A, C>(b: usize, t: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match &t {
+        Some(node) if !node.is_flat() && node.size() <= 2 * b => from_sorted(b, &to_vec(&t)),
+        _ => t,
+    }
+}
+
 fn merge_union<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E) -> Vec<E> {
     let mut out = Vec::with_capacity(xs.len() + ys.len());
     let (mut i, mut j) = (0, 0);
@@ -104,7 +121,8 @@ where
     F: Fn(&E, &E) -> E + Sync,
 {
     let (Some(n1), Some(n2)) = (&t1, &t2) else {
-        return t1.or(t2);
+        // One side may be an expose-expanded subtree: re-fold it.
+        return refold(b, t1.or(t2));
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
@@ -145,7 +163,8 @@ where
     F: Fn(&E, &E) -> E + Sync,
 {
     let (Some(_), Some(n2)) = (&t1, &t2) else {
-        return t1.or(t2);
+        // One side may be an expose-expanded subtree: re-fold it.
+        return refold(b, t1.or(t2));
     };
     let total = size(&t1) + n2.size();
     let (l2, k2, r2) = expose(n2);

@@ -1,0 +1,172 @@
+//! Differential tests for the batch-parallel map API: randomized op
+//! sequences drive `PacMap::{multi_insert_with, multi_delete, range,
+//! union_with}` against a `BTreeMap` oracle, across the paper's
+//! block-size sweep B ∈ {1, 2, 8, 32, 128}. Every divergence panics
+//! with the exact reproducing seed (`PROPTEST_SEED=<n>`), and setting
+//! that variable replays just that sequence on every block size.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PacMap;
+
+const KEY_SPAN: u64 = 128;
+
+fn cases() -> u64 {
+    std::env::var("DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn env_seed() -> Option<u64> {
+    std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok())
+}
+
+fn check(step: &str, m: &PacMap<u64, u64>, oracle: &BTreeMap<u64, u64>) -> Result<(), String> {
+    let got = m.to_vec();
+    let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    if got != want {
+        return Err(format!(
+            "{step}: contents diverge\n  pacmap: {got:?}\n  oracle: {want:?}"
+        ));
+    }
+    m.check_invariants().map_err(|e| format!("{step}: {e}"))
+}
+
+/// One randomized sequence over one block size.
+fn run_one(seed: u64, b: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m: PacMap<u64, u64> = PacMap::with_block_size(b);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+
+    let steps = 1 + rng.gen_range(0..6usize);
+    for step in 0..steps {
+        match rng.gen_range(0..4) {
+            // multi_insert_with: duplicate keys (both within the batch
+            // and vs the map) combine with f — the group-by semantics.
+            0 => {
+                let len = rng.gen_range(0..24usize);
+                let batch: Vec<(u64, u64)> = (0..len)
+                    .map(|_| (rng.gen_range(0..KEY_SPAN), rng.gen_range(0..1_000)))
+                    .collect();
+                for (k, v) in &batch {
+                    *oracle.entry(*k).or_insert(0) += v;
+                }
+                m = m.multi_insert_with(batch, |old, new| old + new);
+                check(&format!("step {step}: multi_insert_with"), &m, &oracle)?;
+            }
+            // multi_delete: absent keys and duplicates must be no-ops.
+            1 => {
+                let len = rng.gen_range(0..16usize);
+                let keys: Vec<u64> =
+                    (0..len).map(|_| rng.gen_range(0..KEY_SPAN + 32)).collect();
+                for k in &keys {
+                    oracle.remove(k);
+                }
+                m = m.multi_delete(keys);
+                check(&format!("step {step}: multi_delete"), &m, &oracle)?;
+            }
+            // range: the submap [lo, hi] both as a tree and as entries.
+            2 => {
+                let a = rng.gen_range(0..KEY_SPAN);
+                let z = rng.gen_range(0..KEY_SPAN);
+                let (lo, hi) = (a.min(z), a.max(z));
+                let want: Vec<(u64, u64)> =
+                    oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                let sub = m.range(&lo, &hi);
+                if sub.to_vec() != want {
+                    return Err(format!(
+                        "step {step}: range [{lo}, {hi}] diverges\n  pacmap: {:?}\n  oracle: {want:?}",
+                        sub.to_vec()
+                    ));
+                }
+                sub.check_invariants()
+                    .map_err(|e| format!("step {step}: range submap: {e}"))?;
+                if m.range_entries(&lo, &hi) != want {
+                    return Err(format!("step {step}: range_entries [{lo}, {hi}] diverges"));
+                }
+            }
+            // union_with: merge with an independently generated map,
+            // combining values on key collisions.
+            _ => {
+                let len = rng.gen_range(0..24usize);
+                let pairs: Vec<(u64, u64)> = (0..len)
+                    .map(|_| (rng.gen_range(0..KEY_SPAN), rng.gen_range(0..1_000)))
+                    .collect();
+                // Binary ops require matching block sizes (asserted —
+                // a property this very harness uncovered: mixed-B
+                // unions share leaves across trees and silently break
+                // the leaf-size invariant).
+                let other: PacMap<u64, u64> = PacMap::from_pairs_with(b, pairs.clone());
+                let mut other_oracle: BTreeMap<u64, u64> = BTreeMap::new();
+                for (k, v) in pairs {
+                    other_oracle.insert(k, v); // from_pairs: last wins
+                }
+                for (k, v) in other_oracle {
+                    oracle
+                        .entry(k)
+                        .and_modify(|o| *o = o.wrapping_mul(31).wrapping_add(v))
+                        .or_insert(v);
+                }
+                m = m.union_with(&other, |a, b| a.wrapping_mul(31).wrapping_add(*b));
+                check(&format!("step {step}: union_with"), &m, &oracle)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_block_size(b: usize) {
+    let (start, n) = match env_seed() {
+        Some(seed) => (seed, 1),
+        None => ((b as u64).wrapping_mul(0xA076_1D64_78BD_642F), cases()),
+    };
+    for case in 0..n {
+        let seed = start.wrapping_add(case);
+        if let Err(msg) = run_one(seed, b) {
+            panic!(
+                "pacmap differential divergence (b={b}): {msg}\n\
+                 reproduce with: PROPTEST_SEED={seed} cargo test -p cpam differential"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_b1() {
+    run_block_size(1);
+}
+
+#[test]
+fn differential_b2() {
+    run_block_size(2);
+}
+
+#[test]
+fn differential_b8() {
+    run_block_size(8);
+}
+
+#[test]
+fn differential_b32() {
+    run_block_size(32);
+}
+
+#[test]
+fn differential_b128() {
+    run_block_size(128);
+}
+
+/// Mixed-block-size binary ops are a loud error, not silent corruption
+/// (found by this harness: the union would adopt the other tree's
+/// leaves and violate the leaf-size invariant).
+#[test]
+#[should_panic(expected = "equal block sizes")]
+fn union_with_mismatched_block_sizes_panics() {
+    let a: PacMap<u64, u64> = PacMap::from_pairs_with(2, vec![(1, 1)]);
+    let b: PacMap<u64, u64> = PacMap::from_pairs_with(64, (0..40).map(|i| (i, i)).collect());
+    let _ = a.union(&b);
+}

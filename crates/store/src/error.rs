@@ -58,6 +58,12 @@ pub enum StoreError {
     /// The commit group this batch was part of failed; the message is
     /// the leader's error.
     CommitFailed(String),
+    /// The key-range boundaries handed to a [`crate::Router`] were not
+    /// strictly ascending.
+    InvalidBoundaries(String),
+    /// A sharded store directory's partition map disagrees with the
+    /// store being opened (shard count, or a missing/foreign file).
+    PartitionMismatch(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -94,6 +100,12 @@ impl std::fmt::Display for StoreError {
                 "batch log poisoned by an unrolled-back append failure; save() resets it"
             ),
             StoreError::CommitFailed(msg) => write!(f, "commit group failed: {msg}"),
+            StoreError::InvalidBoundaries(msg) => {
+                write!(f, "invalid partition boundaries: {msg}")
+            }
+            StoreError::PartitionMismatch(msg) => {
+                write!(f, "partition map mismatch: {msg}")
+            }
         }
     }
 }

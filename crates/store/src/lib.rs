@@ -19,6 +19,11 @@
 //! * **Durability** ([`wal`]) — `save`/`open` of snapshot pages plus an
 //!   append-only batch log replayed on open, with standard
 //!   torn-tail recovery.
+//! * **[`ShardedStore`]** — N independent MVCC shards over disjoint key
+//!   ranges (a [`Router`] partition map), batches split by range and
+//!   applied to shards in parallel, with *atomic* cross-shard commits
+//!   via a two-phase manifest and cross-shard snapshot isolation
+//!   (every [`ShardedSnapshot`] pins one consistent version vector).
 //!
 //! ```
 //! use store::{Op, PacStore};
@@ -47,6 +52,8 @@ pub mod checksum;
 mod error;
 mod mvcc;
 pub mod pagefmt;
+mod router;
+mod shard;
 pub mod wal;
 
 pub use error::StoreError;
@@ -55,6 +62,8 @@ pub use mvcc::{
     SNAPSHOT_FILE,
 };
 pub use pagefmt::{
-    decode_snapshot, encode_snapshot, read_snapshot_file, write_snapshot_file, DiskTree,
-    SNAPSHOT_MAGIC,
+    decode_snapshot, encode_snapshot, read_snapshot_file, write_file_atomic,
+    write_snapshot_file, DiskTree, SNAPSHOT_MAGIC,
 };
+pub use router::{Router, PARTITION_FILE, PARTITION_MAGIC};
+pub use shard::{shard_dir_name, ShardedSnapshot, ShardedStore, MANIFEST_FILE};

@@ -265,9 +265,10 @@ where
 
 /// Applies a batch to a map: collapses to last-op-wins per key (ops are
 /// in submission order), then one parallel batch insert plus one batch
-/// delete. Used identically by commit and by log replay, so a replayed
-/// store converges to the same state.
-fn apply_ops<K, V, C>(
+/// delete. Used identically by commit and by log replay — and by each
+/// shard of a [`crate::ShardedStore`] — so a replayed store converges
+/// to the same state.
+pub(crate) fn apply_ops<K, V, C>(
     map: &PacMap<K, V, NoAug, C>,
     ops: impl IntoIterator<Item = Op<K, V>>,
 ) -> PacMap<K, V, NoAug, C>
@@ -403,6 +404,12 @@ where
             if let Some(found) = replay.schema_mismatch {
                 return Err(StoreError::SchemaMismatch { found, expected });
             }
+            if let Some(found) = replay.format_mismatch {
+                return Err(StoreError::Corrupt(format!(
+                    "log record format {found:#04x}, this build reads {:#04x}",
+                    wal::LOG_FORMAT
+                )));
+            }
             if replay.torn && opts.strict_log {
                 return Err(StoreError::Corrupt(format!(
                     "torn or corrupt log tail after byte {}",
@@ -526,7 +533,13 @@ where
         let new_version = base_version + 1;
         // Serialize the record first: applying consumes the ops.
         let record = matches!(*log_guard, LogState::Active(_)).then(|| {
-            wal::encode_record(new_version, crate::checksum::schema_id::<(K, V)>(), &all_ops)
+            wal::encode_record(
+                new_version,
+                new_version,
+                &[],
+                crate::checksum::schema_id::<(K, V)>(),
+                &all_ops,
+            )
         });
         let new_map = apply_ops(&base_map, all_ops);
 

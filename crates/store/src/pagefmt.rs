@@ -288,10 +288,31 @@ pub fn decode_snapshot<T: DiskTree>(bytes: &[u8]) -> Result<(T, u64), StoreError
     Ok((tree, version))
 }
 
-/// Writes a snapshot page to `path` atomically and durably: temp file,
-/// `fsync`, rename, then `fsync` of the containing directory — so after
-/// this returns, a machine crash leaves either the old page or the new
-/// one, never a torn or vanished file.
+/// Writes `bytes` to `path` atomically and durably: temp file, `fsync`,
+/// rename, then `fsync` of the containing directory — so after this
+/// returns, a machine crash leaves either the old file or the new one,
+/// never a torn or vanished file. Used for snapshot pages, the sharded
+/// store's partition map, and manifest checkpoints.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself (directory entry update).
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Writes a snapshot page to `path` via [`write_file_atomic`].
 ///
 /// # Errors
 ///
@@ -301,19 +322,7 @@ pub fn write_snapshot_file<T: DiskTree>(
     tree: &T,
     version: u64,
 ) -> Result<(), StoreError> {
-    let page = encode_snapshot(tree, version);
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut file, &page)?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // Persist the rename itself (directory entry update).
-        std::fs::File::open(dir)?.sync_all()?;
-    }
-    Ok(())
+    write_file_atomic(path, &encode_snapshot(tree, version))
 }
 
 /// Reads a snapshot page from `path`; see [`decode_snapshot`] for the

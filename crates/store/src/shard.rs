@@ -1,0 +1,1449 @@
+//! The sharded store: N independent MVCC shards over disjoint key
+//! ranges, with atomic cross-shard batch commits.
+//!
+//! Each shard is a complete single-directory store in miniature — its
+//! own PaC-tree state, snapshot page, and write-ahead log in a
+//! `shard-NNN/` subdirectory — so independent key ranges commit with
+//! independent tree updates, applied **in parallel** with
+//! [`parlay::join`] (the same batch-parallel ethos as the paper's
+//! `multi_insert`, scaled out across trees). What makes the composite
+//! a single store rather than N stores is the *global commit
+//! protocol*:
+//!
+//! 1. **Prepare** — a global commit id `g` is assigned, the batch is
+//!    split by key range ([`crate::Router`]), and each participating
+//!    shard appends one WAL record tagged with `g` and the full
+//!    participant set.
+//! 2. **Commit** — one record `{g, participants, version vector}` is
+//!    appended to the `manifest.pac` log (`fsync`ed when
+//!    [`StoreOptions::fsync_commits`] is set). This is the
+//!    acknowledgment point.
+//! 3. **Publish** — the new shard maps and the version vector become
+//!    visible to readers atomically, under one state lock.
+//!
+//! Recovery (open) replays the manifest and every shard WAL, then
+//! rolls a global commit forward **iff it is fully prepared**: every
+//! participant either holds a checksum-valid WAL record for `g` or has
+//! `g`'s effect baked into its snapshot page. A partially prepared
+//! commit — a crash between shard appends — is dropped from *every*
+//! WAL (truncated at the record boundary), so a global commit is never
+//! partially visible. A fully prepared commit whose manifest record
+//! was lost rolls forward and the manifest is healed. With
+//! `fsync_commits`, shard WALs are synced before the manifest record
+//! is written, so every *acknowledged* commit is fully prepared on
+//! disk and survives; without it the same ordering holds for process
+//! crashes (completed `write`s survive) but not machine crashes.
+//!
+//! Readers get cross-shard snapshot isolation: [`ShardedStore::snapshot`]
+//! pins one consistent version vector (one `Arc` bump per shard) and
+//! never observes a half-published commit.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use codecs::{bytecode, BlockIo, RawCodec};
+use cpam::{NoAug, PacMap};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::StoreError;
+use crate::mvcc::{apply_ops, Op, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, SNAPSHOT_FILE};
+use crate::pagefmt;
+use crate::router::{Router, PARTITION_FILE};
+use crate::wal;
+
+/// File name of the global-commit manifest inside a sharded store
+/// directory.
+pub const MANIFEST_FILE: &str = "manifest.pac";
+
+/// Name of shard `i`'s subdirectory inside a sharded store directory.
+pub fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+// ---------------------------------------------------------------------
+// Manifest records
+// ---------------------------------------------------------------------
+
+/// One manifest record: global commit `global` committed with the given
+/// participant set, leaving the store at `locals` (one local version
+/// per shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ManifestRecord {
+    pub global: u64,
+    pub participants: Vec<u32>,
+    pub locals: Vec<u64>,
+}
+
+/// Encodes one manifest record with the same framing as a WAL record
+/// (`wal::frame`): payload = `format byte (wal::LOG_FORMAT), global
+/// varint, pcount varint + ids, shard count varint + locals`.
+pub(crate) fn encode_manifest_record(rec: &ManifestRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(rec.locals.len() * 4 + 16);
+    payload.push(wal::LOG_FORMAT);
+    bytecode::write_varint(rec.global, &mut payload);
+    bytecode::write_varint(rec.participants.len() as u64, &mut payload);
+    for &p in &rec.participants {
+        bytecode::write_varint(u64::from(p), &mut payload);
+    }
+    bytecode::write_varint(rec.locals.len() as u64, &mut payload);
+    for &l in &rec.locals {
+        bytecode::write_varint(l, &mut payload);
+    }
+    wal::frame(&payload)
+}
+
+/// Result of replaying a manifest image: the longest valid prefix of
+/// records (strictly increasing globals), each with its starting byte
+/// offset, plus torn-tail information — mirroring [`wal::replay`].
+#[derive(Debug)]
+pub(crate) struct ManifestReplay {
+    pub records: Vec<ManifestRecord>,
+    pub offsets: Vec<usize>,
+    pub valid_len: usize,
+    pub torn: bool,
+    /// A checksum-valid record with a foreign format byte: the manifest
+    /// was written by a build with a different record layout.
+    pub format_mismatch: Option<u8>,
+}
+
+/// Parses one checksum-verified manifest payload; `None` when it is
+/// malformed, `Err(found)` on a foreign format byte.
+fn parse_manifest_payload(payload: &[u8], shard_count: usize) -> Result<Option<ManifestRecord>, u8> {
+    let mut at = 0;
+    let parse = |at: &mut usize| -> Option<ManifestRecord> {
+        let global = bytecode::try_read_varint(payload, at)?;
+        let pcount = bytecode::try_read_varint(payload, at)? as usize;
+        if pcount > shard_count {
+            return None;
+        }
+        let mut participants = Vec::with_capacity(pcount);
+        for _ in 0..pcount {
+            let p = u32::try_from(bytecode::try_read_varint(payload, at)?).ok()?;
+            if p as usize >= shard_count {
+                return None;
+            }
+            participants.push(p);
+        }
+        let lcount = bytecode::try_read_varint(payload, at)? as usize;
+        if lcount != shard_count {
+            return None;
+        }
+        let mut locals = Vec::with_capacity(lcount);
+        for _ in 0..lcount {
+            locals.push(bytecode::try_read_varint(payload, at)?);
+        }
+        if *at != payload.len() {
+            return None;
+        }
+        Some(ManifestRecord { global, participants, locals })
+    };
+    match payload.first() {
+        None => Ok(None),
+        Some(&f) if f != wal::LOG_FORMAT => Err(f),
+        Some(_) => {
+            at += 1;
+            Ok(parse(&mut at))
+        }
+    }
+}
+
+pub(crate) fn replay_manifest(bytes: &[u8], shard_count: usize) -> ManifestReplay {
+    let mut records: Vec<ManifestRecord> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::new();
+    let mut frames = wal::Frames::new(bytes);
+    let mut format_mismatch = None;
+    loop {
+        let start = frames.pos;
+        let Some(payload) = frames.next() else { break };
+        match parse_manifest_payload(payload, shard_count) {
+            Ok(Some(rec)) => {
+                if records.last().is_some_and(|prev| prev.global >= rec.global) {
+                    frames.pos = start;
+                    break;
+                }
+                records.push(rec);
+                offsets.push(start);
+            }
+            Err(found) => {
+                format_mismatch = Some(found);
+                frames.pos = start;
+                break;
+            }
+            Ok(None) => {
+                frames.pos = start;
+                break;
+            }
+        }
+    }
+    ManifestReplay {
+        records,
+        offsets,
+        valid_len: frames.pos,
+        torn: format_mismatch.is_none() && frames.pos < bytes.len(),
+        format_mismatch,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel helpers
+// ---------------------------------------------------------------------
+
+/// Applies `f(i)` to every index in `0..n` in parallel via binary
+/// forking ([`parlay::join`]), collecting results in index order. The
+/// shard fan-out primitive for commit/save/open.
+fn par_for_shards<R: Send>(n: usize, f: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    fn rec<R: Send>(lo: usize, hi: usize, f: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+        if hi - lo <= 1 {
+            return (lo..hi).map(f).collect();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (mut l, r) = parlay::join(|| rec(lo, mid, f), || rec(mid, hi, f));
+        l.extend(r);
+        l
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    parlay::run(|| rec(0, n, f))
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// An immutable cross-shard view: one consistent version vector, pinned
+/// for as long as it lives. Obtained from [`ShardedStore::snapshot`] /
+/// [`ShardedStore::snapshot_at`].
+pub struct ShardedSnapshot<K, V, C = RawCodec>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    global: u64,
+    locals: Vec<u64>,
+    router: Arc<Router<K>>,
+    maps: Vec<PacMap<K, V, NoAug, C>>,
+}
+
+impl<K, V, C> Clone for ShardedSnapshot<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn clone(&self) -> Self {
+        ShardedSnapshot {
+            global: self.global,
+            locals: self.locals.clone(),
+            router: Arc::clone(&self.router),
+            maps: self.maps.clone(),
+        }
+    }
+}
+
+impl<K, V, C> ShardedSnapshot<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    /// The global commit id this snapshot pinned.
+    pub fn version(&self) -> u64 {
+        self.global
+    }
+
+    /// The per-shard local versions this snapshot pinned (one entry per
+    /// shard, in shard order).
+    pub fn version_vector(&self) -> &[u64] {
+        &self.locals
+    }
+
+    /// The value under `k` at this version vector.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.maps[self.router.shard_of(k)].find(k)
+    }
+
+    /// True if `k` exists at this version vector.
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.maps[self.router.shard_of(k)].contains_key(k)
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.maps.iter().map(PacMap::len).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.maps.iter().all(PacMap::is_empty)
+    }
+
+    /// All entries in global key order (shards hold contiguous ranges,
+    /// so concatenating per-shard entries in shard order is sorted).
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for m in &self.maps {
+            out.extend(m.to_vec());
+        }
+        out
+    }
+
+    /// The entries with keys in `[lo, hi]`, in key order, composed from
+    /// the per-shard [`PacMap::range_entries`] of the overlapping
+    /// shards only.
+    pub fn range_entries(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for s in self.router.shards_overlapping(lo, hi) {
+            out.extend(self.maps[s].range_entries(lo, hi));
+        }
+        out
+    }
+
+    /// The map backing shard `i`, for the full per-range query
+    /// interface.
+    pub fn shard_map(&self, i: usize) -> &PacMap<K, V, NoAug, C> {
+        &self.maps[i]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+impl<K, V, C> std::fmt::Debug for ShardedSnapshot<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSnapshot")
+            .field("version", &self.global)
+            .field("version_vector", &self.locals)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+struct ShardedState<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    global: u64,
+    locals: Vec<u64>,
+    maps: Vec<PacMap<K, V, NoAug, C>>,
+    /// Recent `(global, locals, maps)` triples, oldest first; always
+    /// contains the current version as its back element.
+    history: VecDeque<(u64, Vec<u64>, Vec<PacMap<K, V, NoAug, C>>)>,
+}
+
+/// The durable half of a sharded store: per-shard WAL handles plus the
+/// manifest. `Poisoned` mirrors [`crate::PacStore`]'s log poisoning: an
+/// append failure that could not be rolled back refuses further commits
+/// until [`ShardedStore::save`] resets every log.
+enum DurableState {
+    /// In-memory store: nothing to log.
+    None,
+    /// Healthy logs, appends allowed.
+    Active { shard_logs: Vec<File>, manifest: File },
+    /// Unrolled-back append failure; the shard logs are kept so
+    /// `save()` can reset and heal them (the manifest is reopened from
+    /// its checkpoint).
+    Poisoned { shard_logs: Vec<File> },
+}
+
+struct CommitQueue<K, V> {
+    pending: Vec<(u64, Vec<Op<K, V>>)>,
+    next_ticket: u64,
+    results: HashMap<u64, Result<u64, String>>,
+    leader_running: bool,
+}
+
+struct Inner<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    opts: StoreOptions,
+    router: Arc<Router<K>>,
+    dir: Option<PathBuf>,
+    /// Held for the lifetime of this store's handles (see
+    /// [`crate::PacStore`]'s lock discussion).
+    _dir_lock: Option<File>,
+    /// Lock order: `log` before `state` (leaders hold it across prepare,
+    /// manifest append, *and* publish).
+    log: Mutex<DurableState>,
+    state: Mutex<ShardedState<K, V, C>>,
+    commit: Mutex<CommitQueue<K, V>>,
+    commit_cv: Condvar,
+}
+
+/// A versioned, persistent key-value store partitioned into N
+/// independent MVCC shards by key range, with atomic cross-shard batch
+/// commits (prepare: per-shard WAL records tagged with a global commit
+/// id; commit: one manifest record; recovery: roll forward fully
+/// prepared commits, drop partial ones — see DESIGN.md §6).
+///
+/// Handles are cheap to clone and share one store; all methods take
+/// `&self`.
+///
+/// ```
+/// use store::{Op, Router, ShardedStore};
+///
+/// let store: ShardedStore<u64, u64> =
+///     ShardedStore::in_memory(Router::uniform_span(4, 1000)).unwrap();
+///
+/// // One commit spanning several shards: atomic, one global version.
+/// let v1 = store
+///     .commit((0..1000).map(|k| Op::Put(k, k)).collect())
+///     .unwrap();
+/// assert_eq!(v1, 1);
+/// assert_eq!(store.len(), 1000);
+///
+/// // Snapshots pin a consistent version vector across all shards.
+/// let snap = store.snapshot();
+/// store.commit(vec![Op::Delete(0), Op::Put(999, 7)]).unwrap();
+/// assert_eq!(snap.get(&0), Some(0));
+/// assert_eq!(snap.version_vector().len(), 4);
+/// ```
+pub struct ShardedStore<K, V, C = RawCodec>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    inner: Arc<Inner<K, V, C>>,
+}
+
+impl<K, V, C> Clone for ShardedStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn clone(&self) -> Self {
+        ShardedStore { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<K, V, C> std::fmt::Debug for ShardedStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.inner.state.lock();
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.inner.router.shard_count())
+            .field("version", &s.global)
+            .field("version_vector", &s.locals)
+            .field("len", &s.maps.iter().map(PacMap::len).sum::<usize>())
+            .field("dir", &self.inner.dir)
+            .finish()
+    }
+}
+
+impl<K, V, C> ShardedStore<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn from_parts(
+        opts: StoreOptions,
+        router: Router<K>,
+        dir: Option<PathBuf>,
+        dir_lock: Option<File>,
+        log: DurableState,
+        state: ShardedState<K, V, C>,
+    ) -> Self {
+        ShardedStore {
+            inner: Arc::new(Inner {
+                opts,
+                router: Arc::new(router),
+                dir,
+                _dir_lock: dir_lock,
+                log: Mutex::new(log),
+                state: Mutex::new(state),
+                commit: Mutex::new(CommitQueue {
+                    pending: Vec::new(),
+                    next_ticket: 0,
+                    results: HashMap::new(),
+                    leader_running: false,
+                }),
+                commit_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    fn fresh_state(opts: &StoreOptions, shards: usize) -> ShardedState<K, V, C> {
+        let maps: Vec<PacMap<K, V, NoAug, C>> =
+            (0..shards).map(|_| PacMap::with_block_size(opts.block_size)).collect();
+        let locals = vec![0u64; shards];
+        let mut history = VecDeque::new();
+        history.push_back((0, locals.clone(), maps.clone()));
+        ShardedState { global: 0, locals, maps, history }
+    }
+
+    /// An empty, ephemeral sharded store (no directory: `save` is an
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// Currently none (the router is already validated); fallible for
+    /// signature stability with the durable constructors.
+    pub fn in_memory(router: Router<K>) -> Result<Self, StoreError> {
+        Self::in_memory_with(router, StoreOptions::default())
+    }
+
+    /// [`ShardedStore::in_memory`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedStore::in_memory`].
+    pub fn in_memory_with(router: Router<K>, opts: StoreOptions) -> Result<Self, StoreError> {
+        let state = Self::fresh_state(&opts, router.shard_count());
+        Ok(Self::from_parts(opts, router, None, None, DurableState::None, state))
+    }
+
+    /// Opens an existing sharded store in `dir`, recovering the routing
+    /// from the persisted partition map.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::PartitionMismatch`] when `dir` has no partition
+    /// map; otherwise see [`ShardedStore::open_or_create`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`ShardedStore::open`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedStore::open`].
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        if !dir.join(PARTITION_FILE).exists() {
+            return Err(StoreError::PartitionMismatch(format!(
+                "{} has no partition map; create the store with open_or_create",
+                dir.display()
+            )));
+        }
+        Self::open_impl(dir, None, opts)
+    }
+
+    /// Opens the sharded store in `dir`, creating it with `router`'s
+    /// partitioning if the directory holds no partition map yet. When
+    /// the store already exists, the *persisted* partition map wins —
+    /// `router` is checked against it and a mismatch is a typed error
+    /// (re-partitioning an existing store would misroute its data).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another handle holds the directory;
+    /// [`StoreError::PartitionMismatch`] when `router` disagrees with
+    /// the persisted map; every shard-level open error of
+    /// [`crate::PacStore::open`]; [`StoreError::Corrupt`] for torn
+    /// manifests or WAL tails under [`StoreOptions::strict_log`].
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        router: Router<K>,
+        opts: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(dir.as_ref(), Some(router), opts)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        router: Option<Router<K>>,
+        opts: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+
+        // One advisory lock for the whole sharded directory.
+        let dir_lock = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .open(dir.join(LOCK_FILE))?;
+        match dir_lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => return Err(StoreError::Locked),
+            Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
+        }
+
+        // Partition map: persisted one wins; a supplied router must
+        // agree with it.
+        let partition_path = dir.join(PARTITION_FILE);
+        let router = if partition_path.exists() {
+            let persisted = Router::<K>::load(&partition_path)?;
+            if let Some(given) = router {
+                if given != persisted {
+                    return Err(StoreError::PartitionMismatch(format!(
+                        "supplied router ({} shards) differs from the persisted partition map \
+                         ({} shards or different boundaries)",
+                        given.shard_count(),
+                        persisted.shard_count()
+                    )));
+                }
+            }
+            persisted
+        } else {
+            let router = router.ok_or_else(|| {
+                StoreError::PartitionMismatch(format!(
+                    "{} has no partition map; create the store with open_or_create",
+                    dir.display()
+                ))
+            })?;
+            router.save(&partition_path)?;
+            router
+        };
+        let shards = router.shard_count();
+
+        // Load shard snapshot pages in parallel.
+        let loaded: Vec<Result<(PacMap<K, V, NoAug, C>, u64), StoreError>> =
+            par_for_shards(shards, &|i| {
+                let sdir = dir.join(shard_dir_name(i));
+                std::fs::create_dir_all(&sdir)?;
+                let snap_path = sdir.join(SNAPSHOT_FILE);
+                if snap_path.exists() {
+                    pagefmt::read_snapshot_file::<PacMap<K, V, NoAug, C>>(&snap_path)
+                } else {
+                    Ok((PacMap::with_block_size(opts.block_size), 0))
+                }
+            });
+        let mut maps = Vec::with_capacity(shards);
+        let mut snap_vers = Vec::with_capacity(shards);
+        for r in loaded {
+            let (m, v) = r?;
+            maps.push(m);
+            snap_vers.push(v);
+        }
+
+        // Replay the manifest and every shard WAL.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest_bytes =
+            if manifest_path.exists() { std::fs::read(&manifest_path)? } else { Vec::new() };
+        let manifest = replay_manifest(&manifest_bytes, shards);
+        if let Some(found) = manifest.format_mismatch {
+            return Err(StoreError::Corrupt(format!(
+                "manifest record format {found:#04x}, this build reads {:#04x}",
+                wal::LOG_FORMAT
+            )));
+        }
+        if manifest.torn && opts.strict_log {
+            return Err(StoreError::Corrupt(format!(
+                "torn or corrupt manifest tail after byte {}",
+                manifest.valid_len
+            )));
+        }
+        let manifest_by_global: HashMap<u64, &ManifestRecord> =
+            manifest.records.iter().map(|r| (r.global, r)).collect();
+
+        let expected = crate::checksum::schema_id::<(K, V)>();
+        let mut shard_replays = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let log_path = dir.join(shard_dir_name(i)).join(LOG_FILE);
+            let bytes = if log_path.exists() { std::fs::read(&log_path)? } else { Vec::new() };
+            let replay = wal::replay::<K, V>(&bytes, expected);
+            if let Some(found) = replay.schema_mismatch {
+                return Err(StoreError::SchemaMismatch { found, expected });
+            }
+            if let Some(found) = replay.format_mismatch {
+                return Err(StoreError::Corrupt(format!(
+                    "shard {i}: log record format {found:#04x}, this build reads {:#04x}",
+                    wal::LOG_FORMAT
+                )));
+            }
+            if replay.torn && opts.strict_log {
+                return Err(StoreError::Corrupt(format!(
+                    "shard {i}: torn or corrupt log tail after byte {}",
+                    replay.valid_len
+                )));
+            }
+            shard_replays.push(replay);
+        }
+
+        // ----- Reconcile: roll forward fully-prepared global commits,
+        // drop partial ones. ------------------------------------------
+        //
+        // Gather the globally-ordered list of commit ids appearing in
+        // any WAL *or* the manifest (a manifest-only id is an empty
+        // commit or a checkpoint). At most the last in-flight commit
+        // can be incomplete, but the walk handles any prefix uniformly.
+        let mut all_globals: Vec<u64> = shard_replays
+            .iter()
+            .flat_map(|r| r.records.iter().map(|rec| rec.global))
+            .chain(manifest.records.iter().map(|r| r.global))
+            .collect();
+        all_globals.sort_unstable();
+        all_globals.dedup();
+
+        // Per shard, an index into its record list as we consume them
+        // in global order (records within a WAL are strictly increasing
+        // in both local version and global id).
+        let mut cursor = vec![0usize; shards];
+        let mut locals = snap_vers.clone();
+        // The checkpoint baseline: the latest manifest record whose
+        // whole version vector is covered by the snapshot pages (the
+        // last checkpoint, in the common case). Every commit at or
+        // below it is provably baked into the pages — locals are
+        // monotone in the global id — so such commits are never
+        // re-judged (stale WAL records left by an interrupted save()
+        // must not be mistaken for partial prepares). Local versions
+        // never exceed the global commit counter, so the pages also
+        // give a floor when the manifest is gone entirely.
+        let checkpoint_global = manifest
+            .records
+            .iter()
+            .filter(|r| r.locals.iter().zip(&snap_vers).all(|(l, s)| l <= s))
+            .map(|r| r.global)
+            .max()
+            .unwrap_or(0);
+        let mut global =
+            checkpoint_global.max(snap_vers.iter().copied().max().unwrap_or(0));
+
+        let mut history: VecDeque<(u64, Vec<u64>, Vec<PacMap<K, V, NoAug, C>>)> = VecDeque::new();
+        history.push_back((global, locals.clone(), maps.clone()));
+
+        // Truncation decision: byte length to keep per shard WAL and
+        // for the manifest (None = keep everything valid).
+        let mut cut: Option<(u64, Vec<usize>, usize)> = None;
+        let mut healed: Vec<ManifestRecord> = Vec::new();
+
+        'walk: for &g in &all_globals {
+            if g <= checkpoint_global {
+                // Covered by the checkpoint: consume any stale records
+                // without judging (their effects are in the pages).
+                for i in 0..shards {
+                    while shard_replays[i]
+                        .records
+                        .get(cursor[i])
+                        .is_some_and(|rec| rec.global <= g)
+                    {
+                        cursor[i] += 1;
+                    }
+                }
+                continue;
+            }
+            // Which shards hold a record for g? The WAL prepare records
+            // carry the authoritative participant list (a checkpoint
+            // record for the same id has an empty one), so prefer
+            // theirs; fall back to the manifest for record-less ids.
+            let mut holders: Vec<usize> = Vec::new();
+            let mut participants: Option<Vec<u32>> = None;
+            for i in 0..shards {
+                while shard_replays[i]
+                    .records
+                    .get(cursor[i])
+                    .is_some_and(|rec| rec.global < g)
+                {
+                    cursor[i] += 1;
+                }
+                if let Some(rec) = shard_replays[i].records.get(cursor[i]) {
+                    if rec.global == g {
+                        holders.push(i);
+                        if participants.is_none() {
+                            participants = Some(rec.participants.clone());
+                        }
+                    }
+                }
+            }
+            let manifest_rec = manifest_by_global.get(&g).copied();
+            let participants = participants
+                .or_else(|| manifest_rec.map(|r| r.participants.clone()))
+                .unwrap_or_default();
+
+            // Fully prepared? A manifest record whose whole version
+            // vector is covered by the snapshot pages is already
+            // applied (checkpoints; a save() interrupted before WAL
+            // truncation). Otherwise every participant must hold its
+            // record or have the commit baked into its page — and a
+            // participant-less id must at least be manifested (an
+            // empty commit), never inferred from nothing.
+            let covered = manifest_rec
+                .is_some_and(|r| r.locals.iter().zip(&snap_vers).all(|(l, s)| l <= s));
+            let prepared = covered
+                || ((!participants.is_empty() || manifest_rec.is_some())
+                    && participants.iter().all(|&p| {
+                        let p = p as usize;
+                        holders.contains(&p)
+                            || manifest_rec.is_some_and(|r| snap_vers[p] >= r.locals[p])
+                    }));
+
+            if !prepared {
+                // Drop g and everything after it from every WAL and
+                // from the manifest: all-or-nothing.
+                let wal_cuts: Vec<usize> = (0..shards)
+                    .map(|i| {
+                        shard_replays[i]
+                            .records
+                            .iter()
+                            .position(|rec| rec.global >= g)
+                            .map_or(shard_replays[i].valid_len, |idx| shard_replays[i].offsets[idx])
+                    })
+                    .collect();
+                let manifest_cut = manifest
+                    .records
+                    .iter()
+                    .position(|rec| rec.global >= g)
+                    .map_or(manifest.valid_len, |idx| manifest.offsets[idx]);
+                cut = Some((g, wal_cuts, manifest_cut));
+                break 'walk;
+            }
+
+            // Roll forward: apply each holder's record (skipping shards
+            // whose snapshot page already covers it).
+            for &i in &holders {
+                let rec = &shard_replays[i].records[cursor[i]];
+                if rec.version > locals[i] {
+                    maps[i] = apply_ops(&maps[i], rec.ops.clone());
+                    locals[i] = rec.version;
+                }
+                cursor[i] += 1;
+            }
+            if g > global {
+                global = g;
+                if !manifest_by_global.contains_key(&g) {
+                    healed.push(ManifestRecord {
+                        global: g,
+                        participants,
+                        locals: locals.clone(),
+                    });
+                }
+                history.push_back((global, locals.clone(), maps.clone()));
+                while history.len() > opts.history_limit.max(1) {
+                    history.pop_front();
+                }
+            }
+        }
+        // The back of the history must always be the current state
+        // (the walk skips history entries for commits at or below the
+        // baseline, which can drift `locals` without advancing `global`
+        // when a manifest was deleted out from under the store).
+        if history.back().is_none_or(|(g, l, _)| *g != global || *l != locals) {
+            history.push_back((global, locals.clone(), maps.clone()));
+            while history.len() > opts.history_limit.max(1) {
+                history.pop_front();
+            }
+        }
+
+        if (cut.is_some() || !healed.is_empty()) && opts.strict_log {
+            return Err(StoreError::Corrupt(
+                "manifest and shard logs disagree (partially prepared or unmanifested \
+                 global commit)"
+                    .into(),
+            ));
+        }
+
+        // ----- Apply the recovery decisions to the files. -------------
+        for (i, replay) in shard_replays.iter().enumerate() {
+            let keep = cut.as_ref().map_or(replay.valid_len, |(_, wal_cuts, _)| wal_cuts[i]);
+            let log_path = dir.join(shard_dir_name(i)).join(LOG_FILE);
+            let file_len = if log_path.exists() { std::fs::metadata(&log_path)?.len() } else { 0 };
+            if u64::try_from(keep).unwrap_or(u64::MAX) < file_len {
+                let f = OpenOptions::new().write(true).open(&log_path)?;
+                f.set_len(keep as u64)?;
+            }
+        }
+        {
+            let keep = cut.as_ref().map_or(manifest.valid_len, |(_, _, mcut)| *mcut);
+            if (keep as u64) < manifest_bytes.len() as u64 {
+                let f = OpenOptions::new().write(true).create(true).open(&manifest_path)?;
+                f.set_len(keep as u64)?;
+            }
+        }
+
+        // Open append handles, then heal the manifest (fully-prepared
+        // commits whose manifest record was lost by the crash).
+        let shard_logs: Vec<File> = (0..shards)
+            .map(|i| {
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(shard_dir_name(i)).join(LOG_FILE))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut manifest_file =
+            OpenOptions::new().create(true).append(true).open(&manifest_path)?;
+        // Heal: at most one commit can have been in flight at the
+        // crash, so a healed record always extends the manifest's
+        // ascending global order; guard anyway so a hand-edited
+        // directory cannot make us write an out-of-order record.
+        let manifest_last = cut
+            .as_ref()
+            .map(|(cut_g, _, _)| {
+                manifest
+                    .records
+                    .iter()
+                    .filter(|r| r.global < *cut_g)
+                    .map(|r| r.global)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or_else(|| manifest.records.last().map_or(0, |r| r.global));
+        for rec in healed.iter().filter(|r| r.global > manifest_last) {
+            let bytes = encode_manifest_record(rec);
+            wal::append_bytes(&mut manifest_file, &bytes, opts.fsync_commits)
+                .map_err(|fail| StoreError::Io(fail.error))?;
+        }
+
+        let state = ShardedState { global, locals, maps, history };
+        Ok(Self::from_parts(
+            opts,
+            router,
+            Some(dir.to_path_buf()),
+            Some(dir_lock),
+            DurableState::Active { shard_logs, manifest: manifest_file },
+            state,
+        ))
+    }
+
+    /// Submits one batch and blocks until it is durably prepared on
+    /// every participating shard, recorded in the manifest, and visible
+    /// in a published version vector; returns the global commit id.
+    /// Batches queued concurrently are applied together by a group
+    /// leader — one parallel fan-out over shards and one manifest
+    /// append for the whole group.
+    ///
+    /// Within a batch and across a group, later ops win per key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CommitFailed`] when the group's prepare or
+    /// manifest append failed; no version is published in that case.
+    pub fn commit(&self, ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
+        let inner = &self.inner;
+        let mut q = inner.commit.lock();
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        q.pending.push((ticket, ops));
+        loop {
+            if let Some(result) = q.results.remove(&ticket) {
+                return result.map_err(StoreError::CommitFailed);
+            }
+            if q.leader_running {
+                inner.commit_cv.wait(&mut q);
+                continue;
+            }
+            q.leader_running = true;
+            let group = std::mem::take(&mut q.pending);
+            drop(q);
+            let tickets: Vec<u64> = group.iter().map(|(t, _)| *t).collect();
+            let all_ops: Vec<Op<K, V>> = group.into_iter().flat_map(|(_, ops)| ops).collect();
+            let outcome = self.apply_group(all_ops);
+            q = inner.commit.lock();
+            q.leader_running = false;
+            match &outcome {
+                Ok(version) => {
+                    for t in tickets {
+                        q.results.insert(t, Ok(*version));
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    for t in tickets {
+                        q.results.insert(t, Err(msg.clone()));
+                    }
+                }
+            }
+            inner.commit_cv.notify_all();
+        }
+    }
+
+    /// Shorthand for committing a single [`Op::Put`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedStore::commit`].
+    pub fn put(&self, key: K, value: V) -> Result<u64, StoreError> {
+        self.commit(vec![Op::Put(key, value)])
+    }
+
+    /// Shorthand for committing a single [`Op::Delete`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedStore::commit`].
+    pub fn delete(&self, key: K) -> Result<u64, StoreError> {
+        self.commit(vec![Op::Delete(key)])
+    }
+
+    /// Applies one commit group: range-split, parallel per-shard tree
+    /// updates, the two-phase durable protocol, one published version
+    /// vector.
+    fn apply_group(&self, all_ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
+        let inner = &self.inner;
+        let mut log_guard = inner.log.lock();
+        if matches!(*log_guard, DurableState::Poisoned { .. }) {
+            return Err(StoreError::LogPoisoned);
+        }
+        let (base_maps, base_locals, base_global) = {
+            let s = inner.state.lock();
+            (s.maps.clone(), s.locals.clone(), s.global)
+        };
+        let g = base_global + 1;
+
+        // Range-split the group; participants are the shards with ops.
+        let buckets = inner.router.split_ops(all_ops);
+        let participants: Vec<u32> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // Parallel fan-out: per participating shard, encode the prepare
+        // record and apply the sub-batch to its tree.
+        let durable = matches!(*log_guard, DurableState::Active { .. });
+        let schema = crate::checksum::schema_id::<(K, V)>();
+        struct ShardResult<M> {
+            shard: usize,
+            new_map: M,
+            new_local: u64,
+            record: Option<Vec<u8>>,
+        }
+        let work: Vec<(usize, Vec<Op<K, V>>)> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .collect();
+        let results: Vec<ShardResult<PacMap<K, V, NoAug, C>>> = {
+            let work = &work;
+            let base_maps = &base_maps;
+            let base_locals = &base_locals;
+            let participants = &participants;
+            par_for_shards(work.len(), &move |w| {
+                let (shard, ops) = &work[w];
+                let new_local = base_locals[*shard] + 1;
+                let record = durable
+                    .then(|| wal::encode_record(new_local, g, participants, schema, ops));
+                ShardResult {
+                    shard: *shard,
+                    new_map: apply_ops(&base_maps[*shard], ops.iter().cloned()),
+                    new_local,
+                    record,
+                }
+            })
+        };
+
+        // Durability before visibility: prepare every shard, then write
+        // the manifest record (the commit point), rolling back every
+        // appended prepare on failure.
+        if let DurableState::Active { shard_logs, manifest } = &mut *log_guard {
+            let mut appended: Vec<(usize, u64)> = Vec::new(); // (shard, prior len)
+            let mut failure: Option<std::io::Error> = None;
+            for r in &results {
+                let file = &mut shard_logs[r.shard];
+                let prior = match file.metadata() {
+                    Ok(m) => m.len(),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                };
+                match wal::append_bytes(
+                    file,
+                    r.record.as_deref().expect("durable record"),
+                    inner.opts.fsync_commits,
+                ) {
+                    Ok(()) => appended.push((r.shard, prior)),
+                    Err(fail) => {
+                        if !fail.rolled_back {
+                            appended.push((r.shard, prior));
+                        }
+                        failure = Some(fail.error);
+                        break;
+                    }
+                }
+            }
+            let mut stranded = false;
+            if failure.is_none() {
+                let mut locals = base_locals.clone();
+                for r in &results {
+                    locals[r.shard] = r.new_local;
+                }
+                let rec = encode_manifest_record(&ManifestRecord {
+                    global: g,
+                    participants: participants.clone(),
+                    locals,
+                });
+                if let Err(fail) =
+                    wal::append_bytes(manifest, &rec, inner.opts.fsync_commits)
+                {
+                    // A partial manifest record that could not be
+                    // truncated away would swallow every later record
+                    // at replay: poison below.
+                    stranded = !fail.rolled_back;
+                    failure = Some(fail.error);
+                }
+            }
+            if let Some(error) = failure {
+                // Undo every prepare so the next commit starts from a
+                // clean record boundary; if any rollback fails, poison.
+                // Under fsync_commits the truncation itself must reach
+                // disk, or a power loss could resurrect the prepared
+                // records of this *failed* commit and recovery would
+                // roll it forward.
+                for (shard, prior) in appended {
+                    let f = &shard_logs[shard];
+                    let ok = f.set_len(prior).is_ok()
+                        && (!inner.opts.fsync_commits || f.sync_data().is_ok());
+                    if !ok {
+                        stranded = true;
+                    }
+                }
+                if stranded {
+                    let state = std::mem::replace(&mut *log_guard, DurableState::None);
+                    if let DurableState::Active { shard_logs, .. } = state {
+                        *log_guard = DurableState::Poisoned { shard_logs };
+                    }
+                }
+                return Err(error.into());
+            }
+        }
+
+        // Publish atomically.
+        let mut s = inner.state.lock();
+        s.global = g;
+        for r in results {
+            s.locals[r.shard] = r.new_local;
+            s.maps[r.shard] = r.new_map;
+        }
+        let snapshot = (g, s.locals.clone(), s.maps.clone());
+        s.history.push_back(snapshot);
+        while s.history.len() > inner.opts.history_limit.max(1) {
+            s.history.pop_front();
+        }
+        drop(s);
+        drop(log_guard);
+        Ok(g)
+    }
+
+    /// Pins the current version vector: one `Arc` bump per shard under
+    /// a briefly-held lock; never observes a half-published commit.
+    pub fn snapshot(&self) -> ShardedSnapshot<K, V, C> {
+        let s = self.inner.state.lock();
+        ShardedSnapshot {
+            global: s.global,
+            locals: s.locals.clone(),
+            router: Arc::clone(&self.inner.router),
+            maps: s.maps.clone(),
+        }
+    }
+
+    /// Pins the version vector of a historical global commit
+    /// (cross-shard time travel).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VersionNotFound`] if `global` is older than the
+    /// retained history (or never existed).
+    pub fn snapshot_at(&self, global: u64) -> Result<ShardedSnapshot<K, V, C>, StoreError> {
+        let s = self.inner.state.lock();
+        s.history
+            .iter()
+            .find(|(g, _, _)| *g == global)
+            .map(|(g, locals, maps)| ShardedSnapshot {
+                global: *g,
+                locals: locals.clone(),
+                router: Arc::clone(&self.inner.router),
+                maps: maps.clone(),
+            })
+            .ok_or(StoreError::VersionNotFound(global))
+    }
+
+    /// The global commit ids currently reachable via
+    /// [`ShardedStore::snapshot_at`], oldest first.
+    pub fn versions(&self) -> Vec<u64> {
+        self.inner.state.lock().history.iter().map(|(g, _, _)| *g).collect()
+    }
+
+    /// The current (latest committed) global commit id.
+    pub fn current_version(&self) -> u64 {
+        self.inner.state.lock().global
+    }
+
+    /// The current per-shard local versions, in shard order.
+    pub fn version_vector(&self) -> Vec<u64> {
+        self.inner.state.lock().locals.clone()
+    }
+
+    /// The value under `k` in the current version. Unlike
+    /// [`ShardedStore::snapshot`], this pins only the owning shard's
+    /// map (one `Arc` bump under the state lock), so point reads don't
+    /// pay the full version-vector copy.
+    pub fn get(&self, k: &K) -> Option<V> {
+        let shard = self.inner.router.shard_of(k);
+        let map = self.inner.state.lock().maps[shard].clone();
+        map.find(k)
+    }
+
+    /// Total number of entries in the current version.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().maps.iter().map(PacMap::len).sum()
+    }
+
+    /// True if the current version is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.router.shard_count()
+    }
+
+    /// The shard owning `k`.
+    pub fn shard_of(&self, k: &K) -> usize {
+        self.inner.router.shard_of(k)
+    }
+
+    /// The partition map.
+    pub fn router(&self) -> &Router<K> {
+        &self.inner.router
+    }
+
+    /// Writes every shard's snapshot page **in parallel**, then resets
+    /// all shard WALs and the manifest (a single checkpoint record at
+    /// the saved version vector). Returns the saved global commit id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
+    pub fn save(&self) -> Result<u64, StoreError> {
+        let inner = &self.inner;
+        let dir = inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let mut log_guard = inner.log.lock();
+        let (maps, locals, global) = {
+            let s = inner.state.lock();
+            (s.maps.clone(), s.locals.clone(), s.global)
+        };
+
+        // Parallel snapshot-page writes (atomic per shard).
+        let writes: Vec<Result<(), StoreError>> = {
+            let maps = &maps;
+            let locals = &locals;
+            par_for_shards(maps.len(), &move |i| {
+                let sdir = dir.join(shard_dir_name(i));
+                std::fs::create_dir_all(&sdir)?;
+                pagefmt::write_snapshot_file(&sdir.join(SNAPSHOT_FILE), &maps[i], locals[i])
+            })
+        };
+        for w in writes {
+            w?;
+        }
+
+        // Checkpoint the manifest, then reset the WALs it covers.
+        // Holding the log lock, no commit is between prepare and
+        // publish, so every logged record is covered by the pages just
+        // written. A successful reset also heals a poisoned log.
+        let checkpoint = encode_manifest_record(&ManifestRecord {
+            global,
+            participants: Vec::new(),
+            locals,
+        });
+        pagefmt::write_file_atomic(&dir.join(MANIFEST_FILE), &checkpoint)?;
+        let state = std::mem::replace(&mut *log_guard, DurableState::None);
+        match state {
+            DurableState::None => {}
+            DurableState::Active { shard_logs, .. } | DurableState::Poisoned { shard_logs } => {
+                let mut ok = true;
+                for f in &shard_logs {
+                    if f.set_len(0).is_err() {
+                        ok = false;
+                    }
+                }
+                // The checkpoint replaced the manifest file on disk;
+                // reopen an append handle on the new file. Any failure
+                // here poisons rather than leaving the state `None`,
+                // which would silently stop logging while still
+                // acknowledging commits.
+                let manifest = match OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(MANIFEST_FILE))
+                {
+                    Ok(f) => f,
+                    Err(e) => {
+                        *log_guard = DurableState::Poisoned { shard_logs };
+                        return Err(e.into());
+                    }
+                };
+                *log_guard = if ok {
+                    DurableState::Active { shard_logs, manifest }
+                } else {
+                    DurableState::Poisoned { shard_logs }
+                };
+                if !ok {
+                    return Err(StoreError::Io(std::io::Error::other(
+                        "failed to truncate a shard log after checkpoint",
+                    )));
+                }
+            }
+        }
+        Ok(global)
+    }
+
+    /// The store's directory (`None` for in-memory stores).
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(shards: usize) -> ShardedStore<u64, u64> {
+        ShardedStore::in_memory(Router::uniform_span(shards, 1_000)).unwrap()
+    }
+
+    #[test]
+    fn commit_routes_across_shards_and_reads_back() {
+        let store = mem(4);
+        assert_eq!(store.shard_count(), 4);
+        let v = store
+            .commit(vec![Op::Put(10, 1), Op::Put(300, 2), Op::Put(600, 3), Op::Put(900, 4)])
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(store.version_vector(), vec![1, 1, 1, 1]);
+        assert_eq!(store.get(&10), Some(1));
+        assert_eq!(store.get(&300), Some(2));
+        assert_eq!(store.get(&600), Some(3));
+        assert_eq!(store.get(&900), Some(4));
+        assert_eq!(store.len(), 4);
+
+        // A commit touching one shard only advances that shard's local.
+        store.commit(vec![Op::Put(11, 11)]).unwrap();
+        assert_eq!(store.current_version(), 2);
+        assert_eq!(store.version_vector(), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn last_op_wins_across_the_whole_batch() {
+        let store = mem(3);
+        store
+            .commit(vec![Op::Put(5, 1), Op::Put(500, 9), Op::Delete(5), Op::Put(5, 3)])
+            .unwrap();
+        assert_eq!(store.get(&5), Some(3));
+        assert_eq!(store.get(&500), Some(9));
+    }
+
+    #[test]
+    fn snapshot_pins_consistent_version_vector() {
+        let store = mem(2);
+        store.commit(vec![Op::Put(1, 1), Op::Put(900, 1)]).unwrap();
+        let snap = store.snapshot();
+        store.commit(vec![Op::Put(1, 2), Op::Put(900, 2)]).unwrap();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.version_vector(), &[1, 1]);
+        assert_eq!(snap.get(&1), Some(1));
+        assert_eq!(snap.get(&900), Some(1));
+        assert_eq!(store.get(&1), Some(2));
+        // Time travel by global commit id.
+        let back = store.snapshot_at(1).unwrap();
+        assert_eq!(back.get(&900), Some(1));
+        assert_eq!(store.versions(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn to_vec_is_globally_sorted_and_ranges_compose() {
+        let store = mem(4);
+        let keys = [999u64, 0, 250, 251, 750, 500, 123, 874];
+        store
+            .commit(keys.iter().map(|&k| Op::Put(k, k * 10)).collect())
+            .unwrap();
+        let snap = store.snapshot();
+        let mut sorted: Vec<u64> = keys.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(
+            snap.to_vec(),
+            sorted.iter().map(|&k| (k, k * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            snap.range_entries(&123, &750),
+            sorted
+                .iter()
+                .filter(|&&k| (123..=750).contains(&k))
+                .map(|&k| (k, k * 10))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(snap.range_entries(&400, &300), Vec::new());
+    }
+
+    #[test]
+    fn empty_commit_still_advances_the_global_clock() {
+        let store = mem(2);
+        let v = store.commit(Vec::new()).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(store.version_vector(), vec![0, 0]);
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_semantics() {
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::in_memory(Router::single()).unwrap();
+        store.put(1, 10).unwrap();
+        store.put(2, 20).unwrap();
+        store.delete(1).unwrap();
+        assert_eq!(store.get(&1), None);
+        assert_eq!(store.get(&2), Some(20));
+        assert_eq!(store.current_version(), 3);
+        assert_eq!(store.version_vector(), vec![3]);
+    }
+
+    #[test]
+    fn ephemeral_save_is_typed_error() {
+        let store = mem(2);
+        assert!(matches!(store.save(), Err(StoreError::Ephemeral)));
+    }
+
+    #[test]
+    fn manifest_record_roundtrip_and_tears() {
+        let rec = ManifestRecord {
+            global: 42,
+            participants: vec![0, 2],
+            locals: vec![7, 0, 9],
+        };
+        let mut bytes = encode_manifest_record(&rec);
+        let r = replay_manifest(&bytes, 3);
+        assert!(!r.torn);
+        assert_eq!(r.records, vec![rec.clone()]);
+        assert_eq!(r.offsets, vec![0]);
+
+        // Every strict prefix is torn with no records.
+        for cut in 0..bytes.len() {
+            let r = replay_manifest(&bytes[..cut], 3);
+            assert!(r.records.is_empty(), "cut {cut}");
+            assert_eq!(r.valid_len, 0);
+        }
+
+        // A second record with a non-increasing global is dropped.
+        let clean = bytes.len();
+        bytes.extend(encode_manifest_record(&ManifestRecord {
+            global: 42,
+            participants: vec![1],
+            locals: vec![7, 1, 9],
+        }));
+        let r = replay_manifest(&bytes, 3);
+        assert!(r.torn);
+        assert_eq!(r.valid_len, clean);
+        assert_eq!(r.records.len(), 1);
+
+        // Wrong shard count is a parse failure, not a misread.
+        let one = encode_manifest_record(&rec);
+        assert!(replay_manifest(&one, 2).records.is_empty());
+    }
+}

@@ -6,16 +6,31 @@
 //!
 //! ```text
 //! length   varint    byte length of the payload that follows
-//! payload  length    varint version, schema (4 bytes LE),
+//! payload  length    format byte (0xA2, this revision),
+//!                    varint version, schema (4 bytes LE),
+//!                    varint global commit id,
+//!                    varint participant count + participant shard ids,
 //!                    varint op count, then ops
 //! crc32    4 bytes   little-endian, over the payload
 //! ```
+//!
+//! The leading format byte pins the record layout: a checksum-valid
+//! record with a different format byte is a typed error at open, not a
+//! silently truncated "torn tail" — the hazard any future payload
+//! change would otherwise reintroduce.
 //!
 //! An op is a tag byte (`0` put, `1` delete) followed by the
 //! [`codecs::ByteEncode`]d key (and value, for puts). The schema field
 //! is the entry-type fingerprint ([`crate::checksum::schema_id`]):
 //! replaying a log with mismatched key/value types is a typed error,
 //! not a misparse.
+//!
+//! The global commit id and participant list serve the sharded store's
+//! two-phase commit ([`crate::ShardedStore`]): a shard's record is the
+//! *prepare* half of a cross-shard commit, tagged with the global id it
+//! belongs to and the full set of shards that must also hold a prepare
+//! record for that id. A single-directory [`crate::PacStore`] writes
+//! `global == version` with an empty participant list.
 //!
 //! Torn-write policy: replay stops at the first record whose framing or
 //! checksum fails, or whose version is not strictly greater than its
@@ -34,26 +49,48 @@ use crate::mvcc::Op;
 const OP_PUT: u8 = 0;
 const OP_DELETE: u8 = 1;
 
+/// Format byte of every record payload this build writes and reads
+/// (revision 2 of the WAL record layout: global id + participants).
+pub const LOG_FORMAT: u8 = 0xA2;
+
 /// One replayed log record: the version its commit group produced and
 /// the ops it applied, in submission order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord<K, V> {
-    /// Version the group commit produced.
+    /// Version the group commit produced (the *local* shard version in
+    /// a sharded store).
     pub version: u64,
+    /// Global commit id of the cross-shard commit this record prepares
+    /// (equal to `version` for a single-directory store).
+    pub global: u64,
+    /// Shards participating in global commit `global` (empty for a
+    /// single-directory store).
+    pub participants: Vec<u32>,
     /// The group's operations, in submission order.
     pub ops: Vec<Op<K, V>>,
 }
 
 /// Encodes one record (framing + checksum included). `schema` is the
-/// entry-type fingerprint the replayer will demand.
+/// entry-type fingerprint the replayer will demand; `global` and
+/// `participants` tag the record with the cross-shard commit it
+/// prepares (pass `global == version` and no participants for a
+/// single-directory store).
 pub fn encode_record<K: ByteEncode, V: ByteEncode>(
     version: u64,
+    global: u64,
+    participants: &[u32],
     schema: u32,
     ops: &[Op<K, V>],
 ) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(ops.len() * 8 + 16);
+    let mut payload = Vec::with_capacity(ops.len() * 8 + 24);
+    payload.push(LOG_FORMAT);
     bytecode::write_varint(version, &mut payload);
     payload.extend_from_slice(&schema.to_le_bytes());
+    bytecode::write_varint(global, &mut payload);
+    bytecode::write_varint(participants.len() as u64, &mut payload);
+    for &p in participants {
+        bytecode::write_varint(u64::from(p), &mut payload);
+    }
     bytecode::write_varint(ops.len() as u64, &mut payload);
     for op in ops {
         match op {
@@ -68,11 +105,7 @@ pub fn encode_record<K: ByteEncode, V: ByteEncode>(
             }
         }
     }
-    let mut out = Vec::with_capacity(payload.len() + 8);
-    bytecode::write_varint(payload.len() as u64, &mut out);
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out
+    frame(&payload)
 }
 
 /// A failed [`append_bytes`]: the original I/O error plus whether the
@@ -112,9 +145,61 @@ pub fn append_bytes(file: &mut File, record: &[u8], fsync: bool) -> Result<(), A
         Ok(()) => Ok(()),
         Err(error) => Err(AppendError {
             error,
-            rolled_back: file.set_len(prev_len).is_ok(),
+            // Under fsync, the rollback truncation must itself be
+            // durable: a resurrected record from this *failed* append
+            // would collide with (and at replay, displace) the next
+            // acknowledged record that reuses its version.
+            rolled_back: file.set_len(prev_len).is_ok()
+                && (!fsync || file.sync_data().is_ok()),
         }),
     }
+}
+
+/// A reader over the length-prefixed, CRC-trailed frame stream shared
+/// by WAL and manifest records: `varint len ++ payload ++ crc32 (LE)`.
+/// `pos` always sits on a frame boundary, so when [`Frames::next`]
+/// returns `None` it is the byte length of the valid prefix.
+pub(crate) struct Frames<'a> {
+    bytes: &'a [u8],
+    pub pos: usize,
+}
+
+impl<'a> Frames<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Frames { bytes, pos: 0 }
+    }
+
+    /// The next checksum-valid payload, or `None` at end-of-input *or*
+    /// at the first bad frame (`pos < bytes.len()` distinguishes the
+    /// torn case, and is then the truncation point).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let mut at = self.pos;
+        let len = bytecode::try_read_varint(self.bytes, &mut at)? as usize;
+        let end = at.checked_add(len)?;
+        if end.checked_add(4)? > self.bytes.len() {
+            return None;
+        }
+        let payload = &self.bytes[at..end];
+        let stored = u32::from_le_bytes(self.bytes[end..end + 4].try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return None;
+        }
+        self.pos = end + 4;
+        Some(payload)
+    }
+}
+
+/// Frames `payload` for appending: `varint len ++ payload ++ crc32`.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    bytecode::write_varint(payload.len() as u64, &mut out);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
 }
 
 /// Result of replaying a log image.
@@ -122,6 +207,10 @@ pub fn append_bytes(file: &mut File, record: &[u8], fsync: bool) -> Result<(), A
 pub struct Replay<K, V> {
     /// All records of the longest valid prefix, in order.
     pub records: Vec<LogRecord<K, V>>,
+    /// Starting byte offset of each record in `records` — so a caller
+    /// rolling back a record (the sharded store dropping a partially
+    /// prepared global commit) knows where to truncate.
+    pub offsets: Vec<usize>,
     /// Byte length of that valid prefix.
     pub valid_len: usize,
     /// True if bytes remained after the valid prefix (torn or corrupt
@@ -131,83 +220,80 @@ pub struct Replay<K, V> {
     /// fingerprint than `expected_schema` — the log belongs to a store
     /// with different key/value types. Replay stops there.
     pub schema_mismatch: Option<u32>,
+    /// Set when a checksum-valid record carried a different format byte
+    /// than [`LOG_FORMAT`] — the log was written by a build with a
+    /// different record layout. Replay stops there.
+    pub format_mismatch: Option<u8>,
 }
 
 /// Replays a log image, stopping at the first invalid record (bad
-/// framing or checksum, non-increasing version, or — reported
-/// separately — a mismatched entry-type fingerprint).
+/// framing or checksum, non-increasing version or global id, or —
+/// reported separately — a mismatched format byte or entry-type
+/// fingerprint).
 pub fn replay<K: ByteEncode, V: ByteEncode>(bytes: &[u8], expected_schema: u32) -> Replay<K, V> {
     let mut records: Vec<LogRecord<K, V>> = Vec::new();
-    let mut pos = 0;
-    while pos < bytes.len() {
-        let start = pos;
-        match read_record::<K, V>(bytes, &mut pos, expected_schema) {
+    let mut offsets: Vec<usize> = Vec::new();
+    let mut frames = Frames::new(bytes);
+    let (mut schema_mismatch, mut format_mismatch) = (None, None);
+    loop {
+        let start = frames.pos;
+        let Some(payload) = frames.next() else { break };
+        match parse_payload::<K, V>(payload, expected_schema) {
             Parse::Ok(rec) => {
-                if records.last().is_some_and(|prev| prev.version >= rec.version) {
+                if records
+                    .last()
+                    .is_some_and(|prev| prev.version >= rec.version || prev.global >= rec.global)
+                {
                     // Version reuse: a leftover from a failed group.
-                    return Replay {
-                        records,
-                        valid_len: start,
-                        torn: true,
-                        schema_mismatch: None,
-                    };
+                    frames.pos = start;
+                    break;
                 }
                 records.push(rec);
+                offsets.push(start);
             }
             Parse::SchemaMismatch { found } => {
-                return Replay {
-                    records,
-                    valid_len: start,
-                    torn: false,
-                    schema_mismatch: Some(found),
-                }
+                schema_mismatch = Some(found);
+                frames.pos = start;
+                break;
+            }
+            Parse::FormatMismatch { found } => {
+                format_mismatch = Some(found);
+                frames.pos = start;
+                break;
             }
             Parse::Bad => {
-                return Replay {
-                    records,
-                    valid_len: start,
-                    torn: true,
-                    schema_mismatch: None,
-                }
+                frames.pos = start;
+                break;
             }
         }
     }
     Replay {
         records,
-        valid_len: pos,
-        torn: false,
-        schema_mismatch: None,
+        offsets,
+        valid_len: frames.pos,
+        torn: schema_mismatch.is_none() && format_mismatch.is_none() && frames.pos < bytes.len(),
+        schema_mismatch,
+        format_mismatch,
     }
 }
 
 enum Parse<K, V> {
     Ok(LogRecord<K, V>),
     SchemaMismatch { found: u32 },
+    FormatMismatch { found: u8 },
     Bad,
 }
 
-/// Parses one record; [`Parse::Bad`] (with `*pos` unspecified) when the
-/// frame is truncated, its checksum fails, or its payload is malformed.
-fn read_record<K: ByteEncode, V: ByteEncode>(
-    bytes: &[u8],
-    pos: &mut usize,
-    expected_schema: u32,
-) -> Parse<K, V> {
-    let mut parse = || -> Option<Parse<K, V>> {
-        let len = bytecode::try_read_varint(bytes, pos)? as usize;
-        let end = pos.checked_add(len)?;
-        if end.checked_add(4)? > bytes.len() {
-            return None;
-        }
-        let payload = &bytes[*pos..end];
-        let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
-        if crc32(payload) != stored {
-            return None;
-        }
-        *pos = end + 4;
-
-        // Payload is checksum-verified from here on; parse it.
+/// Parses one checksum-verified record payload; [`Parse::Bad`] when it
+/// is malformed.
+fn parse_payload<K: ByteEncode, V: ByteEncode>(payload: &[u8], expected_schema: u32) -> Parse<K, V> {
+    let parse = || -> Option<Parse<K, V>> {
         let mut at = 0;
+        let format = *payload.get(at)?;
+        at += 1;
+        if format != LOG_FORMAT {
+            return Some(Parse::FormatMismatch { found: format });
+        }
         let version = bytecode::try_read_varint(payload, &mut at)?;
         let schema_end = at.checked_add(4)?;
         if schema_end > payload.len() {
@@ -218,8 +304,17 @@ fn read_record<K: ByteEncode, V: ByteEncode>(
         if found != expected_schema {
             return Some(Parse::SchemaMismatch { found });
         }
+        let global = bytecode::try_read_varint(payload, &mut at)?;
+        let pcount = bytecode::try_read_varint(payload, &mut at)? as usize;
+        if pcount > payload.len() {
+            return None; // each participant takes at least one byte
+        }
+        let mut participants = Vec::with_capacity(pcount);
+        for _ in 0..pcount {
+            participants.push(u32::try_from(bytecode::try_read_varint(payload, &mut at)?).ok()?);
+        }
         let count = bytecode::try_read_varint(payload, &mut at)? as usize;
-        if count > len {
+        if count > payload.len() {
             return None; // each op takes at least one byte
         }
         let mut ops = Vec::with_capacity(count);
@@ -239,7 +334,12 @@ fn read_record<K: ByteEncode, V: ByteEncode>(
         if at != payload.len() {
             return None;
         }
-        Some(Parse::Ok(LogRecord { version, ops }))
+        Some(Parse::Ok(LogRecord {
+            version,
+            global,
+            participants,
+            ops,
+        }))
     };
     parse().unwrap_or(Parse::Bad)
 }
@@ -253,9 +353,9 @@ mod tests {
 
     fn sample() -> Vec<u8> {
         let mut log = Vec::new();
-        log.extend(encode_record::<u64, u64>(1, SCHEMA, &[Op::Put(1, 10), Op::Put(2, 20)]));
-        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Delete(1)]));
-        log.extend(encode_record::<u64, u64>(3, SCHEMA, &[Op::Put(3, 30)]));
+        log.extend(encode_record::<u64, u64>(1, 1, &[], SCHEMA, &[Op::Put(1, 10), Op::Put(2, 20)]));
+        log.extend(encode_record::<u64, u64>(2, 2, &[], SCHEMA, &[Op::Delete(1)]));
+        log.extend(encode_record::<u64, u64>(3, 3, &[], SCHEMA, &[Op::Put(3, 30)]));
         log
     }
 
@@ -269,6 +369,40 @@ mod tests {
         assert_eq!(replay.records[0].version, 1);
         assert_eq!(replay.records[1].ops, vec![Op::Delete(1)]);
         assert_eq!(replay.records[2].ops, vec![Op::Put(3, 30)]);
+        // Offsets point at each record's framing byte.
+        assert_eq!(replay.offsets.len(), 3);
+        assert_eq!(replay.offsets[0], 0);
+        for (i, &off) in replay.offsets.iter().enumerate().skip(1) {
+            let r = super::replay::<u64, u64>(&log[off..], SCHEMA);
+            assert_eq!(r.records.len(), 3 - i, "offset {off} of record {i}");
+        }
+    }
+
+    #[test]
+    fn global_and_participants_roundtrip() {
+        // A sharded-store prepare record: local version 5, global commit
+        // 9, prepared across shards {0, 2, 3}.
+        let rec = encode_record::<u64, u64>(5, 9, &[0, 2, 3], SCHEMA, &[Op::Put(1, 1)]);
+        let r = replay::<u64, u64>(&rec, SCHEMA);
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].version, 5);
+        assert_eq!(r.records[0].global, 9);
+        assert_eq!(r.records[0].participants, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn non_increasing_global_stops_replay() {
+        // Two records with increasing local versions but a reused global
+        // commit id: the second is a leftover and must not replay.
+        let mut log = Vec::new();
+        log.extend(encode_record::<u64, u64>(1, 7, &[0, 1], SCHEMA, &[Op::Put(1, 1)]));
+        let clean = log.len();
+        log.extend(encode_record::<u64, u64>(2, 7, &[0, 1], SCHEMA, &[Op::Put(2, 2)]));
+        let r = replay::<u64, u64>(&log, SCHEMA);
+        assert!(r.torn);
+        assert_eq!(r.valid_len, clean);
+        assert_eq!(r.records.len(), 1);
     }
 
     #[test]
@@ -277,7 +411,7 @@ mod tests {
         let first_two = replay::<u64, u64>(&log, SCHEMA).records[..2].to_vec();
         // Cut anywhere inside the third record: first two survive.
         let second_end =
-            log.len() - encode_record::<u64, u64>(3, SCHEMA, &[Op::Put(3, 30)]).len();
+            log.len() - encode_record::<u64, u64>(3, 3, &[], SCHEMA, &[Op::Put(3, 30)]).len();
         for cut in second_end + 1..log.len() {
             let r = replay::<u64, u64>(&log[..cut], SCHEMA);
             assert!(r.torn, "cut {cut}");
@@ -308,15 +442,34 @@ mod tests {
     }
 
     #[test]
+    fn foreign_format_byte_is_reported_not_truncated() {
+        // A checksum-valid record whose payload leads with a different
+        // format byte: typed signal, not a silent torn-tail truncation.
+        let mut rec = encode_record::<u64, u64>(1, 1, &[], SCHEMA, &[Op::Put(1, 1)]);
+        // Rewrite the format byte (first payload byte, after the
+        // 1-byte length varint) and refresh the trailer CRC.
+        rec[1] = 0x01;
+        let payload_len = rec.len() - 4;
+        let crc = crate::checksum::crc32(&rec[1..payload_len]).to_le_bytes();
+        rec.truncate(payload_len);
+        rec.extend_from_slice(&crc);
+        let r = replay::<u64, u64>(&rec, SCHEMA);
+        assert_eq!(r.format_mismatch, Some(0x01));
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 0);
+        assert_eq!(r.valid_len, 0);
+    }
+
+    #[test]
     fn version_reuse_stops_replay() {
         // A leftover record from a failed group followed by a
         // successful group reusing the version: replay must not apply
         // both.
         let mut log = Vec::new();
-        log.extend(encode_record::<u64, u64>(1, SCHEMA, &[Op::Put(1, 1)]));
-        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Put(2, 2)]));
+        log.extend(encode_record::<u64, u64>(1, 1, &[], SCHEMA, &[Op::Put(1, 1)]));
+        log.extend(encode_record::<u64, u64>(2, 2, &[], SCHEMA, &[Op::Put(2, 2)]));
         let clean = log.len();
-        log.extend(encode_record::<u64, u64>(2, SCHEMA, &[Op::Put(9, 9)]));
+        log.extend(encode_record::<u64, u64>(2, 2, &[], SCHEMA, &[Op::Put(9, 9)]));
         let r = replay::<u64, u64>(&log, SCHEMA);
         assert!(r.torn);
         assert_eq!(r.valid_len, clean);

@@ -1,10 +1,19 @@
 //! Durability tests: save/open round trips, log replay, and the
 //! corruption-detection satellite — a truncated or bit-flipped snapshot
 //! must produce a typed error, never a panic or silent bad data.
+//!
+//! The second half is the crash-injection suite for the sharded
+//! store's two-phase commit: the manifest and each shard WAL are
+//! truncated at *every byte boundary* of a prepared global commit, and
+//! after reopening the commit must be all-or-nothing — visible in
+//! every shard or in none — with torn tails cleanly truncated.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use store::{Op, PacStore, StoreError, StoreOptions, LOG_FILE, SNAPSHOT_FILE};
+use store::{
+    shard_dir_name, Op, PacStore, Router, ShardedStore, StoreError, StoreOptions, LOG_FILE,
+    MANIFEST_FILE, SNAPSHOT_FILE,
+};
 
 /// A fresh, empty scratch directory unique to this test.
 fn scratch(name: &str) -> PathBuf {
@@ -220,5 +229,396 @@ fn save_resets_log_and_later_commits_append_cleanly() {
     assert_eq!(store.current_version(), 11);
     assert_eq!(store.len(), 11);
     assert_eq!(store.get(&100), Some(100));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Sharded store: durable round trips
+// ---------------------------------------------------------------------
+
+const SHARDS: usize = 3;
+
+fn sharded_open(dir: &Path) -> ShardedStore<u64, u64> {
+    ShardedStore::open_or_create(dir, Router::uniform_span(SHARDS, 3_000), StoreOptions::default())
+        .expect("open sharded")
+}
+
+#[test]
+fn sharded_save_and_reopen_serves_same_data() {
+    let dir = scratch("shard-save-reopen");
+    {
+        let store = sharded_open(&dir);
+        store
+            .commit((0..3_000u64).map(|k| Op::Put(k, k * 7)).collect())
+            .unwrap();
+        store.commit(vec![Op::Delete(17), Op::Put(2_999, 1)]).unwrap();
+        assert_eq!(store.save().unwrap(), 2);
+        // Post-save commits live only in the shard WALs + manifest.
+        store.commit(vec![Op::Put(5, 500), Op::Put(2_500, 1)]).unwrap();
+    }
+    // Every shard subdirectory holds its own snapshot page.
+    for i in 0..SHARDS {
+        assert!(dir.join(shard_dir_name(i)).join(SNAPSHOT_FILE).exists(), "shard {i}");
+    }
+    let store = sharded_open(&dir);
+    assert_eq!(store.current_version(), 3);
+    assert_eq!(store.len(), 3_000 - 1);
+    assert_eq!(store.get(&17), None);
+    assert_eq!(store.get(&2_999), Some(1));
+    assert_eq!(store.get(&5), Some(500));
+    assert_eq!(store.get(&2_500), Some(1));
+    assert_eq!(store.get(&1_000), Some(7_000));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_open_requires_matching_partition_map() {
+    let dir = scratch("shard-partition-check");
+    {
+        let store = sharded_open(&dir);
+        store.commit(vec![Op::Put(1, 1)]).unwrap();
+    }
+    // Plain open recovers the persisted routing.
+    let store: ShardedStore<u64, u64> = ShardedStore::open(&dir).unwrap();
+    assert_eq!(store.shard_count(), SHARDS);
+    assert_eq!(store.get(&1), Some(1));
+    drop(store);
+    // A different router is rejected, not silently adopted.
+    assert!(matches!(
+        ShardedStore::<u64, u64>::open_or_create(
+            &dir,
+            Router::uniform_span(5, 3_000),
+            StoreOptions::default()
+        ),
+        Err(StoreError::PartitionMismatch(_))
+    ));
+    // Opening a directory with no partition map is typed too.
+    let empty = scratch("shard-no-partition");
+    assert!(matches!(
+        ShardedStore::<u64, u64>::open(&empty),
+        Err(StoreError::PartitionMismatch(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_second_handle_is_locked_out() {
+    let dir = scratch("shard-lock");
+    let store = sharded_open(&dir);
+    store.commit(vec![Op::Put(1, 1)]).unwrap();
+    assert!(matches!(
+        ShardedStore::<u64, u64>::open(&dir),
+        Err(StoreError::Locked)
+    ));
+    drop(store);
+    let reopened: ShardedStore<u64, u64> = ShardedStore::open(&dir).unwrap();
+    assert_eq!(reopened.get(&1), Some(1));
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Crash injection: the cross-shard commit protocol
+// ---------------------------------------------------------------------
+
+/// All durable files of a sharded store directory, as bytes.
+#[derive(Clone, PartialEq, Debug)]
+struct FileImage {
+    manifest: Vec<u8>,
+    wals: Vec<Vec<u8>>,
+}
+
+fn capture(dir: &Path) -> FileImage {
+    FileImage {
+        manifest: std::fs::read(dir.join(MANIFEST_FILE)).unwrap_or_default(),
+        wals: (0..SHARDS)
+            .map(|i| std::fs::read(dir.join(shard_dir_name(i)).join(LOG_FILE)).unwrap_or_default())
+            .collect(),
+    }
+}
+
+fn restore(dir: &Path, img: &FileImage) {
+    std::fs::write(dir.join(MANIFEST_FILE), &img.manifest).unwrap();
+    for (i, w) in img.wals.iter().enumerate() {
+        std::fs::write(dir.join(shard_dir_name(i)).join(LOG_FILE), w).unwrap();
+    }
+}
+
+/// The keys global commit 2 writes in the crash tests: one per shard.
+const G2_KEYS: [u64; 3] = [10, 1_010, 2_010];
+
+/// Builds a store with a baseline commit (g1) and a cross-shard commit
+/// under test (g2), returning the file images before and after g2.
+fn crash_fixture(dir: &Path) -> (FileImage, FileImage) {
+    let store = sharded_open(dir);
+    store
+        .commit(vec![Op::Put(0, 0), Op::Put(1_000, 0), Op::Put(2_000, 0)])
+        .unwrap();
+    let before = capture(dir);
+    store
+        .commit(G2_KEYS.iter().map(|&k| Op::Put(k, 42)).collect())
+        .unwrap();
+    drop(store);
+    let after = capture(dir);
+    (before, after)
+}
+
+/// Opens the store and asserts g2 is all-or-nothing; returns whether it
+/// was visible. The baseline commit must always be intact.
+fn check_atomic(dir: &Path, context: &str) -> bool {
+    let store = sharded_open(dir);
+    for base in [0u64, 1_000, 2_000] {
+        assert_eq!(store.get(&base), Some(0), "{context}: baseline key {base} lost");
+    }
+    let seen: Vec<bool> = G2_KEYS.iter().map(|k| store.get(k) == Some(42)).collect();
+    assert!(
+        seen.iter().all(|&s| s) || seen.iter().all(|&s| !s),
+        "{context}: global commit partially visible: {seen:?}"
+    );
+    seen[0]
+}
+
+#[test]
+fn torn_manifest_record_never_splits_a_prepared_commit() {
+    let dir = scratch("crash-manifest");
+    let (before, after) = crash_fixture(&dir);
+    assert!(after.manifest.len() > before.manifest.len());
+
+    // Truncate the manifest at every byte boundary of g2's record. The
+    // shard WALs hold the full prepare set, so recovery must roll g2
+    // forward in every shard (all) — never in some (torn manifest
+    // tails are truncated, then healed from the prepared WALs).
+    for cut in before.manifest.len()..=after.manifest.len() {
+        restore(&dir, &after);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join(MANIFEST_FILE))
+            .unwrap()
+            .set_len(cut as u64)
+            .unwrap();
+        let visible = check_atomic(&dir, &format!("manifest cut {cut}"));
+        assert!(visible, "manifest cut {cut}: fully prepared commit must roll forward");
+        // Recovery healed the manifest: a second reopen is clean and
+        // idempotent.
+        let healed = capture(&dir);
+        let visible = check_atomic(&dir, &format!("manifest cut {cut} (reopen)"));
+        assert!(visible);
+        assert_eq!(healed, capture(&dir), "manifest cut {cut}: reopen not idempotent");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_shard_wal_drops_the_commit_from_every_shard() {
+    let dir = scratch("crash-wal");
+    let (before, after) = crash_fixture(&dir);
+
+    // Crash during prepare: the manifest record was never written and
+    // shard `s`'s prepare record is torn at every byte boundary. The
+    // other shards hold complete prepare records — recovery must drop
+    // them too (all-or-nothing), truncating each WAL back to g1.
+    for s in 0..SHARDS {
+        assert!(after.wals[s].len() > before.wals[s].len(), "shard {s} gained a record");
+        for cut in before.wals[s].len()..after.wals[s].len() {
+            restore(&dir, &after);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(MANIFEST_FILE))
+                .unwrap()
+                .set_len(before.manifest.len() as u64)
+                .unwrap();
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(shard_dir_name(s)).join(LOG_FILE))
+                .unwrap()
+                .set_len(cut as u64)
+                .unwrap();
+            let visible = check_atomic(&dir, &format!("shard {s} cut {cut}"));
+            assert!(!visible, "shard {s} cut {cut}: partial prepare must be dropped");
+            // Clean recovery: every WAL truncated back to the g1
+            // boundary, and a reopen is idempotent.
+            let recovered = capture(&dir);
+            for (i, w) in recovered.wals.iter().enumerate() {
+                assert_eq!(w.len(), before.wals[i].len(), "shard {s} cut {cut}: wal {i} tail");
+            }
+            assert!(!check_atomic(&dir, &format!("shard {s} cut {cut} (reopen)")));
+            assert_eq!(recovered, capture(&dir), "shard {s} cut {cut}: reopen not idempotent");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_manifest_and_torn_wal_drop_the_commit_everywhere() {
+    let dir = scratch("crash-both");
+    let (before, after) = crash_fixture(&dir);
+
+    // Crash mid-prepare with a torn manifest as well: sample a few cuts
+    // of each (the full cross product is quadratic).
+    let wal_cuts: Vec<usize> = (before.wals[1].len()..after.wals[1].len()).step_by(3).collect();
+    let man_cuts: Vec<usize> = (before.manifest.len()..after.manifest.len()).step_by(3).collect();
+    for &wc in &wal_cuts {
+        for &mc in &man_cuts {
+            restore(&dir, &after);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(MANIFEST_FILE))
+                .unwrap()
+                .set_len(mc as u64)
+                .unwrap();
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(shard_dir_name(1)).join(LOG_FILE))
+                .unwrap()
+                .set_len(wc as u64)
+                .unwrap();
+            let visible = check_atomic(&dir, &format!("wal cut {wc} manifest cut {mc}"));
+            assert!(!visible, "wal cut {wc} manifest cut {mc}: must drop");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn strict_mode_refuses_torn_sharded_state() {
+    let dir = scratch("crash-strict");
+    let (before, after) = crash_fixture(&dir);
+
+    // Torn shard WAL tail (partial prepare): strict open refuses.
+    restore(&dir, &after);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(MANIFEST_FILE))
+        .unwrap()
+        .set_len(before.manifest.len() as u64)
+        .unwrap();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(shard_dir_name(0)).join(LOG_FILE))
+        .unwrap()
+        .set_len((after.wals[0].len() - 1) as u64)
+        .unwrap();
+    let strict = StoreOptions { strict_log: true, ..StoreOptions::default() };
+    assert!(matches!(
+        ShardedStore::<u64, u64>::open_with(&dir, strict.clone()),
+        Err(StoreError::Corrupt(_))
+    ));
+
+    // Torn manifest tail: strict open refuses too.
+    restore(&dir, &after);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(MANIFEST_FILE))
+        .unwrap()
+        .set_len((after.manifest.len() - 1) as u64)
+        .unwrap();
+    assert!(matches!(
+        ShardedStore::<u64, u64>::open_with(&dir, strict),
+        Err(StoreError::Corrupt(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_commits_survive_restart_without_regressing_the_global_clock() {
+    // An empty commit produces a manifest record with no participants
+    // and no WAL records; recovery must still roll the global clock
+    // forward, or the next commit would reuse an acknowledged id and a
+    // later reopen would discard it as a duplicate.
+    let dir = scratch("empty-commit");
+    {
+        let store = sharded_open(&dir);
+        assert_eq!(store.commit(vec![Op::Put(1, 1)]).unwrap(), 1);
+        assert_eq!(store.commit(Vec::new()).unwrap(), 2);
+    }
+    {
+        let store = sharded_open(&dir);
+        assert_eq!(store.current_version(), 2, "empty commit lost on reopen");
+        // The next commit gets a fresh id and survives another restart.
+        assert_eq!(store.commit(vec![Op::Put(2, 2)]).unwrap(), 3);
+    }
+    let store = sharded_open(&dir);
+    assert_eq!(store.current_version(), 3);
+    assert_eq!(store.get(&1), Some(1));
+    assert_eq!(store.get(&2), Some(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_between_checkpoint_and_wal_truncation_keeps_the_checkpoint() {
+    // save() writes the shard pages, then the manifest checkpoint, then
+    // truncates the WALs. A crash before the truncation leaves covered
+    // WAL records alongside a participant-less checkpoint for the same
+    // global id — recovery must treat both as applied, not tear the
+    // checkpoint out of the manifest.
+    let dir = scratch("save-crash-window");
+    {
+        let store = sharded_open(&dir);
+        store.commit(vec![Op::Put(1, 1)]).unwrap(); // shard 0 only
+        store.commit(vec![Op::Put(2_500, 2)]).unwrap(); // shard 2 only
+        let wals_before_save = capture(&dir).wals;
+        assert_eq!(store.save().unwrap(), 2);
+        let manifest_after_save = capture(&dir).manifest;
+        drop(store);
+        // Simulate the crash: WALs back to their pre-save contents,
+        // checkpoint already on disk.
+        restore(
+            &dir,
+            &FileImage { manifest: manifest_after_save, wals: wals_before_save },
+        );
+    }
+    for round in 0..2 {
+        let store = sharded_open(&dir);
+        assert_eq!(store.current_version(), 2, "round {round}: global clock regressed");
+        assert_eq!(store.get(&1), Some(1), "round {round}");
+        assert_eq!(store.get(&2_500), Some(2), "round {round}");
+        drop(store);
+        assert!(
+            !capture(&dir).manifest.is_empty(),
+            "round {round}: checkpoint torn out of the manifest"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_wal_records_below_a_checkpoint_are_not_mistaken_for_partial_prepares() {
+    // g1 touches shards {0, 1}, g2 touches shard 2, then save(). A
+    // crash mid-save can leave one shard's WAL un-truncated while the
+    // others are already empty; the stale records sit *below* the
+    // checkpoint. Recovery must not judge g1 "partially prepared"
+    // (shard 0's record is gone) and cut the checkpoint out of the
+    // manifest — the snapshot pages already hold everything.
+    let dir = scratch("stale-below-checkpoint");
+    {
+        let store = sharded_open(&dir);
+        store.commit(vec![Op::Put(1, 1), Op::Put(1_001, 1)]).unwrap(); // shards 0, 1
+        store.commit(vec![Op::Put(2_001, 2)]).unwrap(); // shard 2
+        let wals_before_save = capture(&dir).wals;
+        assert_eq!(store.save().unwrap(), 2);
+        drop(store);
+        // Crash simulation: shard 1's WAL truncation never happened.
+        std::fs::write(dir.join(shard_dir_name(1)).join(LOG_FILE), &wals_before_save[1])
+            .unwrap();
+    }
+    for round in 0..2 {
+        let store = sharded_open(&dir);
+        assert_eq!(store.current_version(), 2, "round {round}: global clock regressed");
+        assert_eq!(store.get(&1), Some(1), "round {round}");
+        assert_eq!(store.get(&1_001), Some(1), "round {round}");
+        assert_eq!(store.get(&2_001), Some(2), "round {round}");
+        drop(store);
+        assert!(
+            !capture(&dir).manifest.is_empty(),
+            "round {round}: checkpoint cut out of the manifest"
+        );
+    }
+    // The store keeps working and numbering correctly afterwards.
+    let store = sharded_open(&dir);
+    assert_eq!(store.commit(vec![Op::Put(5, 5)]).unwrap(), 3);
+    drop(store);
+    let store = sharded_open(&dir);
+    assert_eq!(store.current_version(), 3);
+    assert_eq!(store.get(&5), Some(5));
     std::fs::remove_dir_all(&dir).unwrap();
 }

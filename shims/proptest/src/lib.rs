@@ -10,10 +10,14 @@
 //! Differences from real proptest, accepted for an offline build:
 //!
 //! * **No shrinking.** A failing case reports the generated inputs
-//!   (`Debug`-formatted) and the case number, but does not minimize.
-//! * **Deterministic.** Case `i` of every test derives its RNG seed
-//!   from `i` alone, so runs are reproducible without a persistence
-//!   file. Set `PROPTEST_SEED` to an integer to perturb all streams.
+//!   (`Debug`-formatted), the case number, and the exact RNG seed, but
+//!   does not minimize.
+//! * **Deterministic and replayable.** Case `i` of every test derives
+//!   its RNG seed from `i` and the test's name alone, so runs are
+//!   reproducible without a persistence file. A failure prints
+//!   `PROPTEST_SEED=<seed>`; setting that environment variable makes
+//!   every test run exactly one case with precisely that seed — the
+//!   local replay of a CI failure.
 
 use std::fmt;
 use std::ops::Range;
@@ -29,25 +33,26 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Generator for one test case, salted per test (so different tests
-    /// with identical strategies get distinct streams) and offset by the
-    /// optional `PROPTEST_SEED` environment variable.
-    pub fn for_case(case: u64, test_salt: u64) -> Self {
-        static ENV_SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-        let env = *ENV_SEED.get_or_init(|| {
-            std::env::var("PROPTEST_SEED")
-                .ok()
-                .and_then(|s| s.parse::<u64>().ok())
-                .unwrap_or(0)
-        });
+    /// The seed [`TestRng::for_case`] uses for one case of one test.
+    /// Printed on failure so the case can be replayed exactly via the
+    /// `PROPTEST_SEED` environment variable.
+    pub fn seed_for_case(case: u64, test_salt: u64) -> u64 {
+        case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(test_salt)
+            .wrapping_add(0x5851_F42D_4C95_7F2D)
+    }
+
+    /// Generator seeded with exactly `seed`.
+    pub fn from_seed(seed: u64) -> Self {
         TestRng {
-            inner: StdRng::seed_from_u64(
-                case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(test_salt)
-                    .wrapping_add(env)
-                    .wrapping_add(0x5851_F42D_4C95_7F2D),
-            ),
+            inner: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Generator for one test case, salted per test (so different tests
+    /// with identical strategies get distinct streams).
+    pub fn for_case(case: u64, test_salt: u64) -> Self {
+        Self::from_seed(Self::seed_for_case(case, test_salt))
     }
 
     /// Next 64 random bits.
@@ -84,6 +89,19 @@ impl fmt::Display for TestCaseError {
 }
 
 impl std::error::Error for TestCaseError {}
+
+/// The `PROPTEST_SEED` environment variable, parsed once: when set,
+/// every `proptest!` test runs exactly one case seeded with this value,
+/// replaying a printed failure.
+#[doc(hidden)]
+pub fn env_seed() -> Option<u64> {
+    static ENV_SEED: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *ENV_SEED.get_or_init(|| {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+    })
+}
 
 /// FNV-1a hash of a test name, used to salt its RNG streams.
 #[doc(hidden)]
@@ -407,8 +425,12 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let salt = $crate::name_salt(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases as u64 {
-                    let mut rng = $crate::TestRng::for_case(case, salt);
+                // PROPTEST_SEED replays exactly one case with that seed.
+                let cases: u64 = if $crate::env_seed().is_some() { 1 } else { config.cases as u64 };
+                for case in 0..cases {
+                    let seed = $crate::env_seed()
+                        .unwrap_or_else(|| $crate::TestRng::seed_for_case(case, salt));
+                    let mut rng = $crate::TestRng::from_seed(seed);
                     let ($($pat,)+) =
                         ($( $crate::Strategy::generate(&($strategy), &mut rng), )+);
                     let outcome = ::std::panic::catch_unwind(
@@ -425,17 +447,18 @@ macro_rules! __proptest_impl {
                         Err(payload) => Some($crate::panic_message(payload)),
                     };
                     if let Some(error) = error {
-                        // Generation is deterministic per case, so the
+                        // Generation is deterministic per seed, so the
                         // consumed inputs can be regenerated for the report.
-                        let mut rng = $crate::TestRng::for_case(case, salt);
+                        let mut rng = $crate::TestRng::from_seed(seed);
                         let values =
                             ($( $crate::Strategy::generate(&($strategy), &mut rng), )+);
                         panic!(
-                            "proptest case {}/{} failed: {}\ninputs: {:#?}",
+                            "proptest case {}/{} failed: {}\ninputs: {:#?}\nreproduce with: PROPTEST_SEED={}",
                             case + 1,
                             config.cases,
                             error,
                             values,
+                            seed,
                         );
                     }
                 }
@@ -556,6 +579,32 @@ mod tests {
         let message = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(message.contains("proptest case"), "got: {message}");
         assert!(message.contains("inputs"), "got: {message}");
+        assert!(message.contains("PROPTEST_SEED="), "got: {message}");
+
+        // The printed seed regenerates the failing inputs exactly: the
+        // replay contract behind `PROPTEST_SEED`.
+        let seed: u64 = message
+            .rsplit("PROPTEST_SEED=")
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("seed parses");
+        let mut rng = crate::TestRng::from_seed(seed);
+        let x = crate::Strategy::generate(&(0u32..10), &mut rng);
+        assert!(x < 10, "regenerated input {x} out of strategy range");
+        let mut rng2 = crate::TestRng::from_seed(seed);
+        assert_eq!(x, crate::Strategy::generate(&(0u32..10), &mut rng2));
+    }
+
+    #[test]
+    fn seed_for_case_is_stable_and_distinct() {
+        let a = crate::TestRng::seed_for_case(0, 1);
+        let b = crate::TestRng::seed_for_case(1, 1);
+        let c = crate::TestRng::seed_for_case(0, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, crate::TestRng::seed_for_case(0, 1));
     }
 
     #[test]

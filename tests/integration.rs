@@ -268,3 +268,87 @@ fn sequence_baselines_agree_with_arrays() {
     let rev_array = parlay::slice::reverse(&values);
     assert_eq!(rev_tree, rev_array);
 }
+
+#[test]
+fn sharded_store_readers_only_see_committed_version_vectors() {
+    use store::{Op, Router, ShardedStore};
+
+    // Keys are chosen so each writer's pair of keys lands on two
+    // *different* shards: a torn (non-atomic) cross-shard publish would
+    // show the pair at different values.
+    let writers = 4u64;
+    let readers = 4usize;
+    let commits_per_writer = 60u64;
+    let store: ShardedStore<u64, u64> =
+        ShardedStore::in_memory(Router::uniform_span(4, 4_000)).unwrap();
+    for w in 0..writers {
+        // Commit 0 so every key exists before readers start probing.
+        store
+            .commit(vec![Op::Put(w, 0), Op::Put(3_000 + w, 0)])
+            .unwrap();
+    }
+    assert_ne!(store.shard_of(&0), store.shard_of(&3_000), "keys must cross shards");
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let store = store.clone();
+            scope.spawn(move || {
+                for c in 1..=commits_per_writer {
+                    // One atomic cross-shard commit: both keys move to
+                    // `c` together or not at all.
+                    store
+                        .commit(vec![Op::Put(w, c), Op::Put(3_000 + w, c)])
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..readers {
+            let store = store.clone();
+            scope.spawn(move || {
+                let mut last_global = 0u64;
+                let mut last_vector = vec![0u64; store.shard_count()];
+                let mut last_counters = vec![0u64; writers as usize];
+                for _ in 0..400 {
+                    let snap = store.snapshot();
+                    // Global version and the version vector are
+                    // monotonic: a published state never rolls back.
+                    assert!(snap.version() >= last_global, "global version went backwards");
+                    for (a, b) in snap.version_vector().iter().zip(&last_vector) {
+                        assert!(a >= b, "a shard's local version went backwards");
+                    }
+                    last_global = snap.version();
+                    last_vector = snap.version_vector().to_vec();
+                    for w in 0..writers {
+                        // Cross-shard atomicity: the two halves of every
+                        // writer's commit are always equal in any
+                        // pinned snapshot...
+                        let lo = snap.get(&w).expect("low key present");
+                        let hi = snap.get(&(3_000 + w)).expect("high key present");
+                        assert_eq!(lo, hi, "writer {w}: cross-shard commit torn");
+                        // ...and each writer's counter is monotonic per
+                        // reader (snapshots are consistent cuts).
+                        assert!(
+                            lo >= last_counters[w as usize],
+                            "writer {w}: counter went backwards"
+                        );
+                        last_counters[w as usize] = lo;
+                    }
+                }
+            });
+        }
+    });
+
+    // Everything landed: final state is every writer's last commit.
+    for w in 0..writers {
+        assert_eq!(store.get(&w), Some(commits_per_writer));
+        assert_eq!(store.get(&(3_000 + w)), Some(commits_per_writer));
+    }
+    // Group commit coalesces concurrent batches: at most one global
+    // version per submitted commit, at least one per leader group.
+    let groups = store.current_version();
+    assert!(groups <= writers * (commits_per_writer + 1));
+    assert!(groups >= commits_per_writer, "a writer's commits cannot share one group");
+    // No shard's local version can exceed the global commit counter.
+    let final_snap = store.snapshot();
+    assert!(final_snap.version_vector().iter().all(|&l| l <= groups));
+}
