@@ -1,10 +1,149 @@
 //! Table 2: map/set microbenchmarks — PaC-tree, PaC-tree (Diff), and
 //! P-tree (PAM) across build, set algebra, bulk ops, and point lookups,
 //! with and without augmentation.
+//!
+//! Besides the printed table, the binary emits `BENCH_cpam.json` with
+//! find/insert/iterate micro-op throughputs (raw and byte-coded leaves,
+//! B = 128) so the cpam perf trajectory is tracked in-repo, the same way
+//! `shard_throughput` maintains `BENCH_store.json`. A committed
+//! `baseline` object (the pre-cursor-PR numbers) is preserved across
+//! runs; the `current` object and the `find_delta_b128_speedup` ratio
+//! are rewritten from the run's measurements.
 
 use bench::{header, ms, row, time, time_avg, XorShift};
 use cpam::{DiffMap, PacMap, SumAug};
 use pam::PamMap;
+
+/// Find/insert/iterate micro-op throughputs, ops per second.
+struct MicroOps {
+    find_raw_b128: f64,
+    find_delta_b128: f64,
+    insert_raw_b128: f64,
+    insert_delta_b128: f64,
+    iter_raw_b128: f64,
+    iter_delta_b128: f64,
+}
+
+impl MicroOps {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"find_raw_b128\": {:.0}, \"find_delta_b128\": {:.0}, \"insert_raw_b128\": {:.0}, \"insert_delta_b128\": {:.0}, \"iter_raw_b128\": {:.0}, \"iter_delta_b128\": {:.0}}}",
+            self.find_raw_b128,
+            self.find_delta_b128,
+            self.insert_raw_b128,
+            self.insert_delta_b128,
+            self.iter_raw_b128,
+            self.iter_delta_b128
+        )
+    }
+}
+
+/// Extracts the `"find_delta_b128": <number>` field of a flat JSON
+/// object (enough structure to read the committed baseline back without
+/// a JSON dependency; the file is only ever written by this binary).
+fn field(obj: &str, key: &str) -> Option<f64> {
+    let at = obj.find(&format!("\"{key}\""))?;
+    let rest = &obj[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Returns the braced object following `"key":` in `json`, if any.
+fn extract_obj<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Measures the micro-ops on maps of `n` presorted pairs at B = 128.
+fn measure_micro(n: usize, pairs: &[(u64, u64)]) -> MicroOps {
+    let raw = PacMap::<u64, u64>::from_sorted_pairs(128, pairs);
+    let dif = DiffMap::<u64, u64>::from_sorted_pairs(128, pairs);
+
+    let queries = XorShift(0x5EED).vec(100_000, 3 * n as u64);
+    let find = |t: f64| queries.len() as f64 / t;
+    let t_raw = time(|| queries.iter().map(|k| raw.find(k).unwrap_or(0)).sum::<u64>()).1;
+    let t_dif = time(|| queries.iter().map(|k| dif.find(k).unwrap_or(0)).sum::<u64>()).1;
+
+    let keys = XorShift(0xB10C).vec(1000, u64::MAX);
+    let ins = |t: f64| keys.len() as f64 / t;
+    let t_ins_raw = time(|| {
+        let mut m = raw.clone();
+        for &k in &keys {
+            m = m.insert(k, 1);
+        }
+        m
+    })
+    .1;
+    let t_ins_dif = time(|| {
+        let mut m = dif.clone();
+        for &k in &keys {
+            m = m.insert(k, 1);
+        }
+        m
+    })
+    .1;
+
+    let iter = |t: f64| n as f64 / t;
+    let t_it_raw = time(|| raw.iter().map(|(_, v)| v).sum::<u64>()).1;
+    let t_it_dif = time(|| dif.iter().map(|(_, v)| v).sum::<u64>()).1;
+
+    MicroOps {
+        find_raw_b128: find(t_raw),
+        find_delta_b128: find(t_dif),
+        insert_raw_b128: ins(t_ins_raw),
+        insert_delta_b128: ins(t_ins_dif),
+        iter_raw_b128: iter(t_it_raw),
+        iter_delta_b128: iter(t_it_dif),
+    }
+}
+
+/// Writes `BENCH_cpam.json`, preserving any committed `baseline` object
+/// so the pre-PR numbers stay the fixed reference point.
+fn write_bench_json(n: usize, current: &MicroOps) {
+    let path = "BENCH_cpam.json";
+    let current_json = current.to_json();
+    let previous = std::fs::read_to_string(path).unwrap_or_default();
+    let baseline_json = extract_obj(&previous, "baseline")
+        .map(str::to_string)
+        .unwrap_or_else(|| current_json.clone());
+    let baseline_find = field(&baseline_json, "find_delta_b128").unwrap_or(current.find_delta_b128);
+    let speedup = if baseline_find > 0.0 {
+        current.find_delta_b128 / baseline_find
+    } else {
+        1.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"tab02_micro\",\n  \"threads\": {},\n  \"n\": {},\n  \"baseline\": {},\n  \"current\": {},\n  \"find_delta_b128_speedup\": {:.3}\n}}\n",
+        parlay::num_threads(),
+        n,
+        baseline_json,
+        current_json,
+        speedup
+    );
+    std::fs::write(path, &json).expect("write BENCH_cpam.json");
+    println!();
+    println!("micro-ops (ops/s, B = 128): {current_json}");
+    println!("find (delta, B = 128) speedup vs committed baseline: {speedup:.3}x");
+    println!("wrote {path}");
+}
 
 fn main() {
     header("tab02_micro", "Table 2 microbenchmarks (keys/values u64)");
@@ -16,6 +155,14 @@ fn main() {
     let small: Vec<(u64, u64)> = (0..m_small as u64).map(|i| (i * 211 + 7, i)).collect();
 
     parlay::run(|| {
+        // Micro-op trajectory (BENCH_cpam.json) — measured first, on a
+        // quiet heap: point-lookup timings are dominated by cache/TLB
+        // behaviour, so running them after the table's maps are built
+        // would measure the resident-set size, not the access path.
+        let micro = measure_micro(n, &pairs);
+        write_bench_json(n, &micro);
+        println!();
+
         // Warm the allocator and page cache so the first timed build is
         // not dominated by first-touch faults.
         std::hint::black_box(PacMap::<u64, u64>::from_sorted_pairs(128, &pairs));

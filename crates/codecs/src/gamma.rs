@@ -18,30 +18,39 @@ impl BitWriter {
         Self::default()
     }
 
-    /// Appends the low `width` bits of `value`.
+    /// Appends the low `width` bits of `value`, whole words at a time:
+    /// the value is shifted to the current bit offset once and OR-ed in
+    /// as bytes (at most 9 of them for 64 bits), never bit by bit.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         debug_assert!(width <= 64);
-        for i in 0..width {
-            let bit = (value >> i) & 1;
-            let byte_index = self.bit_len / 8;
-            if byte_index == self.bytes.len() {
-                self.bytes.push(0);
-            }
-            self.bytes[byte_index] |= (bit as u8) << (self.bit_len % 8);
-            self.bit_len += 1;
+        if width == 0 {
+            return;
         }
+        let value = value & width_mask(width);
+        let byte_index = self.bit_len / 8;
+        let bit_off = self.bit_len % 8;
+        // Widened so the offset shift cannot overflow: 64 bits shifted
+        // by up to 7 spans at most 71 bits = 9 bytes.
+        let shifted = u128::from(value) << bit_off;
+        let le = shifted.to_le_bytes();
+        let total_bytes = (self.bit_len + width as usize).div_ceil(8);
+        self.bytes.resize(total_bytes, 0);
+        for (k, b) in le[..total_bytes - byte_index].iter().enumerate() {
+            self.bytes[byte_index + k] |= b;
+        }
+        self.bit_len += width as usize;
     }
 
     /// Appends `v` in Elias gamma code (`v` must be >= 1):
-    /// `floor(log2 v)` zero bits, then the binary representation of `v`.
+    /// `floor(log2 v)` zero bits, then the binary representation of `v`
+    /// MSB-first (so the leading 1 terminates the zeros).
     pub fn write_gamma(&mut self, v: u64) {
         debug_assert!(v >= 1, "gamma codes encode positive integers");
         let width = 64 - v.leading_zeros();
         self.write_bits(0, width - 1);
-        // Emit `v`'s bits MSB-first so the leading 1 terminates the zeros.
-        for i in (0..width).rev() {
-            self.write_bits((v >> i) & 1, 1);
-        }
+        // MSB-first emission = one LSB-first append of the bit-reversed
+        // value.
+        self.write_bits(v.reverse_bits() >> (64 - width), width);
     }
 
     /// Number of bits written so far.
@@ -52,6 +61,16 @@ impl BitWriter {
     /// Consumes the writer and returns the packed bytes.
     pub fn into_bytes(self) -> Box<[u8]> {
         self.bytes.into_boxed_slice()
+    }
+}
+
+/// The low-`width` mask in the u64 domain (`width <= 64`).
+#[inline]
+fn width_mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
     }
 }
 
@@ -68,6 +87,20 @@ impl<'a> BitReader<'a> {
         BitReader { bytes, pos: 0 }
     }
 
+    /// The next `width` bits without consuming them, zero-padded past
+    /// the end of the buffer.
+    #[inline]
+    fn peek_bits(&self, width: u32) -> u64 {
+        let byte_index = self.pos / 8;
+        let bit_off = self.pos % 8;
+        let end_byte = ((self.pos + width as usize).div_ceil(8)).min(self.bytes.len());
+        let mut window = [0u8; 16];
+        if byte_index < end_byte {
+            window[..end_byte - byte_index].copy_from_slice(&self.bytes[byte_index..end_byte]);
+        }
+        ((u128::from_le_bytes(window) >> bit_off) as u64) & width_mask(width)
+    }
+
     /// Reads one bit.
     ///
     /// # Panics
@@ -80,17 +113,46 @@ impl<'a> BitReader<'a> {
         u64::from(bit)
     }
 
-    /// Reads an Elias gamma code written by [`BitWriter::write_gamma`].
+    /// Reads the next `width` bits (LSB-first), whole words at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        assert!(
+            self.pos + width as usize <= self.bytes.len() * 8,
+            "bit buffer exhausted"
+        );
+        let v = self.peek_bits(width);
+        self.pos += width as usize;
+        v
+    }
+
+    /// Reads an Elias gamma code written by [`BitWriter::write_gamma`]:
+    /// counts the zero run a word at a time (`trailing_zeros` on a
+    /// 64-bit window), then reads the value bits in one call.
     pub fn read_gamma(&mut self) -> u64 {
         let mut zeros = 0u32;
-        while self.read_bit() == 0 {
-            zeros += 1;
+        loop {
+            let avail = self.bytes.len() * 8 - self.pos;
+            assert!(avail > 0, "bit buffer exhausted inside a gamma code");
+            let take = (avail.min(64)) as u32;
+            let window = self.peek_bits(take);
+            if window == 0 {
+                zeros += take;
+                self.pos += take as usize;
+                continue;
+            }
+            let run = window.trailing_zeros();
+            zeros += run;
+            self.pos += run as usize;
+            break;
         }
-        let mut value = 1u64;
-        for _ in 0..zeros {
-            value = (value << 1) | self.read_bit();
-        }
-        value
+        let width = zeros + 1;
+        debug_assert!(width <= 64, "gamma code wider than the u64 domain");
+        // Value bits are stored MSB-first: reverse the LSB-first read.
+        self.read_bits(width).reverse_bits() >> (64 - width)
     }
 }
 
@@ -133,6 +195,108 @@ mod tests {
         w.write_gamma(2);
         // gamma(2) = 0 10 -> 3 bits.
         assert_eq!(w.bit_len(), 4);
+    }
+
+    /// Reference bit-at-a-time writer: the layout contract the
+    /// word-at-a-time implementation must preserve (LSB-first within
+    /// each byte, bytes in stream order).
+    fn write_bits_reference(bytes: &mut Vec<u8>, bit_len: &mut usize, value: u64, width: u32) {
+        for i in 0..width {
+            let bit = (value >> i) & 1;
+            let byte_index = *bit_len / 8;
+            if byte_index == bytes.len() {
+                bytes.push(0);
+            }
+            bytes[byte_index] |= (bit as u8) << (*bit_len % 8);
+            *bit_len += 1;
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_every_width() {
+        for width in 0..=64u32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals = [
+                0u64,
+                1,
+                u64::MAX,
+                u64::MAX >> 1,
+                0xDEAD_BEEF_CAFE_F00D,
+                0x5555_5555_5555_5555,
+                1u64 << width.saturating_sub(1),
+            ];
+            let mut w = BitWriter::new();
+            for &v in &vals {
+                w.write_bits(v, width);
+                // A 3-bit marker keeps successive fields byte-misaligned.
+                w.write_bits(0b101, 3);
+            }
+            assert_eq!(w.bit_len(), vals.len() * (width as usize + 3));
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &v in &vals {
+                assert_eq!(r.read_bits(width), v & mask, "width {width}");
+                assert_eq!(r.read_bits(3), 0b101, "marker after width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_at_a_time_layout_matches_bit_at_a_time() {
+        // Mixed widths at every alignment, checked byte-for-byte against
+        // the reference writer.
+        let fields: Vec<(u64, u32)> = (0..=64u32)
+            .map(|w| (0x0123_4567_89AB_CDEF ^ u64::from(w), w))
+            .chain([(1, 1), (0, 5), (u64::MAX, 64), (0b1011, 4)])
+            .collect();
+        let mut w = BitWriter::new();
+        let (mut ref_bytes, mut ref_len) = (Vec::new(), 0usize);
+        for &(v, width) in &fields {
+            let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            w.write_bits(v, width);
+            write_bits_reference(&mut ref_bytes, &mut ref_len, masked, width);
+        }
+        assert_eq!(w.bit_len(), ref_len);
+        assert_eq!(&w.into_bytes()[..], &ref_bytes[..]);
+    }
+
+    #[test]
+    fn read_bits_agrees_with_read_bit() {
+        let mut w = BitWriter::new();
+        w.write_gamma(123_456_789);
+        w.write_bits(0xABCD, 16);
+        w.write_gamma(1);
+        let bytes = w.into_bytes();
+        let mut bitwise = BitReader::new(&bytes);
+        let mut total = 0usize;
+        // Total bits: gamma(123456789) = 2*27 - 1, 16, gamma(1) = 1.
+        for _ in 0..(2 * 27 - 1) + 16 + 1 {
+            bitwise.read_bit();
+            total += 1;
+        }
+        assert_eq!(total, bytes.len() * 8 - (8 - (total % 8)) % 8);
+        let mut wordwise = BitReader::new(&bytes);
+        assert_eq!(wordwise.read_gamma(), 123_456_789);
+        assert_eq!(wordwise.read_bits(16), 0xABCD);
+        assert_eq!(wordwise.read_gamma(), 1);
+    }
+
+    #[test]
+    fn gamma_roundtrip_across_long_zero_runs() {
+        // Values near the top of the u64 domain produce 63-zero runs
+        // that span word windows at odd alignments.
+        let cases = [u64::MAX >> 1, (1 << 62) + 7, 1 << 33, (1 << 50) - 1];
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2); // misalign everything that follows
+        for &v in &cases {
+            w.write_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2), 0b11);
+        for &v in &cases {
+            assert_eq!(r.read_gamma(), v);
+        }
     }
 
     #[test]

@@ -1,7 +1,19 @@
-//! Property tests: every codec is an exact inverse pair on arbitrary data.
+//! Property tests: every codec is an exact inverse pair on arbitrary
+//! data, and the zero-allocation access layer (cursor / `get` /
+//! `search_by` / `cursor_at`) agrees with the decode-everything oracle.
 
-use codecs::{Codec, DeltaCodec, GammaCodec, RawCodec};
+use codecs::{BlockCursor, Codec, DeltaCodec, GammaCodec, KeyDeltaCodec, RawCodec, RESTART_INTERVAL};
 use proptest::prelude::*;
+
+/// Drains a cursor into a vector (the streaming side of the oracle).
+fn drain<E: Clone, C: BlockCursor<E>>(mut cur: C) -> Vec<E> {
+    let mut out = Vec::new();
+    while let Some(e) = cur.peek() {
+        out.push(e.clone());
+        cur.advance();
+    }
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -59,8 +71,13 @@ proptest! {
         }
         let block = <DeltaCodec as Codec<u64>>::encode(&entries);
         // First entry <= 9 bytes, the rest 1 byte each (gap < 64 zigzags
-        // to < 128, one varint byte).
-        prop_assert!(<DeltaCodec as Codec<u64>>::heap_bytes(&block) <= 9 + gaps.len());
+        // to < 128, one varint byte), plus a bounded extra per restart:
+        // an absolute key (<= 9 bytes, replacing a 1-byte delta) and a
+        // 4-byte sample offset every RESTART_INTERVAL entries.
+        let restarts = gaps.len() / RESTART_INTERVAL;
+        prop_assert!(
+            <DeltaCodec as Codec<u64>>::heap_bytes(&block) <= 9 + gaps.len() + restarts * 12
+        );
     }
 
     #[test]
@@ -69,5 +86,66 @@ proptest! {
         let mut seen = Vec::new();
         <DeltaCodec as Codec<u64>>::for_each(&block, &mut |e| seen.push(*e));
         prop_assert_eq!(seen, entries);
+    }
+
+    #[test]
+    fn cursor_agrees_with_decode_all_codecs(entries in prop::collection::vec(any::<u64>(), 0..300)) {
+        let raw = <RawCodec as Codec<u64>>::encode(&entries);
+        prop_assert_eq!(drain(<RawCodec as Codec<u64>>::cursor(&raw)), entries.clone());
+        let delta = <DeltaCodec as Codec<u64>>::encode(&entries);
+        prop_assert_eq!(drain(<DeltaCodec as Codec<u64>>::cursor(&delta)), entries.clone());
+        let gamma = <GammaCodec as Codec<u64>>::encode(&entries);
+        prop_assert_eq!(drain(<GammaCodec as Codec<u64>>::cursor(&gamma)), entries);
+    }
+
+    #[test]
+    fn cursor_at_and_get_agree_with_indexing(
+        entries in prop::collection::vec(any::<u64>(), 1..300),
+        pick in any::<u64>(),
+    ) {
+        let i = pick as usize % entries.len();
+        let raw = <RawCodec as Codec<u64>>::encode(&entries);
+        let delta = <DeltaCodec as Codec<u64>>::encode(&entries);
+        prop_assert_eq!(<RawCodec as Codec<u64>>::get(&raw, i), entries[i]);
+        prop_assert_eq!(<DeltaCodec as Codec<u64>>::get(&delta, i), entries[i]);
+        prop_assert_eq!(drain(<RawCodec as Codec<u64>>::cursor_at(&raw, i)), entries[i..].to_vec());
+        prop_assert_eq!(drain(<DeltaCodec as Codec<u64>>::cursor_at(&delta, i)), entries[i..].to_vec());
+    }
+
+    #[test]
+    fn search_by_agrees_with_binary_search(
+        mut keys in prop::collection::vec(any::<u64>(), 0..300),
+        probes in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let raw = <RawCodec as Codec<u64>>::encode(&keys);
+        let delta = <DeltaCodec as Codec<u64>>::encode(&keys);
+        let gamma = <GammaCodec as Codec<u64>>::encode(&keys);
+        // Probe both arbitrary values and exact members.
+        for probe in probes.iter().copied().chain(keys.iter().copied()) {
+            let want = keys.binary_search(&probe).map(|i| (i, keys[i]));
+            prop_assert_eq!(<RawCodec as Codec<u64>>::search_by(&raw, |e| e.cmp(&probe)), want);
+            prop_assert_eq!(<DeltaCodec as Codec<u64>>::search_by(&delta, |e| e.cmp(&probe)), want);
+            prop_assert_eq!(<GammaCodec as Codec<u64>>::search_by(&gamma, |e| e.cmp(&probe)), want);
+        }
+    }
+
+    #[test]
+    fn key_delta_access_layer_agrees(
+        mut pairs in prop::collection::vec(any::<(u64, u32)>(), 1..300),
+        probes in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        pairs.sort_unstable_by_key(|p| p.0);
+        pairs.dedup_by_key(|p| p.0);
+        let block = <KeyDeltaCodec as Codec<(u64, u32)>>::encode(&pairs);
+        prop_assert_eq!(drain(<KeyDeltaCodec as Codec<(u64, u32)>>::cursor(&block)), pairs.clone());
+        for probe in probes.iter().copied().chain(pairs.iter().map(|p| p.0)) {
+            let want = pairs.binary_search_by(|e| e.0.cmp(&probe)).map(|i| (i, pairs[i]));
+            prop_assert_eq!(
+                <KeyDeltaCodec as Codec<(u64, u32)>>::search_by(&block, |e| e.0.cmp(&probe)),
+                want
+            );
+        }
     }
 }

@@ -1,21 +1,30 @@
 //! Point operations, range queries, and bulk functional operations
 //! (Figs. 6 and 8 of the paper, plus the augmented-query primitives the
 //! applications in Section 9 are built on).
+//!
+//! Flat-node base cases go through the codec's zero-allocation access
+//! layer ([`codecs::Codec::search_by`] / [`codecs::Codec::get`] /
+//! cursors): point queries and range walks never materialize a block,
+//! and the structural base cases that do need every entry decode into a
+//! reused [`crate::scratch`] buffer instead of a fresh `Vec` per node.
 
-use codecs::Codec;
+use codecs::{BlockCursor, Codec};
 
 use crate::aug::Augmentation;
 use crate::base::{from_sorted, to_vec};
 use crate::entry::{Element, Entry};
 use crate::join::{join, join2, split};
-use crate::node::{decode_flat, size, Node, Tree};
+use crate::node::{size, Node, Tree};
+use crate::scratch::with_scratch;
+use crate::stats;
 
 #[inline]
 fn par_cutoff(b: usize) -> usize {
     (4 * b).max(1024)
 }
 
-/// Looks up the entry with key `k`. `O(log n + B)` work.
+/// Looks up the entry with key `k`. `O(log n + B)` work, allocation-free
+/// (the flat base case is a sampled in-block search, not a decode).
 pub(crate) fn find<E, A, C>(t: &Tree<E, A, C>, k: &E::Key) -> Option<E>
 where
     E: Entry,
@@ -26,12 +35,9 @@ where
     loop {
         let node = cur.as_ref()?;
         match &**node {
-            Node::Flat { .. } => {
-                let entries = decode_flat(node);
-                return entries
-                    .binary_search_by(|e| e.key().cmp(k))
-                    .ok()
-                    .map(|i| entries[i].clone());
+            Node::Flat { block, .. } => {
+                stats::count_cursor_op();
+                return C::search_by(block, |e| e.key().cmp(k)).ok().map(|(_, e)| e);
             }
             Node::Regular {
                 left, entry, right, ..
@@ -57,13 +63,36 @@ where
         return from_sorted(b, std::slice::from_ref(&e));
     };
     match &**node {
-        Node::Flat { .. } => {
-            let mut entries = decode_flat(node);
-            match entries.binary_search_by(|x| x.key().cmp(e.key())) {
-                Ok(i) => entries[i] = f(&entries[i], &e),
-                Err(i) => entries.insert(i, e),
-            }
-            from_sorted(b, &entries)
+        Node::Flat { block, .. } => {
+            // Merge the new entry in one cursor pass over the block —
+            // no decode-then-`Vec::insert` shuffle — into a scratch
+            // buffer that is immediately re-encoded.
+            stats::count_cursor_op();
+            with_scratch(node.size() + 1, |out: &mut Vec<E>| {
+                let mut cur = C::cursor(block);
+                let mut pending = Some(e);
+                while let Some(x) = cur.peek() {
+                    if let Some(new) = pending.take() {
+                        match x.key().cmp(new.key()) {
+                            std::cmp::Ordering::Less => pending = Some(new),
+                            std::cmp::Ordering::Equal => {
+                                out.push(f(x, &new));
+                                cur.advance();
+                                continue;
+                            }
+                            std::cmp::Ordering::Greater => {
+                                out.push(new);
+                            }
+                        }
+                    }
+                    out.push(x.clone());
+                    cur.advance();
+                }
+                if let Some(new) = pending {
+                    out.push(new);
+                }
+                from_sorted(b, out)
+            })
         }
         Node::Regular {
             left, entry, right, ..
@@ -79,7 +108,9 @@ where
     }
 }
 
-/// Removes the entry with key `k`, if present. `O(log n + B)` work.
+/// Removes the entry with key `k`, if present. `O(log n + B)` work; a
+/// miss is allocation-free (the block is probed with a cursor search and
+/// the unchanged tree is returned as-is).
 pub(crate) fn remove<E, A, C>(b: usize, t: &Tree<E, A, C>, k: &E::Key) -> Tree<E, A, C>
 where
     E: Entry,
@@ -90,12 +121,24 @@ where
         return None;
     };
     match &**node {
-        Node::Flat { .. } => {
-            let mut entries = decode_flat(node);
-            if let Ok(i) = entries.binary_search_by(|x| x.key().cmp(k)) {
-                entries.remove(i);
-            }
-            from_sorted(b, &entries)
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            let Ok((hit, _)) = C::search_by(block, |x| x.key().cmp(k)) else {
+                // Miss: nothing to rebuild, share the node.
+                return t.clone();
+            };
+            with_scratch(node.size(), |out: &mut Vec<E>| {
+                let mut cur = C::cursor(block);
+                let mut i = 0;
+                while let Some(x) = cur.peek() {
+                    if i != hit {
+                        out.push(x.clone());
+                    }
+                    i += 1;
+                    cur.advance();
+                }
+                from_sorted(b, out)
+            })
         }
         Node::Regular {
             left, entry, right, ..
@@ -121,9 +164,14 @@ where
     loop {
         let Some(node) = cur else { return acc };
         match &**node {
-            Node::Flat { .. } => {
-                let entries = decode_flat(node);
-                return acc + entries.partition_point(|e| e.key() < k);
+            Node::Flat { block, .. } => {
+                stats::count_cursor_op();
+                // Both outcomes of the sampled search give the number of
+                // keys strictly below `k` (keys are unique).
+                return acc
+                    + match C::search_by(block, |e| e.key().cmp(k)) {
+                        Ok((i, _)) | Err(i) => i,
+                    };
             }
             Node::Regular {
                 left, entry, right, ..
@@ -154,9 +202,9 @@ where
             return None;
         }
         match &**node {
-            Node::Flat { .. } => {
-                let entries = decode_flat(node);
-                return Some(entries[i].clone());
+            Node::Flat { block, .. } => {
+                stats::count_cursor_op();
+                return Some(C::get(block, i));
             }
             Node::Regular {
                 left, entry, right, ..
@@ -187,13 +235,16 @@ where
     loop {
         let Some(node) = cur else { return best };
         match &**node {
-            Node::Flat { .. } => {
-                let entries = decode_flat(node);
-                let i = entries.partition_point(|e| e.key() < k);
-                if i < entries.len() {
-                    return Some(entries[i].clone());
-                }
-                return best;
+            Node::Flat { block, .. } => {
+                stats::count_cursor_op();
+                return match C::search_by(block, |e| e.key().cmp(k)) {
+                    Ok((_, e)) => Some(e),
+                    Err(i) if i < C::len(block) => {
+                        stats::count_cursor_op();
+                        Some(C::get(block, i))
+                    }
+                    Err(_) => best,
+                };
             }
             Node::Regular {
                 left, entry, right, ..
@@ -221,13 +272,16 @@ where
     loop {
         let Some(node) = cur else { return best };
         match &**node {
-            Node::Flat { .. } => {
-                let entries = decode_flat(node);
-                let i = entries.partition_point(|e| e.key() <= k);
-                if i > 0 {
-                    return Some(entries[i - 1].clone());
-                }
-                return best;
+            Node::Flat { block, .. } => {
+                stats::count_cursor_op();
+                return match C::search_by(block, |e| e.key().cmp(k)) {
+                    Ok((_, e)) => Some(e),
+                    Err(i) if i > 0 => {
+                        stats::count_cursor_op();
+                        Some(C::get(block, i - 1))
+                    }
+                    Err(_) => best,
+                };
             }
             Node::Regular {
                 left, entry, right, ..
@@ -291,18 +345,26 @@ pub(crate) fn range_decompose<E, A, C>(
     // Invariant: only called on subtrees that may intersect [lo, hi].
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, .. } => {
-            // Whole-block containment check via first/last entries.
-            let entries = decode_flat(node);
-            let first = entries.first().expect("flat node nonempty");
-            let last = entries.last().expect("flat node nonempty");
+        Node::Flat { aug, block, .. } => {
+            // Whole-block containment check via the first/last entries
+            // (both O(RESTART_INTERVAL) point gets, no decode).
+            stats::count_cursor_op();
+            let first = C::get(block, 0);
+            let last = C::get(block, C::len(block) - 1);
             if first.key() >= lo && last.key() <= hi {
                 f(Part::Aug(aug));
             } else {
-                for e in &entries {
-                    if e.key() >= lo && e.key() <= hi {
-                        f(Part::Entry(e));
+                // Seek to the first in-range entry, stream until past hi.
+                let start = match C::search_by(block, |e| e.key().cmp(lo)) {
+                    Ok((i, _)) | Err(i) => i,
+                };
+                let mut cur = C::cursor_at(block, start);
+                while let Some(e) = cur.peek() {
+                    if e.key() > hi {
+                        break;
                     }
+                    f(Part::Entry(e));
+                    cur.advance();
                 }
             }
         }
@@ -335,15 +397,18 @@ fn descend_ge<E, A, C>(
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, .. } => {
-            let entries = decode_flat(node);
-            if entries.first().expect("nonempty").key() >= lo {
+        Node::Flat { aug, block, .. } => {
+            stats::count_cursor_op();
+            if C::get(block, 0).key() >= lo {
                 f(Part::Aug(aug));
             } else {
-                for e in &entries {
-                    if e.key() >= lo {
-                        f(Part::Entry(e));
-                    }
+                let start = match C::search_by(block, |e| e.key().cmp(lo)) {
+                    Ok((i, _)) | Err(i) => i,
+                };
+                let mut cur = C::cursor_at(block, start);
+                while let Some(e) = cur.peek() {
+                    f(Part::Entry(e));
+                    cur.advance();
                 }
             }
         }
@@ -373,15 +438,18 @@ fn descend_le<E, A, C>(
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, .. } => {
-            let entries = decode_flat(node);
-            if entries.last().expect("nonempty").key() <= hi {
+        Node::Flat { aug, block, .. } => {
+            stats::count_cursor_op();
+            if C::get(block, C::len(block) - 1).key() <= hi {
                 f(Part::Aug(aug));
             } else {
-                for e in &entries {
-                    if e.key() <= hi {
-                        f(Part::Entry(e));
+                let mut cur = C::cursor(block);
+                while let Some(e) = cur.peek() {
+                    if e.key() > hi {
+                        break;
                     }
+                    f(Part::Entry(e));
+                    cur.advance();
                 }
             }
         }
@@ -449,15 +517,17 @@ pub(crate) fn prune_search<E, A, C>(
         return;
     }
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
-            for e in &entries {
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            let mut cur = C::cursor(block);
+            while let Some(e) = cur.peek() {
                 if e.key() > kmax {
                     break;
                 }
                 if pred(e) {
                     out.push(e.clone());
                 }
+                cur.advance();
             }
         }
         Node::Regular {
@@ -485,10 +555,16 @@ where
 {
     let Some(node) = t else { return None };
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
-            let kept: Vec<E> = entries.iter().filter(|e| pred(e)).cloned().collect();
-            from_sorted(b, &kept)
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            with_scratch(node.size(), |kept: &mut Vec<E>| {
+                C::for_each(block, &mut |e| {
+                    if pred(e) {
+                        kept.push(e.clone());
+                    }
+                });
+                from_sorted(b, kept)
+            })
         }
         Node::Regular {
             left,
@@ -528,10 +604,12 @@ where
 {
     let Some(node) = t else { return None };
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
-            let mapped: Vec<E2> = entries.iter().map(f).collect();
-            crate::node::make_flat(&mapped)
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            with_scratch(node.size(), |mapped: &mut Vec<E2>| {
+                C::for_each(block, &mut |e| mapped.push(f(e)));
+                crate::node::make_flat(mapped)
+            })
         }
         Node::Regular {
             left,
@@ -613,14 +691,18 @@ where
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
-            let from = entries.partition_point(|e| e.key() < lo);
-            for e in &entries[from..] {
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            let from = match C::search_by(block, |e| e.key().cmp(lo)) {
+                Ok((i, _)) | Err(i) => i,
+            };
+            let mut cur = C::cursor_at(block, from);
+            while let Some(e) = cur.peek() {
                 if e.key() > hi {
                     break;
                 }
                 out.push(e.clone());
+                cur.advance();
             }
         }
         Node::Regular {

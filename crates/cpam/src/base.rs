@@ -128,23 +128,22 @@ where
     }
 }
 
-/// Flattens `left ++ [entry] ++ right` into a vector (sequential; used by
-/// the `node()` smart constructor on at most `4b` entries).
-pub(crate) fn flatten_small<E, A, C>(
+/// Flattens `left ++ [entry] ++ right` into `out` (sequential; used by
+/// the `node()` smart constructor on at most `4b` entries, with `out` a
+/// scratch buffer sized once by the caller).
+pub(crate) fn flatten_into<E, A, C>(
     left: &Tree<E, A, C>,
     entry: &E,
     right: &Tree<E, A, C>,
-) -> Vec<E>
-where
+    out: &mut Vec<E>,
+) where
     E: Element,
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    let mut out = Vec::with_capacity(size(left) + size(right) + 1);
-    push_all(left, &mut out);
+    push_all(left, out);
     out.push(entry.clone());
-    push_all(right, &mut out);
-    out
+    push_all(right, out);
 }
 
 /// Appends all entries of `t` to `out`, in order (sequential).

@@ -2,28 +2,42 @@
 
 use std::sync::Arc;
 
-use codecs::Codec;
+use codecs::{BlockCursor, Codec};
 
 use crate::aug::Augmentation;
 use crate::entry::Element;
-use crate::node::{decode_flat, Node, Tree};
+use crate::node::{Node, Tree};
+use crate::stats;
 
 /// An in-order iterator over the entries of a PaC-tree.
 ///
 /// Holds `Arc`s to the spine it is traversing, so it is a snapshot: the
 /// source collection can be updated (functionally) while iterating.
+///
+/// Leaf blocks are streamed through the codec's cursor — entries decode
+/// one at a time as the iterator advances, with no per-leaf `Vec`.
 pub struct Iter<E, A, C>
 where
     E: Element,
     A: Augmentation<E>,
     C: Codec<E>,
 {
+    /// Cursor into `leaf`'s block.
+    ///
+    /// The `'static` lifetime is a privately-maintained fiction: the
+    /// cursor actually borrows the block inside `leaf`'s heap
+    /// allocation. Safety is kept local to this module by two rules,
+    /// both upheld below: (1) `cursor` is cleared or replaced *before*
+    /// `leaf` is, and the field is declared first so it also drops
+    /// first; (2) `leaf` is never mutated while `cursor` is `Some`.
+    /// Moving the `Iter` itself is fine — the block lives behind the
+    /// `Arc`, not inline.
+    cursor: Option<C::Cursor<'static>>,
+    /// Keeps the current leaf's allocation (and thus the cursor's
+    /// borrow target) alive.
+    leaf: Option<Arc<Node<E, A, C>>>,
     /// Regular nodes whose entry and right subtree are still pending.
     stack: Vec<Arc<Node<E, A, C>>>,
-    /// Decoded entries of the current flat node (drained front to back).
-    block: Vec<E>,
-    /// Next index into `block`.
-    block_at: usize,
 }
 
 impl<E, A, C> Iter<E, A, C>
@@ -34,9 +48,9 @@ where
 {
     pub(crate) fn new(t: &Tree<E, A, C>) -> Self {
         let mut it = Iter {
+            cursor: None,
+            leaf: None,
             stack: Vec::new(),
-            block: Vec::new(),
-            block_at: 0,
         };
         it.push_left_spine(t);
         it
@@ -50,12 +64,52 @@ where
                     t = left;
                 }
                 Node::Flat { .. } => {
-                    debug_assert!(self.block_at >= self.block.len());
-                    self.block = decode_flat(node);
-                    self.block_at = 0;
+                    debug_assert!(self.cursor.is_none());
+                    stats::count_cursor_op();
+                    let leaf = Arc::clone(node);
+                    let Node::Flat { block, .. } = &*leaf else {
+                        unreachable!("matched Flat above");
+                    };
+                    // SAFETY: `block` lives inside `leaf`'s Arc
+                    // allocation, which `self.leaf` keeps alive for the
+                    // cursor's whole lifetime (see the field docs); Arc
+                    // contents never move. The raw-pointer round-trip
+                    // launders the borrow to the field's 'static.
+                    let block: *const C::Block = block;
+                    self.cursor = Some(C::cursor(unsafe { &*block }));
+                    self.leaf = Some(leaf);
                     return;
                 }
             }
+        }
+    }
+}
+
+/// Folds an entire subtree in-order without cursor state: flat nodes
+/// stream through the codec's `for_each` (the tightest decode loop),
+/// regular nodes recurse.
+fn fold_tree<E, A, C, B>(t: &Tree<E, A, C>, mut acc: B, f: &mut impl FnMut(B, E) -> B) -> B
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let Some(node) = t else { return acc };
+    match &**node {
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            acc = fold_tree(left, acc, f);
+            acc = f(acc, entry.clone());
+            fold_tree(right, acc, f)
+        }
+        Node::Flat { block, .. } => {
+            stats::count_cursor_op();
+            let mut acc = Some(acc);
+            C::for_each(block, &mut |e| {
+                acc = Some(f(acc.take().expect("acc threaded"), e.clone()));
+            });
+            acc.expect("acc threaded")
         }
     }
 }
@@ -68,11 +122,48 @@ where
 {
     type Item = E;
 
+    /// Internal iteration override: bulk consumers (`sum`, `collect`,
+    /// `for` loops through adapters) bypass the per-entry cursor
+    /// save/restore and run the codec's tight streaming loop per block.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, E) -> B,
+    {
+        let mut acc = init;
+        // Drain the in-progress leaf, releasing the cursor before the
+        // leaf Arc it borrows (same discipline as `next`).
+        if let Some(mut cur) = self.cursor.take() {
+            while let Some(e) = cur.peek() {
+                let e = e.clone();
+                cur.advance();
+                acc = f(acc, e);
+            }
+            drop(cur);
+            self.leaf = None;
+        }
+        // The stack holds ancestors root-first; each pending node
+        // contributes its entry then its whole right subtree.
+        while let Some(node) = self.stack.pop() {
+            let Node::Regular { entry, right, .. } = &*node else {
+                unreachable!("flat nodes never sit on the iterator stack");
+            };
+            acc = f(acc, entry.clone());
+            acc = fold_tree(right, acc, &mut f);
+        }
+        acc
+    }
+
+    #[inline]
     fn next(&mut self) -> Option<E> {
-        if self.block_at < self.block.len() {
-            let e = self.block[self.block_at].clone();
-            self.block_at += 1;
-            return Some(e);
+        if let Some(cur) = self.cursor.as_mut() {
+            if let Some(e) = cur.peek() {
+                let e = e.clone();
+                cur.advance();
+                return Some(e);
+            }
+            // Exhausted: release the cursor before the leaf it borrows.
+            self.cursor = None;
+            self.leaf = None;
         }
         let node = self.stack.pop()?;
         let Node::Regular { entry, right, .. } = &*node else {

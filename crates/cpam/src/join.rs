@@ -8,9 +8,10 @@
 use codecs::Codec;
 
 use crate::aug::Augmentation;
-use crate::base::{build_regular, flatten_small, from_sorted};
+use crate::base::{build_regular, flatten_into, from_sorted};
 use crate::entry::{Element, Entry};
-use crate::node::{decode_flat, make_flat, make_regular, size, weight, Node, Tree};
+use crate::node::{decode_flat_into, make_flat, make_regular, size, weight, Node, Tree};
+use crate::scratch::with_scratch;
 
 /// Weight-balance factor α = 0.29 (paper default; α ≤ 1 − 1/√2).
 const ALPHA_NUM: usize = 29;
@@ -45,18 +46,21 @@ where
     if total > 4 * b {
         return make_regular(l, e, r);
     }
-    if total <= 2 * b {
-        let entries = flatten_small(&l, &e, &r);
-        return make_flat(&entries);
-    }
-    // 2b < total <= 4b: both halves land in [b, 2b].
-    let entries = flatten_small(&l, &e, &r);
-    let mid = total / 2;
-    make_regular(
-        make_flat(&entries[..mid]),
-        entries[mid].clone(),
-        make_flat(&entries[mid + 1..]),
-    )
+    // Folding path: flatten into a reused scratch buffer (sized once
+    // from the subtree sizes), then re-encode.
+    with_scratch(total, |entries| {
+        flatten_into(&l, &e, &r, entries);
+        if total <= 2 * b {
+            return make_flat(entries);
+        }
+        // 2b < total <= 4b: both halves land in [b, 2b].
+        let mid = total / 2;
+        make_regular(
+            make_flat(&entries[..mid]),
+            entries[mid].clone(),
+            make_flat(&entries[mid + 1..]),
+        )
+    })
 }
 
 /// `expose` (Fig. 5): splits a nonempty tree into `(left, entry, right)`.
@@ -73,13 +77,13 @@ where
         Node::Regular {
             left, entry, right, ..
         } => (left.clone(), entry.clone(), right.clone()),
-        Node::Flat { .. } => {
-            let entries = decode_flat(t);
+        Node::Flat { .. } => with_scratch(t.size(), |entries| {
+            decode_flat_into(t, entries);
             let mid = entries.len() / 2;
             let l = build_regular::<E, A, C>(&entries[..mid]);
             let r = build_regular::<E, A, C>(&entries[mid + 1..]);
             (l, entries[mid].clone(), r)
-        }
+        }),
     }
 }
 
@@ -175,11 +179,11 @@ where
 {
     let node = t.expect("split_last on empty tree");
     match &*node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(&node);
+        Node::Flat { .. } => with_scratch(node.size(), |entries| {
+            decode_flat_into(&node, entries);
             let (last, rest) = entries.split_last().expect("flat node is never empty");
             (from_sorted(b, rest), last.clone())
-        }
+        }),
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -227,21 +231,23 @@ where
     };
     match &**node {
         Node::Flat { .. } => {
-            // Efficient base case: binary-search the decoded block and
-            // rebuild both sides as packed trees.
-            let entries = decode_flat(node);
-            match entries.binary_search_by(|e| e.key().cmp(k)) {
-                Ok(i) => (
-                    from_sorted(b, &entries[..i]),
-                    Some(entries[i].clone()),
-                    from_sorted(b, &entries[i + 1..]),
-                ),
-                Err(i) => (
-                    from_sorted(b, &entries[..i]),
-                    None,
-                    from_sorted(b, &entries[i..]),
-                ),
-            }
+            // Efficient base case: decode into scratch, binary-search,
+            // and rebuild both sides as packed trees.
+            with_scratch(node.size(), |entries: &mut Vec<E>| {
+                decode_flat_into(node, entries);
+                match entries.binary_search_by(|e| e.key().cmp(k)) {
+                    Ok(i) => (
+                        from_sorted(b, &entries[..i]),
+                        Some(entries[i].clone()),
+                        from_sorted(b, &entries[i + 1..]),
+                    ),
+                    Err(i) => (
+                        from_sorted(b, &entries[..i]),
+                        None,
+                        from_sorted(b, &entries[i..]),
+                    ),
+                }
+            })
         }
         Node::Regular {
             left, entry, right, ..
@@ -280,10 +286,10 @@ where
         return (t.clone(), None);
     }
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
+        Node::Flat { .. } => with_scratch(node.size(), |entries: &mut Vec<E>| {
+            decode_flat_into(node, entries);
             (from_sorted(b, &entries[..i]), from_sorted(b, &entries[i..]))
-        }
+        }),
         Node::Regular {
             left, entry, right, ..
         } => {

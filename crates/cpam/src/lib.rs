@@ -54,6 +54,7 @@ mod entry;
 mod iter;
 mod join;
 mod node;
+mod scratch;
 mod seq;
 mod setops;
 mod verify;

@@ -170,6 +170,11 @@ where
 }
 
 /// Decodes a flat node's block into a fresh vector.
+///
+/// This is the decode-everything *oracle* path: hot code uses the
+/// codec's cursor layer or [`decode_flat_into`] with a scratch buffer
+/// instead. Kept for the invariant checker and differential tests,
+/// whose point is to compare against a full materialization.
 pub(crate) fn decode_flat<E, A, C>(node: &Node<E, A, C>) -> Vec<E>
 where
     E: Element,
@@ -184,6 +189,25 @@ where
             out
         }
         Node::Regular { .. } => unreachable!("decode_flat on regular node"),
+    }
+}
+
+/// Appends a flat node's entries to `out` (typically a
+/// [`crate::scratch`] buffer sized by the caller). Still a *full* block
+/// decode — it counts as one — but allocation-free when `out` has
+/// capacity.
+pub(crate) fn decode_flat_into<E, A, C>(node: &Node<E, A, C>, out: &mut Vec<E>)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match node {
+        Node::Flat { block, .. } => {
+            stats::count_block_decode();
+            C::decode(block, out);
+        }
+        Node::Regular { .. } => unreachable!("decode_flat_into on regular node"),
     }
 }
 

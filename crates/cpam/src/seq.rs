@@ -2,13 +2,15 @@
 //! (Table 1) — take, subseq, append, reverse, find-first — on top of the
 //! same tree representation, ignoring keys entirely.
 
-use codecs::Codec;
+use codecs::{BlockCursor, Codec};
 
 use crate::aug::Augmentation;
 use crate::base::from_sorted;
 use crate::entry::Element;
 use crate::join::{join2, split_at};
-use crate::node::{decode_flat, make_flat, make_regular, size, Node, Tree};
+use crate::node::{decode_flat_into, make_flat, make_regular, size, Node, Tree};
+use crate::scratch::with_scratch;
+use crate::stats;
 
 /// First `i` entries (the paper's Take). `O(log n + B)` work.
 pub(crate) fn take<E, A, C>(b: usize, t: &Tree<E, A, C>, i: usize) -> Tree<E, A, C>
@@ -63,11 +65,11 @@ where
 {
     let Some(node) = t else { return None };
     match &**node {
-        Node::Flat { .. } => {
-            let mut entries = decode_flat(node);
+        Node::Flat { .. } => with_scratch(node.size(), |entries: &mut Vec<E>| {
+            decode_flat_into(node, entries);
             entries.reverse();
-            make_flat(&entries)
-        }
+            make_flat(entries)
+        }),
         Node::Regular {
             left,
             entry,
@@ -107,9 +109,20 @@ where
 {
     let node = t.as_ref()?;
     match &**node {
-        Node::Flat { .. } => {
-            let entries = decode_flat(node);
-            entries.iter().position(|e| pred(e)).map(|i| offset + i)
+        Node::Flat { block, .. } => {
+            // Stream the block with early exit — a hit at position `i`
+            // decodes only `i + 1` entries and allocates nothing.
+            stats::count_cursor_op();
+            let mut cur = C::cursor(block);
+            let mut i = 0;
+            loop {
+                let e = cur.peek()?;
+                if pred(e) {
+                    return Some(offset + i);
+                }
+                i += 1;
+                cur.advance();
+            }
         }
         Node::Regular {
             left, entry, right, ..

@@ -13,6 +13,7 @@ use crate::base::{from_sorted, push_all, to_vec};
 use crate::entry::Entry;
 use crate::join::{expose, join, join2, split};
 use crate::node::{size, Tree};
+use crate::scratch::with_scratch;
 
 /// κ = `KAPPA_BLOCKS * b`: the base-case granularity (paper uses 8B).
 pub(crate) const KAPPA_BLOCKS: usize = 8;
@@ -40,8 +41,33 @@ where
     }
 }
 
-fn merge_union<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E) -> Vec<E> {
-    let mut out = Vec::with_capacity(xs.len() + ys.len());
+/// Flattens both trees into scratch buffers (sized once from the root
+/// sizes), merges them with `merge` into a third, and rebuilds — the
+/// Section 8 array base case, allocation-free in steady state.
+fn merge_base_case<E, A, C>(
+    b: usize,
+    t1: &Tree<E, A, C>,
+    t2: &Tree<E, A, C>,
+    merge: impl FnOnce(&[E], &[E], &mut Vec<E>),
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    with_scratch(size(t1), |xs: &mut Vec<E>| {
+        push_all(t1, xs);
+        with_scratch(size(t2), |ys: &mut Vec<E>| {
+            push_all(t2, ys);
+            with_scratch(xs.len() + ys.len(), |out: &mut Vec<E>| {
+                merge(xs, ys, out);
+                from_sorted(b, out)
+            })
+        })
+    })
+}
+
+fn merge_union<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E, out: &mut Vec<E>) {
     let (mut i, mut j) = (0, 0);
     while i < xs.len() && j < ys.len() {
         match xs[i].key().cmp(ys[j].key()) {
@@ -62,11 +88,9 @@ fn merge_union<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E) -> Vec<E>
     }
     out.extend_from_slice(&xs[i..]);
     out.extend_from_slice(&ys[j..]);
-    out
 }
 
-fn merge_intersect<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E) -> Vec<E> {
-    let mut out = Vec::new();
+fn merge_intersect<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E, out: &mut Vec<E>) {
     let (mut i, mut j) = (0, 0);
     while i < xs.len() && j < ys.len() {
         match xs[i].key().cmp(ys[j].key()) {
@@ -79,11 +103,9 @@ fn merge_intersect<E: Entry>(xs: &[E], ys: &[E], f: &impl Fn(&E, &E) -> E) -> Ve
             }
         }
     }
-    out
 }
 
-fn merge_difference<E: Entry>(xs: &[E], ys: &[E]) -> Vec<E> {
-    let mut out = Vec::new();
+fn merge_difference<E: Entry>(xs: &[E], ys: &[E], out: &mut Vec<E>) {
     let (mut i, mut j) = (0, 0);
     while i < xs.len() {
         if j >= ys.len() {
@@ -102,7 +124,6 @@ fn merge_difference<E: Entry>(xs: &[E], ys: &[E]) -> Vec<E> {
             }
         }
     }
-    out
 }
 
 /// Union with a combiner for duplicate keys (`f(from_t1, from_t2)`).
@@ -126,10 +147,8 @@ where
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
-        // Section 8 base case: flatten, merge, rebuild.
-        let xs = to_vec(&t1);
-        let ys = to_vec(&t2);
-        return from_sorted(b, &merge_union(&xs, &ys, f));
+        // Section 8 base case: flatten into scratch, merge, rebuild.
+        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_union(xs, ys, f, out));
     }
     let (l2, k2, r2) = expose(n2);
     let (l1, m, r1) = split(b, &t1, k2.key());
@@ -202,9 +221,7 @@ where
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
-        let xs = to_vec(&t1);
-        let ys = to_vec(&t2);
-        return from_sorted(b, &merge_intersect(&xs, &ys, f));
+        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_intersect(xs, ys, f, out));
     }
     let (l2, k2, r2) = expose(n2);
     let (l1, m, r1) = split(b, &t1, k2.key());
@@ -234,9 +251,7 @@ where
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
-        let xs = to_vec(&t1);
-        let ys = to_vec(&t2);
-        return from_sorted(b, &merge_difference(&xs, &ys));
+        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_difference(xs, ys, out));
     }
     let (l2, k2, r2) = expose(n2);
     let (l1, _m, r1) = split(b, &t1, k2.key());
@@ -271,10 +286,14 @@ where
     };
     let s = node.size();
     if s + batch.len() <= KAPPA_BLOCKS * b || node.is_flat() {
-        let mut xs = Vec::with_capacity(s);
-        push_all(&t, &mut xs);
-        // Reuse the union merge with roles: existing entries first.
-        return from_sorted(b, &merge_union(&xs, batch, f));
+        return with_scratch(s, |xs: &mut Vec<E>| {
+            push_all(&t, xs);
+            with_scratch(s + batch.len(), |out: &mut Vec<E>| {
+                // Reuse the union merge with roles: existing entries first.
+                merge_union(xs, batch, f, out);
+                from_sorted(b, out)
+            })
+        });
     }
     let (l, e, r) = expose(node);
     let pos = batch.partition_point(|x| x.key() < e.key());
@@ -319,13 +338,11 @@ where
     };
     let s = node.size();
     if s <= KAPPA_BLOCKS * b || node.is_flat() {
-        let mut xs = Vec::with_capacity(s);
-        push_all(&t, &mut xs);
-        let kept: Vec<E> = xs
-            .into_iter()
-            .filter(|e| keys.binary_search_by(|k| k.cmp(e.key())).is_err())
-            .collect();
-        return from_sorted(b, &kept);
+        return with_scratch(s, |xs: &mut Vec<E>| {
+            push_all(&t, xs);
+            xs.retain(|e| keys.binary_search_by(|k| k.cmp(e.key())).is_err());
+            from_sorted(b, xs)
+        });
     }
     let (l, e, r) = expose(node);
     let pos = keys.partition_point(|k| k < e.key());

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static NODE_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BLOCK_ENCODES: AtomicU64 = AtomicU64::new(0);
 static BLOCK_DECODES: AtomicU64 = AtomicU64::new(0);
+static CURSOR_OPS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn count_node_alloc() {
@@ -26,6 +27,11 @@ pub(crate) fn count_block_decode() {
     BLOCK_DECODES.fetch_add(1, Ordering::Relaxed);
 }
 
+#[inline]
+pub(crate) fn count_cursor_op() {
+    CURSOR_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A snapshot of the global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
@@ -33,23 +39,35 @@ pub struct OpCounts {
     pub node_allocs: u64,
     /// Leaf blocks encoded (`fold`s).
     pub block_encodes: u64,
-    /// Leaf blocks decoded (`unfold`s / `expose`s of flat nodes).
+    /// Leaf blocks *fully* decoded — a materialization of every entry,
+    /// whether into a fresh vector or a reused scratch buffer.
     pub block_decodes: u64,
+    /// Allocation-free in-block accesses: cursor-backed point searches,
+    /// index gets and streaming scans of flat nodes. Point lookups on a
+    /// compressed tree advance this counter while `block_decodes` stays
+    /// flat — that is the "no full decode on find" invariant the
+    /// regression tests assert.
+    pub cursor_ops: u64,
 }
 
 /// Reads the counters.
 ///
 /// ```
 /// let before = cpam::stats::read();
-/// let _set = cpam::PacSet::<u64>::from_keys((0..1000).collect::<Vec<_>>());
+/// let set = cpam::PacSet::<u64>::from_keys((0..1000).collect::<Vec<_>>());
+/// // 501 lands inside a leaf block (500 is a root pivot), so the
+/// // lookup is a cursor search.
+/// assert!(set.contains(&501));
 /// let after = cpam::stats::read();
 /// assert!(after.node_allocs > before.node_allocs);
+/// assert!(after.cursor_ops > before.cursor_ops);
 /// ```
 pub fn read() -> OpCounts {
     OpCounts {
         node_allocs: NODE_ALLOCS.load(Ordering::Relaxed),
         block_encodes: BLOCK_ENCODES.load(Ordering::Relaxed),
         block_decodes: BLOCK_DECODES.load(Ordering::Relaxed),
+        cursor_ops: CURSOR_OPS.load(Ordering::Relaxed),
     }
 }
 
@@ -59,5 +77,6 @@ pub fn delta(earlier: OpCounts, later: OpCounts) -> OpCounts {
         node_allocs: later.node_allocs - earlier.node_allocs,
         block_encodes: later.block_encodes - earlier.block_encodes,
         block_decodes: later.block_decodes - earlier.block_decodes,
+        cursor_ops: later.cursor_ops - earlier.cursor_ops,
     }
 }

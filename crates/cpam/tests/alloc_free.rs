@@ -1,0 +1,58 @@
+//! Proves — with a counting global allocator, not a benchmark — that
+//! `find`/`contains_key` on a byte-coded map perform **zero** heap
+//! allocations on the flat-node path.
+//!
+//! This file must contain exactly one `#[test]`: the allocation counter
+//! is per-process, so a concurrently running sibling test would make
+//! the zero-delta assertion racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn find_on_byte_coded_map_allocates_nothing() {
+    use cpam::DiffMap;
+
+    let pairs: Vec<(u64, u64)> = (0..200_000u64).map(|i| (i * 3, i)).collect();
+    let map: DiffMap<u64, u64> = DiffMap::from_sorted_pairs(128, &pairs);
+
+    // Warm up any lazily initialized state (thread locals, counters).
+    let mut sum = 0u64;
+    for probe in 0..100u64 {
+        sum = sum.wrapping_add(map.find(&probe).unwrap_or(0));
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for probe in 0..50_000u64 {
+        sum = sum.wrapping_add(map.find(&probe).unwrap_or(0));
+        if map.contains_key(&(probe * 7 % 600_000)) {
+            sum = sum.wrapping_add(1);
+        }
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(sum > 0, "workload degenerated");
+    assert_eq!(delta, 0, "find/contains_key allocated {delta} times");
+}

@@ -1,0 +1,52 @@
+//! Regression gate for the cursor access layer: point lookups on a
+//! byte-coded map of 1M keys must perform **zero** full-block decodes —
+//! the `block_decodes` counter stays flat while `cursor_ops` advances.
+//! Runs under the CI `PARLAY_NUM_THREADS` matrix like every cpam test.
+//!
+//! One `#[test]` only: the counters are process-wide, so a sibling test
+//! running concurrently would pollute the deltas.
+
+use cpam::{stats, DiffMap, DiffSet};
+
+#[test]
+fn point_lookups_on_byte_coded_map_never_fully_decode() {
+    const N: u64 = 1_000_000;
+    parlay::run(|| {
+        let pairs: Vec<(u64, u64)> = (0..N).map(|i| (i * 3, i)).collect();
+        let map: DiffMap<u64, u64> = DiffMap::from_sorted_pairs(128, &pairs);
+        let keys: Vec<u64> = (0..N).collect();
+        let set: DiffSet<u64> = DiffSet::from_sorted_keys(128, &keys);
+
+        let before = stats::read();
+        let mut hits = 0u64;
+        for probe in 0..20_000u64 {
+            // Mix of hits (multiples of 3) and misses.
+            if map.find(&probe).is_some() {
+                hits += 1;
+            }
+            if map.contains_key(&(probe * 151 % (3 * N))) {
+                hits += 1;
+            }
+            if set.contains(&probe) {
+                hits += 1;
+            }
+        }
+        let d = stats::delta(before, stats::read());
+        assert!(hits > 0, "workload degenerated: no hits at all");
+        assert_eq!(
+            d.block_decodes, 0,
+            "point lookups fully decoded {} blocks",
+            d.block_decodes
+        );
+        // Not every lookup reaches a leaf (some resolve at a regular
+        // pivot), but the bulk must be cursor searches.
+        assert!(
+            d.cursor_ops >= 20_000,
+            "expected >= 20000 cursor ops, saw {}",
+            d.cursor_ops
+        );
+        // Lookups build nothing and encode nothing either.
+        assert_eq!(d.node_allocs, 0, "point lookups allocated nodes");
+        assert_eq!(d.block_encodes, 0, "point lookups encoded blocks");
+    });
+}

@@ -12,7 +12,7 @@
 //! Layout:
 //!
 //! ```text
-//! magic      8 bytes   b"PACSNP01"
+//! magic      8 bytes   b"PACSNP02"
 //! codec id   1 byte    BlockIo::CODEC_ID (raw = 0, delta = 1, gamma = 2)
 //! schema     4 bytes   little-endian entry-type fingerprint (schema_id)
 //! block size varint    the tree's B parameter
@@ -43,8 +43,18 @@ use cpam::{Augmentation, Element, PacMap, PacSet, ScalarKey};
 use crate::checksum::{crc32, schema_id};
 use crate::error::StoreError;
 
-/// Identifies a pacstore snapshot page, version 01.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PACSNP01";
+/// Identifies a pacstore snapshot page, version 02.
+///
+/// Version history: `PACSNP01` pages stored delta-coded leaf payloads
+/// as a single predecessor chain. Version 02 payloads are *restart
+/// coded* — every `codecs::RESTART_INTERVAL`-th entry is absolute so
+/// in-block seeks can skip runs — which changes the payload byte
+/// layout. A v01 page read by the v02 decoder would silently mis-decode
+/// every entry past the first restart, so the magic was bumped: old
+/// pages fail loudly with [`StoreError::BadMagic`] instead. (The restart
+/// sample offsets themselves are *not* serialized; the read path
+/// re-derives them from the payload.)
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PACSNP02";
 
 const TAG_EMPTY: u8 = 0;
 const TAG_REGULAR: u8 = 1;
