@@ -19,8 +19,8 @@ fn main() {
         let mut rng = bench::XorShift(3);
         let intervals: Vec<(u64, u64)> = (0..n_int)
             .map(|_| {
-                let l = rng.next() % 10_000_000;
-                (l, l + rng.next() % 2000)
+                let l = rng.next_u64() % 10_000_000;
+                (l, l + rng.next_u64() % 2000)
             })
             .collect();
         let it = IntervalTree::from_intervals(&intervals);
@@ -37,7 +37,7 @@ fn main() {
         // --- 2D range tree -------------------------------------------------
         let n_pts = 100_000 * scale;
         let points: Vec<(u32, u32)> = (0..n_pts)
-            .map(|_| ((rng.next() % 1_000_000) as u32, (rng.next() % 1_000_000) as u32))
+            .map(|_| ((rng.next_u64() % 1_000_000) as u32, (rng.next_u64() % 1_000_000) as u32))
             .collect();
         let rt = RangeTree2D::from_points(&points);
         let rt_pam = PamRangeTree2D::from_points(&points);

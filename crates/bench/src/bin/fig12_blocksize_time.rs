@@ -48,7 +48,7 @@ fn main() {
                 let mut total = 0usize;
                 let mut r = XorShift(9);
                 for _ in 0..5000 {
-                    let lo = r.next() % (3 * n as u64);
+                    let lo = r.next_u64() % (3 * n as u64);
                     total += tree.range_entries(&lo, &(lo + 3000)).len();
                 }
                 total

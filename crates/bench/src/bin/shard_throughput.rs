@@ -66,7 +66,7 @@ fn sweep_point(
         for _ in 0..commits {
             let ops: Vec<Op<u64, u64>> = (0..batch)
                 .map(|_| {
-                    let k = rng.next() % total as u64;
+                    let k = rng.next_u64() % total as u64;
                     Op::Put(k, k)
                 })
                 .collect();

@@ -7,8 +7,16 @@
 //! B = 128) so the cpam perf trajectory is tracked in-repo, the same way
 //! `shard_throughput` maintains `BENCH_store.json`. A committed
 //! `baseline` object (the pre-cursor-PR numbers) is preserved across
-//! runs; the `current` object and the `find_delta_b128_speedup` ratio
-//! are rewritten from the run's measurements.
+//! runs; the `current` object and the speedup ratios are rewritten from
+//! the run's measurements.
+//!
+//! The `insert_consume_*` rows measure the ownership-aware consuming
+//! update path (`insert_owned`: refcount-1 nodes rebuilt in place)
+//! against the persistent clone-per-op loop (`insert_*`, which pins the
+//! previous version and forces path copying on every op).
+//!
+//! Run with the argument `inplace` to measure and emit just the
+//! micro-op trajectory (the CI smoke mode), skipping the full table.
 
 use bench::{header, ms, row, time, time_avg, XorShift};
 use cpam::{DiffMap, PacMap, SumAug};
@@ -20,6 +28,8 @@ struct MicroOps {
     find_delta_b128: f64,
     insert_raw_b128: f64,
     insert_delta_b128: f64,
+    insert_consume_raw_b128: f64,
+    insert_consume_delta_b128: f64,
     iter_raw_b128: f64,
     iter_delta_b128: f64,
 }
@@ -27,11 +37,13 @@ struct MicroOps {
 impl MicroOps {
     fn to_json(&self) -> String {
         format!(
-            "{{\"find_raw_b128\": {:.0}, \"find_delta_b128\": {:.0}, \"insert_raw_b128\": {:.0}, \"insert_delta_b128\": {:.0}, \"iter_raw_b128\": {:.0}, \"iter_delta_b128\": {:.0}}}",
+            "{{\"find_raw_b128\": {:.0}, \"find_delta_b128\": {:.0}, \"insert_raw_b128\": {:.0}, \"insert_delta_b128\": {:.0}, \"insert_consume_raw_b128\": {:.0}, \"insert_consume_delta_b128\": {:.0}, \"iter_raw_b128\": {:.0}, \"iter_delta_b128\": {:.0}}}",
             self.find_raw_b128,
             self.find_delta_b128,
             self.insert_raw_b128,
             self.insert_delta_b128,
+            self.insert_consume_raw_b128,
+            self.insert_consume_delta_b128,
             self.iter_raw_b128,
             self.iter_delta_b128
         )
@@ -84,6 +96,8 @@ fn measure_micro(n: usize, pairs: &[(u64, u64)]) -> MicroOps {
 
     let keys = XorShift(0xB10C).vec(1000, u64::MAX);
     let ins = |t: f64| keys.len() as f64 / t;
+    // Persistent clone-per-op loop: every insert pins the previous
+    // version (`&self` clones the root), so the whole path is copied.
     let t_ins_raw = time(|| {
         let mut m = raw.clone();
         for &k in &keys {
@@ -100,6 +114,24 @@ fn measure_micro(n: usize, pairs: &[(u64, u64)]) -> MicroOps {
         m
     })
     .1;
+    // Consuming loop: the working map is uniquely owned after the first
+    // op, so refcount-1 path nodes are rebuilt in place.
+    let t_ins_consume_raw = time(|| {
+        let mut m = raw.clone();
+        for &k in &keys {
+            m = m.insert_owned(k, 1);
+        }
+        m
+    })
+    .1;
+    let t_ins_consume_dif = time(|| {
+        let mut m = dif.clone();
+        for &k in &keys {
+            m = m.insert_owned(k, 1);
+        }
+        m
+    })
+    .1;
 
     let iter = |t: f64| n as f64 / t;
     let t_it_raw = time(|| raw.iter().map(|(_, v)| v).sum::<u64>()).1;
@@ -110,6 +142,8 @@ fn measure_micro(n: usize, pairs: &[(u64, u64)]) -> MicroOps {
         find_delta_b128: find(t_dif),
         insert_raw_b128: ins(t_ins_raw),
         insert_delta_b128: ins(t_ins_dif),
+        insert_consume_raw_b128: ins(t_ins_consume_raw),
+        insert_consume_delta_b128: ins(t_ins_consume_dif),
         iter_raw_b128: iter(t_it_raw),
         iter_delta_b128: iter(t_it_dif),
     }
@@ -130,22 +164,61 @@ fn write_bench_json(n: usize, current: &MicroOps) {
     } else {
         1.0
     };
+    // The inplace-vs-persistent rows: consuming updates vs this run's
+    // clone-per-op loop, and vs the committed pre-change baseline's
+    // persistent insert (the only insert flavour that existed then).
+    let inplace_speedup = if current.insert_delta_b128 > 0.0 {
+        current.insert_consume_delta_b128 / current.insert_delta_b128
+    } else {
+        1.0
+    };
+    let inplace_speedup_raw = if current.insert_raw_b128 > 0.0 {
+        current.insert_consume_raw_b128 / current.insert_raw_b128
+    } else {
+        1.0
+    };
+    let baseline_ins = field(&baseline_json, "insert_delta_b128").unwrap_or(current.insert_delta_b128);
+    let inplace_vs_baseline = if baseline_ins > 0.0 {
+        current.insert_consume_delta_b128 / baseline_ins
+    } else {
+        1.0
+    };
     let json = format!(
-        "{{\n  \"bench\": \"tab02_micro\",\n  \"threads\": {},\n  \"n\": {},\n  \"baseline\": {},\n  \"current\": {},\n  \"find_delta_b128_speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"tab02_micro\",\n  \"threads\": {},\n  \"n\": {},\n  \"baseline\": {},\n  \"current\": {},\n  \"find_delta_b128_speedup\": {:.3},\n  \"inplace_insert_raw_b128_speedup_vs_persistent\": {:.3},\n  \"inplace_insert_delta_b128_speedup_vs_persistent\": {:.3},\n  \"inplace_insert_delta_b128_speedup_vs_baseline\": {:.3}\n}}\n",
         parlay::num_threads(),
         n,
         baseline_json,
         current_json,
-        speedup
+        speedup,
+        inplace_speedup_raw,
+        inplace_speedup,
+        inplace_vs_baseline
     );
     std::fs::write(path, &json).expect("write BENCH_cpam.json");
     println!();
     println!("micro-ops (ops/s, B = 128): {current_json}");
     println!("find (delta, B = 128) speedup vs committed baseline: {speedup:.3}x");
+    println!(
+        "insert (B = 128): consuming in-place vs persistent clone-per-op: raw {inplace_speedup_raw:.3}x, \
+         delta {inplace_speedup:.3}x (vs committed baseline delta insert: {inplace_vs_baseline:.3}x)"
+    );
     println!("wrote {path}");
 }
 
 fn main() {
+    // `inplace` mode: just the micro-op trajectory (consuming vs
+    // persistent inserts included) and the JSON — the CI smoke run.
+    if std::env::args().nth(1).as_deref() == Some("inplace") {
+        header("tab02_micro", "inplace mode: micro-op trajectory only");
+        let n = bench::base_n();
+        let pairs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3, i)).collect();
+        parlay::run(|| {
+            let micro = measure_micro(n, &pairs);
+            write_bench_json(n, &micro);
+        });
+        return;
+    }
+
     header("tab02_micro", "Table 2 microbenchmarks (keys/values u64)");
     let n = bench::base_n();
     let m_small = (n / 1000).max(1);
@@ -271,7 +344,7 @@ fn main() {
         // range: m window extractions.
         let windows: Vec<(u64, u64)> = (0..10_000)
             .map(|_| {
-                let lo = rng.next() % (3 * n as u64);
+                let lo = rng.next_u64() % (3 * n as u64);
                 (lo, lo + 3000)
             })
             .collect();

@@ -36,8 +36,8 @@ fn main() {
         let mut rng = XorShift(7);
         let queries: Vec<(u32, u32)> = (0..2000)
             .map(|_| {
-                let w1 = (rng.next() % 200) as u32;
-                let w2 = (rng.next() % 2000) as u32;
+                let w1 = (rng.next_u64() % 200) as u32;
+                let w2 = (rng.next_u64() % 2000) as u32;
                 (w1, w2)
             })
             .collect();
@@ -69,14 +69,14 @@ fn main() {
         let n_int = 1_000_000 * scale;
         let intervals: Vec<(u64, u64)> = (0..n_int)
             .map(|_| {
-                let l = rng.next() % 50_000_000;
-                (l, l + rng.next() % 2000)
+                let l = rng.next_u64() % 50_000_000;
+                (l, l + rng.next_u64() % 2000)
             })
             .collect();
         let (it, t_build) = time(|| IntervalTree::from_intervals(&intervals));
         let (it_pam, t_build_pam) = time(|| PamIntervalTree::from_intervals(&intervals));
         println!("build ({n_int}): CPAM {} vs PAM {}", ms(t_build), ms(t_build_pam));
-        let stabs: Vec<u64> = (0..100_000).map(|_| rng.next() % 50_002_000).collect();
+        let stabs: Vec<u64> = (0..100_000).map(|_| rng.next_u64() % 50_002_000).collect();
         let t_q = time(|| stabs.iter().map(|&q| it.stab(q).len()).sum::<usize>()).1;
         let t_q_pam = time(|| stabs.iter().map(|&q| it_pam.stab(q).len()).sum::<usize>()).1;
         println!("100k stabbing queries: CPAM {} vs PAM {}", ms(t_q), ms(t_q_pam));
@@ -92,7 +92,7 @@ fn main() {
         println!("--- 2D range tree ---");
         let n_pts = 200_000 * scale;
         let points: Vec<(u32, u32)> = (0..n_pts)
-            .map(|_| ((rng.next() % 10_000_000) as u32, (rng.next() % 10_000_000) as u32))
+            .map(|_| ((rng.next_u64() % 10_000_000) as u32, (rng.next_u64() % 10_000_000) as u32))
             .collect();
         let (rt, t_build) = time(|| RangeTree2D::from_points(&points));
         let (rt_pam, t_build_pam) = time(|| PamRangeTree2D::from_points(&points));
@@ -100,8 +100,8 @@ fn main() {
         // Q-Sum: count queries with ~1% windows.
         let windows: Vec<(u32, u32, u32, u32)> = (0..10_000)
             .map(|_| {
-                let x = (rng.next() % 9_000_000) as u32;
-                let y = (rng.next() % 9_000_000) as u32;
+                let x = (rng.next_u64() % 9_000_000) as u32;
+                let y = (rng.next_u64() % 9_000_000) as u32;
                 (x, y, x + 1_000_000, y + 1_000_000)
             })
             .collect();

@@ -68,7 +68,7 @@ pub struct XorShift(pub u64);
 
 impl XorShift {
     /// Next pseudo-random value.
-    pub fn next(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;
         self.0 ^= self.0 << 17;
@@ -77,6 +77,6 @@ impl XorShift {
 
     /// A vector of `n` values below `bound`.
     pub fn vec(&mut self, n: usize, bound: u64) -> Vec<u64> {
-        (0..n).map(|_| self.next() % bound).collect()
+        (0..n).map(|_| self.next_u64() % bound).collect()
     }
 }

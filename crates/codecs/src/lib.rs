@@ -506,7 +506,7 @@ fn search_restarts<E>(
 ) -> RestartProbe<E> {
     let (mut lo, mut hi) = (0usize, nsamples);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let e = entry_at(mid);
         match f(&e) {
             Ordering::Less => lo = mid,
@@ -568,7 +568,7 @@ impl<E: Delta> BlockCursor<E> for DeltaCursor<'_, E> {
             self.cur = None;
             return;
         }
-        let next = if self.idx % RESTART_INTERVAL == 0 {
+        let next = if self.idx.is_multiple_of(RESTART_INTERVAL) {
             E::read_first(self.buf, &mut self.pos)
         } else {
             E::read_delta(self.buf, &mut self.pos, prev)
@@ -738,7 +738,7 @@ impl<K: Delta, V: Clone> BlockCursor<(K, V)> for KeyDeltaCursor<'_, K, V> {
         if self.idx >= self.values.len() {
             return;
         }
-        let k = if self.idx % RESTART_INTERVAL == 0 {
+        let k = if self.idx.is_multiple_of(RESTART_INTERVAL) {
             K::read_first(self.buf, &mut self.pos)
         } else {
             K::read_delta(self.buf, &mut self.pos, &prev)
@@ -954,7 +954,7 @@ impl<E: GammaKey + Clone + Send + Sync + 'static> Codec<E> for GammaCodec {
 
     fn decode(block: &Self::Block, out: &mut Vec<E>) {
         out.reserve(block.count());
-        Self::for_each(block, &mut |e: &E| out.push(e.clone()));
+        Self::for_each(block, &mut |e: &E| out.push(*e));
     }
 
     fn len(block: &Self::Block) -> usize {
@@ -1385,10 +1385,10 @@ mod tests {
     fn delta_get_and_cursor_at_match_index() {
         let entries: Vec<u64> = (0..300).map(|i| 5 * i + 1).collect();
         let block = <DeltaCodec as Codec<u64>>::encode(&entries);
-        for i in 0..entries.len() {
-            assert_eq!(<DeltaCodec as Codec<u64>>::get(&block, i), entries[i]);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(<DeltaCodec as Codec<u64>>::get(&block, i), *e);
             let cur = <DeltaCodec as Codec<u64>>::cursor_at(&block, i);
-            assert_eq!(cur.peek(), Some(&entries[i]));
+            assert_eq!(cur.peek(), Some(e));
         }
         let cur = <DeltaCodec as Codec<u64>>::cursor_at(&block, entries.len());
         assert!(cur.peek().is_none());
@@ -1423,7 +1423,7 @@ mod tests {
         let mut cur = <KeyDeltaCodec as Codec<(u64, u32)>>::cursor(&block);
         let mut seen = Vec::new();
         while let Some(e) = cur.peek() {
-            seen.push(e.clone());
+            seen.push(*e);
             cur.advance();
         }
         assert_eq!(seen, entries);
@@ -1433,7 +1433,7 @@ mod tests {
         for probe in 0..810u64 {
             let want = entries
                 .binary_search_by(|e| e.0.cmp(&probe))
-                .map(|i| (i, entries[i].clone()));
+                .map(|i| (i, entries[i]));
             assert_eq!(
                 <KeyDeltaCodec as Codec<(u64, u32)>>::search_by(&block, |e| e.0.cmp(&probe)),
                 want,

@@ -11,9 +11,9 @@
 use codecs::{BlockCursor, Codec};
 
 use crate::aug::Augmentation;
-use crate::base::{from_sorted, to_vec};
+use crate::base::{from_sorted, rebuild_leaf, to_vec};
 use crate::entry::{Element, Entry};
-use crate::join::{join, join2, split};
+use crate::join::{expose_owned, join, join2, split};
 use crate::node::{size, Node, Tree};
 use crate::scratch::with_scratch;
 use crate::stats;
@@ -51,8 +51,11 @@ where
 }
 
 /// Inserts one entry; `f(old, new)` combines with an existing entry.
-/// `O(log n + B)` work.
-pub(crate) fn insert<E, A, C, F>(b: usize, t: &Tree<E, A, C>, e: E, f: &F) -> Tree<E, A, C>
+/// `O(log n + B)` work. Consumes the tree: every uniquely-owned node on
+/// the root-to-leaf path is rebuilt in place; shared nodes (and
+/// everything below the first shared node reached through them) are
+/// path-copied as before.
+pub(crate) fn insert<E, A, C, F>(b: usize, t: Tree<E, A, C>, e: E, f: &F) -> Tree<E, A, C>
 where
     E: Entry,
     A: Augmentation<E>,
@@ -62,13 +65,17 @@ where
     let Some(node) = t else {
         return from_sorted(b, std::slice::from_ref(&e));
     };
-    match &**node {
-        Node::Flat { block, .. } => {
-            // Merge the new entry in one cursor pass over the block —
-            // no decode-then-`Vec::insert` shuffle — into a scratch
-            // buffer that is immediately re-encoded.
-            stats::count_cursor_op();
-            with_scratch(node.size() + 1, |out: &mut Vec<E>| {
+    if node.is_flat() {
+        // Merge the new entry in one cursor pass over the block —
+        // no decode-then-`Vec::insert` shuffle — into a scratch
+        // buffer that is re-encoded into the node's own allocation
+        // when we hold the only reference.
+        stats::count_cursor_op();
+        return with_scratch(node.size() + 1, |out: &mut Vec<E>| {
+            {
+                let Node::Flat { block, .. } = &*node else {
+                    unreachable!("is_flat")
+                };
                 let mut cur = C::cursor(block);
                 let mut pending = Some(e);
                 while let Some(x) = cur.peek() {
@@ -91,43 +98,46 @@ where
                 if let Some(new) = pending {
                     out.push(new);
                 }
-                from_sorted(b, out)
-            })
-        }
-        Node::Regular {
-            left, entry, right, ..
-        } => match e.key().cmp(entry.key()) {
-            std::cmp::Ordering::Equal => join(b, left.clone(), f(entry, &e), right.clone()),
-            std::cmp::Ordering::Less => {
-                join(b, insert(b, left, e, f), entry.clone(), right.clone())
             }
-            std::cmp::Ordering::Greater => {
-                join(b, left.clone(), entry.clone(), insert(b, right, e, f))
-            }
-        },
+            rebuild_leaf(b, Some(node), out)
+        });
+    }
+    let (left, entry, right, husk) = expose_owned(Some(node));
+    match e.key().cmp(entry.key()) {
+        std::cmp::Ordering::Equal => join(b, husk, left, f(&entry, &e), right),
+        std::cmp::Ordering::Less => join(b, husk, insert(b, left, e, f), entry, right),
+        std::cmp::Ordering::Greater => join(b, husk, left, entry, insert(b, right, e, f)),
     }
 }
 
 /// Removes the entry with key `k`, if present. `O(log n + B)` work; a
 /// miss is allocation-free (the block is probed with a cursor search and
-/// the unchanged tree is returned as-is).
-pub(crate) fn remove<E, A, C>(b: usize, t: &Tree<E, A, C>, k: &E::Key) -> Tree<E, A, C>
+/// the unchanged tree is returned as-is). Consumes the tree like
+/// [`insert`].
+pub(crate) fn remove<E, A, C>(b: usize, t: Tree<E, A, C>, k: &E::Key) -> Tree<E, A, C>
 where
     E: Entry,
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    let Some(node) = t else {
-        return None;
-    };
-    match &**node {
-        Node::Flat { block, .. } => {
-            stats::count_cursor_op();
-            let Ok((hit, _)) = C::search_by(block, |x| x.key().cmp(k)) else {
-                // Miss: nothing to rebuild, share the node.
-                return t.clone();
+    let node = t?;
+    if node.is_flat() {
+        stats::count_cursor_op();
+        let hit = {
+            let Node::Flat { block, .. } = &*node else {
+                unreachable!("is_flat")
             };
-            with_scratch(node.size(), |out: &mut Vec<E>| {
+            match C::search_by(block, |x| x.key().cmp(k)) {
+                Ok((hit, _)) => hit,
+                // Miss: nothing to rebuild, keep the node as-is.
+                Err(_) => return Some(node),
+            }
+        };
+        return with_scratch(node.size(), |out: &mut Vec<E>| {
+            {
+                let Node::Flat { block, .. } = &*node else {
+                    unreachable!("is_flat")
+                };
                 let mut cur = C::cursor(block);
                 let mut i = 0;
                 while let Some(x) = cur.peek() {
@@ -137,18 +147,15 @@ where
                     i += 1;
                     cur.advance();
                 }
-                from_sorted(b, out)
-            })
-        }
-        Node::Regular {
-            left, entry, right, ..
-        } => match k.cmp(entry.key()) {
-            std::cmp::Ordering::Equal => join2(b, left.clone(), right.clone()),
-            std::cmp::Ordering::Less => join(b, remove(b, left, k), entry.clone(), right.clone()),
-            std::cmp::Ordering::Greater => {
-                join(b, left.clone(), entry.clone(), remove(b, right, k))
             }
-        },
+            rebuild_leaf(b, Some(node), out)
+        });
+    }
+    let (left, entry, right, husk) = expose_owned(Some(node));
+    match k.cmp(entry.key()) {
+        std::cmp::Ordering::Equal => join2(b, husk, left, right),
+        std::cmp::Ordering::Less => join(b, husk, remove(b, left, k), entry, right),
+        std::cmp::Ordering::Greater => join(b, husk, left, entry, remove(b, right, k)),
     }
 }
 
@@ -299,20 +306,20 @@ where
 
 /// The subtree of entries with keys in `[lo, hi]` (the paper's Range).
 /// `O(log n + B)` work.
-pub(crate) fn range<E, A, C>(b: usize, t: &Tree<E, A, C>, lo: &E::Key, hi: &E::Key) -> Tree<E, A, C>
+pub(crate) fn range<E, A, C>(b: usize, t: Tree<E, A, C>, lo: &E::Key, hi: &E::Key) -> Tree<E, A, C>
 where
     E: Entry,
     A: Augmentation<E>,
     C: Codec<E>,
 {
     let (_, m_lo, ge_lo) = split(b, t, lo);
-    let (mid, m_hi, _) = split(b, &ge_lo, hi);
+    let (mid, m_hi, _) = split(b, ge_lo, hi);
     let mut out = mid;
     if let Some(e) = m_hi {
-        out = join(b, out, e, None);
+        out = join(b, None, out, e, None);
     }
     if let Some(e) = m_lo {
-        out = join(b, None, e, out);
+        out = join(b, None, None, e, out);
     }
     out
 }
@@ -326,6 +333,9 @@ pub(crate) enum Part<'a, E, AV> {
     Entry(&'a E),
 }
 
+/// The callback a range decomposition feeds its [`Part`]s to.
+pub(crate) type PartSink<'f, E, AV> = dyn for<'a> FnMut(Part<'a, E, AV>) + 'f;
+
 /// Canonical range decomposition of `[lo, hi]` (inclusive): calls `f`
 /// with the aggregate of each maximal subtree entirely inside the range
 /// and with each of the `O(log n + B)` boundary entries.
@@ -336,7 +346,7 @@ pub(crate) fn range_decompose<E, A, C>(
     t: &Tree<E, A, C>,
     lo: &E::Key,
     hi: &E::Key,
-    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+    f: &mut PartSink<'_, E, A::Value>,
 ) where
     E: Entry,
     A: Augmentation<E>,
@@ -389,7 +399,7 @@ pub(crate) fn range_decompose<E, A, C>(
 fn descend_ge<E, A, C>(
     t: &Tree<E, A, C>,
     lo: &E::Key,
-    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+    f: &mut PartSink<'_, E, A::Value>,
 ) where
     E: Entry,
     A: Augmentation<E>,
@@ -430,7 +440,7 @@ fn descend_ge<E, A, C>(
 fn descend_le<E, A, C>(
     t: &Tree<E, A, C>,
     hi: &E::Key,
-    f: &mut dyn FnMut(Part<'_, E, A::Value>),
+    f: &mut PartSink<'_, E, A::Value>,
 ) where
     E: Entry,
     A: Augmentation<E>,
@@ -467,7 +477,7 @@ fn descend_le<E, A, C>(
     }
 }
 
-fn on_aug_whole<E, A, C>(t: &Tree<E, A, C>, f: &mut dyn FnMut(Part<'_, E, A::Value>))
+fn on_aug_whole<E, A, C>(t: &Tree<E, A, C>, f: &mut PartSink<'_, E, A::Value>)
 where
     E: Element,
     A: Augmentation<E>,
@@ -545,45 +555,43 @@ pub(crate) fn prune_search<E, A, C>(
 }
 
 /// Keeps entries satisfying `pred` (Fig. 6's `filter`).
-/// `O(n)` work, `O(log^2 n)` span.
-pub(crate) fn filter<E, A, C, F>(b: usize, t: &Tree<E, A, C>, pred: &F) -> Tree<E, A, C>
+/// `O(n)` work, `O(log^2 n)` span. Consumes the tree: surviving spans of
+/// a uniquely-owned tree are rebuilt in place.
+pub(crate) fn filter<E, A, C, F>(b: usize, t: Tree<E, A, C>, pred: &F) -> Tree<E, A, C>
 where
     E: Element,
     A: Augmentation<E>,
     C: Codec<E>,
     F: Fn(&E) -> bool + Sync,
 {
-    let Some(node) = t else { return None };
-    match &**node {
-        Node::Flat { block, .. } => {
-            stats::count_cursor_op();
-            with_scratch(node.size(), |kept: &mut Vec<E>| {
+    let node = t?;
+    if node.is_flat() {
+        stats::count_cursor_op();
+        return with_scratch(node.size(), |kept: &mut Vec<E>| {
+            {
+                let Node::Flat { block, .. } = &*node else {
+                    unreachable!("is_flat")
+                };
                 C::for_each(block, &mut |e| {
                     if pred(e) {
                         kept.push(e.clone());
                     }
                 });
-                from_sorted(b, kept)
-            })
-        }
-        Node::Regular {
-            left,
-            entry,
-            right,
-            size: sz,
-            ..
-        } => {
-            let (tl, tr) = if *sz > par_cutoff(b) {
-                parlay::join(|| filter(b, left, pred), || filter(b, right, pred))
-            } else {
-                (filter(b, left, pred), filter(b, right, pred))
-            };
-            if pred(entry) {
-                join(b, tl, entry.clone(), tr)
-            } else {
-                join2(b, tl, tr)
             }
-        }
+            rebuild_leaf(b, Some(node), kept)
+        });
+    }
+    let sz = node.size();
+    let (left, entry, right, husk) = expose_owned(Some(node));
+    let (tl, tr) = if sz > par_cutoff(b) {
+        parlay::join(|| filter(b, left, pred), || filter(b, right, pred))
+    } else {
+        (filter(b, left, pred), filter(b, right, pred))
+    };
+    if pred(&entry) {
+        join(b, husk, tl, entry, tr)
+    } else {
+        join2(b, husk, tl, tr)
     }
 }
 

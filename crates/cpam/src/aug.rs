@@ -42,10 +42,10 @@ pub struct NoAug;
 
 impl<E> Augmentation<E> for NoAug {
     type Value = ();
-    fn identity() -> () {}
-    fn from_entry(_: &E) -> () {}
-    fn combine(_: &(), _: &()) -> () {}
-    fn from_entries(_: &[E]) -> () {}
+    fn identity() {}
+    fn from_entry(_: &E) {}
+    fn combine(_: &(), _: &()) {}
+    fn from_entries(_: &[E]) {}
 }
 
 /// Sums the values of `(K, V)` map entries.

@@ -9,7 +9,8 @@ use parlay::SendPtr;
 
 use crate::aug::Augmentation;
 use crate::entry::Element;
-use crate::node::{make_flat, make_regular, size, Node, Tree};
+use crate::node::{make_flat, make_regular, reuse_flat, reuse_regular, size, Node, Tree};
+use crate::stats;
 
 /// Parallelism cutoff for construction/flattening.
 pub(crate) const BUILD_GRAIN: usize = 4096;
@@ -51,6 +52,39 @@ where
         )
     };
     make_regular(l, entries[mid].clone(), r)
+}
+
+/// Ownership-aware [`from_sorted`] for the *small* rebuilds the update
+/// base cases produce: a leaf-sized result re-encodes into `src`'s
+/// allocation in place ([`reuse_flat`]), a `2b..4b` result redistributes
+/// with `src` as the top regular node, and anything larger falls back to
+/// the parallel builder (tallied as a copy — the site was reuse-eligible
+/// but the shape outgrew one node).
+pub(crate) fn rebuild_leaf<E, A, C>(b: usize, src: Tree<E, A, C>, entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let n = entries.len();
+    if n == 0 {
+        return None;
+    }
+    if n <= 2 * b {
+        return reuse_flat(src, entries);
+    }
+    if n <= 4 * b {
+        let mid = n / 2;
+        return reuse_regular(
+            src,
+            make_flat(&entries[..mid]),
+            entries[mid].clone(),
+            make_flat(&entries[mid + 1..]),
+        );
+    }
+    stats::count_node_copy();
+    drop(src);
+    from_sorted(b, entries)
 }
 
 /// Builds a perfectly balanced tree of only regular nodes (the paper's

@@ -26,6 +26,33 @@ pub enum RangePart<'a, K, V, AV> {
 /// can be read while newer versions are being produced — the paper's
 /// multiversioning story.
 ///
+/// # Consuming updates
+///
+/// Every update also has a *consuming* variant (`insert_owned`,
+/// `remove_owned`, `multi_insert_owned`, `union_owned`, ...). Semantics
+/// are identical, but because the map is passed by value the update can
+/// check, per node, whether it holds the only reference — and rebuild
+/// uniquely-owned nodes **in place** instead of path-copying (the
+/// paper's refcount-1 optimization). Holding a clone anywhere keeps
+/// every shared node copy-on-write, so snapshots stay immutable; see
+/// [`crate::stats::OpCounts::nodes_reused`]. The borrowing methods
+/// simply clone and delegate, which pins the whole tree and always
+/// copies the path:
+///
+/// ```
+/// use cpam::PacMap;
+///
+/// let mut m: PacMap<u64, u64> = PacMap::from_pairs((0..1000).map(|i| (i, i)).collect());
+/// // Hot loop: consuming updates mutate uniquely-owned nodes in place.
+/// for k in 1000..2000 {
+///     m = m.insert_owned(k, k);
+/// }
+/// let snapshot = m.clone(); // O(1); from here updates copy the shared path
+/// m = m.insert_owned(9999, 1);
+/// assert_eq!(snapshot.len(), 2000);
+/// assert_eq!(m.len(), 2001);
+/// ```
+///
 /// Type parameters: key `K`, value `V`, augmentation `A` (default none)
 /// and block codec `C` (default blocking without compression). The block
 /// size `B` is a runtime parameter fixed at creation (paper default 128).
@@ -184,13 +211,24 @@ where
 
     /// A new map with `(k, v)` inserted (replacing any existing value).
     pub fn insert(&self, k: K, v: V) -> Self {
-        self.insert_with(k, v, |_, new| new.clone())
+        self.clone().insert_owned(k, v)
+    }
+
+    /// Consuming [`PacMap::insert`]: uniquely-owned nodes on the update
+    /// path are rebuilt in place instead of path-copied.
+    pub fn insert_owned(self, k: K, v: V) -> Self {
+        self.insert_with_owned(k, v, |_, new| new.clone())
     }
 
     /// A new map with `(k, v)` inserted; on an existing key the stored
     /// value becomes `f(old, new)`.
     pub fn insert_with(&self, k: K, v: V, f: impl Fn(&V, &V) -> V) -> Self {
-        let root = algos::insert(self.b, &self.root, (k, v), &|old: &(K, V), new: &(K, V)| {
+        self.clone().insert_with_owned(k, v, f)
+    }
+
+    /// Consuming [`PacMap::insert_with`].
+    pub fn insert_with_owned(self, k: K, v: V, f: impl Fn(&V, &V) -> V) -> Self {
+        let root = algos::insert(self.b, self.root, (k, v), &|old: &(K, V), new: &(K, V)| {
             (new.0.clone(), f(&old.1, &new.1))
         });
         PacMap { root, b: self.b }
@@ -198,8 +236,13 @@ where
 
     /// A new map without key `k`.
     pub fn remove(&self, k: &K) -> Self {
+        self.clone().remove_owned(k)
+    }
+
+    /// Consuming [`PacMap::remove`].
+    pub fn remove_owned(self, k: &K) -> Self {
         PacMap {
-            root: algos::remove(self.b, &self.root, k),
+            root: algos::remove(self.b, self.root, k),
             b: self.b,
         }
     }
@@ -221,12 +264,31 @@ where
     ///
     /// See [`PacMap::union`].
     pub fn union_with(&self, other: &Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+        self.clone().union_with_owned(other.clone(), f)
+    }
+
+    /// Consuming [`PacMap::union_with`]: both operands are consumed and
+    /// whichever side's nodes are uniquely owned are reused in place.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
+    pub fn union_with_owned(self, other: Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
         assert_eq!(self.b, other.b, "union_with requires equal block sizes");
         let g = |a: &(K, V), b: &(K, V)| (a.0.clone(), f(&a.1, &b.1));
         PacMap {
-            root: setops::union_with(self.b, self.root.clone(), other.root.clone(), &g),
+            root: setops::union_with(self.b, self.root, other.root, &g),
             b: self.b,
         }
+    }
+
+    /// Consuming [`PacMap::union`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
+    pub fn union_owned(self, other: Self) -> Self {
+        self.union_with_owned(other, |_, theirs| theirs.clone())
     }
 
     /// Intersection; kept entries combine values with `f`.
@@ -235,10 +297,19 @@ where
     ///
     /// See [`PacMap::union`].
     pub fn intersect_with(&self, other: &Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+        self.clone().intersect_with_owned(other.clone(), f)
+    }
+
+    /// Consuming [`PacMap::intersect_with`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
+    pub fn intersect_with_owned(self, other: Self, f: impl Fn(&V, &V) -> V + Sync) -> Self {
         assert_eq!(self.b, other.b, "intersect_with requires equal block sizes");
         let g = |a: &(K, V), b: &(K, V)| (a.0.clone(), f(&a.1, &b.1));
         PacMap {
-            root: setops::intersect_with(self.b, self.root.clone(), other.root.clone(), &g),
+            root: setops::intersect_with(self.b, self.root, other.root, &g),
             b: self.b,
         }
     }
@@ -249,9 +320,18 @@ where
     ///
     /// See [`PacMap::union`].
     pub fn difference(&self, other: &Self) -> Self {
+        self.clone().difference_owned(other.clone())
+    }
+
+    /// Consuming [`PacMap::difference`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PacMap::union`].
+    pub fn difference_owned(self, other: Self) -> Self {
         assert_eq!(self.b, other.b, "difference requires equal block sizes");
         PacMap {
-            root: setops::difference(self.b, self.root.clone(), other.root.clone()),
+            root: setops::difference(self.b, self.root, other.root),
             b: self.b,
         }
     }
@@ -260,13 +340,27 @@ where
     /// batch in parallel (last wins), then merges. On keys already
     /// present the new value replaces the old.
     pub fn multi_insert(&self, batch: Vec<(K, V)>) -> Self {
-        self.multi_insert_with(batch, |_, new| new.clone())
+        self.clone().multi_insert_owned(batch)
+    }
+
+    /// Consuming [`PacMap::multi_insert`].
+    pub fn multi_insert_owned(self, batch: Vec<(K, V)>) -> Self {
+        self.multi_insert_with_owned(batch, |_, new| new.clone())
     }
 
     /// [`PacMap::multi_insert`] with `f(old, new)` combining values on
     /// existing keys; duplicate keys *within* the batch are combined with
     /// `f` as well (in batch order), so it doubles as a group-by.
-    pub fn multi_insert_with(&self, mut batch: Vec<(K, V)>, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+    pub fn multi_insert_with(&self, batch: Vec<(K, V)>, f: impl Fn(&V, &V) -> V + Sync) -> Self {
+        self.clone().multi_insert_with_owned(batch, f)
+    }
+
+    /// Consuming [`PacMap::multi_insert_with`].
+    pub fn multi_insert_with_owned(
+        self,
+        mut batch: Vec<(K, V)>,
+        f: impl Fn(&V, &V) -> V + Sync,
+    ) -> Self {
         parlay::par_sort_by(&mut batch, &|a, b| a.0.cmp(&b.0));
         let mut dedup: Vec<(K, V)> = Vec::with_capacity(batch.len());
         for p in batch {
@@ -277,25 +371,36 @@ where
         }
         let g = |old: &(K, V), new: &(K, V)| (old.0.clone(), f(&old.1, &new.1));
         PacMap {
-            root: setops::multi_insert(self.b, self.root.clone(), &dedup, &g),
+            root: setops::multi_insert(self.b, self.root, &dedup, &g),
             b: self.b,
         }
     }
 
     /// Batch delete: removes every key in `keys`.
-    pub fn multi_delete(&self, mut keys: Vec<K>) -> Self {
+    pub fn multi_delete(&self, keys: Vec<K>) -> Self {
+        self.clone().multi_delete_owned(keys)
+    }
+
+    /// Consuming [`PacMap::multi_delete`].
+    pub fn multi_delete_owned(self, mut keys: Vec<K>) -> Self {
         parlay::par_sort(&mut keys);
         keys.dedup();
         PacMap {
-            root: setops::multi_delete(self.b, self.root.clone(), &keys),
+            root: setops::multi_delete(self.b, self.root, &keys),
             b: self.b,
         }
     }
 
     /// Keeps entries satisfying `pred`.
     pub fn filter(&self, pred: impl Fn(&K, &V) -> bool + Sync) -> Self {
+        self.clone().filter_owned(pred)
+    }
+
+    /// Consuming [`PacMap::filter`]: surviving spans of a uniquely-owned
+    /// map are rebuilt in place.
+    pub fn filter_owned(self, pred: impl Fn(&K, &V) -> bool + Sync) -> Self {
         PacMap {
-            root: algos::filter(self.b, &self.root, &|e: &(K, V)| pred(&e.0, &e.1)),
+            root: algos::filter(self.b, self.root, &|e: &(K, V)| pred(&e.0, &e.1)),
             b: self.b,
         }
     }
@@ -353,7 +458,7 @@ where
     /// The submap with keys in `[lo, hi]`. `O(log n + B)` work.
     pub fn range(&self, lo: &K, hi: &K) -> Self {
         PacMap {
-            root: algos::range(self.b, &self.root, lo, hi),
+            root: algos::range(self.b, self.root.clone(), lo, hi),
             b: self.b,
         }
     }
@@ -501,7 +606,7 @@ where
     /// Splits into (entries with key < `k`, value at `k`, entries with
     /// key > `k`) — the raw `split` primitive (Fig. 5).
     pub fn split(&self, k: &K) -> (Self, Option<V>, Self) {
-        let (l, m, r) = jn::split(self.b, &self.root, k);
+        let (l, m, r) = jn::split(self.b, self.root.clone(), k);
         (
             PacMap { root: l, b: self.b },
             m.map(|e| e.1),
@@ -516,7 +621,7 @@ where
         debug_assert!(left.last().is_none_or(|(a, _)| a < k));
         debug_assert!(right.first().is_none_or(|(a, _)| a > k));
         PacMap {
-            root: jn::join(left.b, left.root.clone(), (k, v), right.root.clone()),
+            root: jn::join(left.b, None, left.root.clone(), (k, v), right.root.clone()),
             b: left.b,
         }
     }

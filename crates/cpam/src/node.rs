@@ -7,7 +7,21 @@
 //!
 //! Persistence comes from `Arc`: updates copy the `O(log n)` nodes on the
 //! affected path and share everything else with previous versions, which
-//! is exactly the paper's reference-counting scheme.
+//! is exactly the paper's reference-counting scheme. The scheme cuts the
+//! other way too: when a node's refcount is 1 the caller holds the *only*
+//! reference, so an update may overwrite the node in place instead of
+//! path-copying — [`reuse_regular`] / [`reuse_flat`] implement that
+//! ownership-aware fast path (PaC-trees §4; the same trick PAM uses to
+//! keep functional maps competitive with imperative ones). Sharing is
+//! detected per node with [`std::sync::Arc::get_mut`], so a single pinned
+//! snapshot anywhere above automatically forces the copying path.
+//!
+//! Dropping is also ownership-aware: a plain recursive `Arc` drop would
+//! recurse once per tree level *per field*, and degenerate shapes (or
+//! very small `B`) make that a stack hazard. [`Node`]'s `Drop` unlinks
+//! children of large subtrees iteratively — walking single-child spines
+//! in a loop and forking two-child splits through [`parlay::join`] — so
+//! a million-node tree drops in bounded stack space, in parallel.
 
 use std::sync::Arc;
 
@@ -77,6 +91,78 @@ where
     }
 }
 
+/// Subtree size above which `Drop` switches from the plain recursive
+/// drop (fine: depth is `O(log size)` on weight-balanced trees) to the
+/// iterative/parallel unlink walk.
+const PAR_DROP_MIN: usize = 1 << 14;
+
+impl<E, A, C> Drop for Node<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    fn drop(&mut self) {
+        if let Node::Regular { left, right, size, .. } = self {
+            if *size >= PAR_DROP_MIN {
+                let (l, r) = (left.take(), right.take());
+                drop_heavy(l, r);
+            }
+        }
+    }
+}
+
+/// Drops two large subtrees without deep recursion: single-child chains
+/// are walked in a loop, two-child splits fork through [`parlay::join`]
+/// (halving weights keep the fork depth `O(log n)` with tiny frames),
+/// and shared nodes are just a refcount decrement. Each `Arc` dropped
+/// here has had its heavy children taken out first, so its own `Drop`
+/// returns immediately.
+fn drop_heavy<E, A, C>(l: Tree<E, A, C>, r: Tree<E, A, C>)
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    fn one<E, A, C>(t: Tree<E, A, C>)
+    where
+        E: Element,
+        A: Augmentation<E>,
+        C: Codec<E>,
+    {
+        let Some(mut arc) = t else { return };
+        loop {
+            match Arc::get_mut(&mut arc) {
+                // Shared or flat: dropping `arc` is shallow.
+                None | Some(Node::Flat { .. }) => return,
+                Some(Node::Regular { left, right, size, .. }) => {
+                    if *size < PAR_DROP_MIN {
+                        // Small enough for the plain recursive drop.
+                        return;
+                    }
+                    match (left.take(), right.take()) {
+                        (Some(a), Some(b)) => {
+                            drop(arc);
+                            return drop_heavy(Some(a), Some(b));
+                        }
+                        (Some(x), None) | (None, Some(x)) => arc = x,
+                        (None, None) => return,
+                    }
+                }
+            }
+        }
+    }
+    match (l, r) {
+        (Some(a), Some(b)) => {
+            parlay::join(|| one(Some(a)), || one(Some(b)));
+        }
+        (a, b) => {
+            one(a);
+            one(b);
+        }
+    }
+}
+
 /// Size of a tree (0 for empty).
 #[inline]
 pub(crate) fn size<E, A, C>(t: &Tree<E, A, C>) -> usize
@@ -110,6 +196,28 @@ where
     t.as_ref().map_or_else(A::identity, |n| n.aug().clone())
 }
 
+/// Computes the cached fields of a regular node over `(left, entry,
+/// right)` and assembles the node value.
+fn regular_node<E, A, C>(left: Tree<E, A, C>, entry: E, right: Tree<E, A, C>) -> Node<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    let size = size(&left) + size(&right) + 1;
+    let aug = A::combine(
+        &A::combine(&aug_of(&left), &A::from_entry(&entry)),
+        &aug_of(&right),
+    );
+    Node::Regular {
+        size,
+        aug,
+        left,
+        entry,
+        right,
+    }
+}
+
 /// Builds a regular node, computing its size and aggregate.
 pub(crate) fn make_regular<E, A, C>(left: Tree<E, A, C>, entry: E, right: Tree<E, A, C>) -> Tree<E, A, C>
 where
@@ -118,18 +226,62 @@ where
     C: Codec<E>,
 {
     stats::count_node_alloc();
-    let size = size(&left) + size(&right) + 1;
-    let aug = A::combine(
-        &A::combine(&aug_of(&left), &A::from_entry(&entry)),
-        &aug_of(&right),
-    );
-    Some(Arc::new(Node::Regular {
-        size,
-        aug,
-        left,
-        entry,
-        right,
-    }))
+    Some(Arc::new(regular_node(left, entry, right)))
+}
+
+/// Ownership-aware [`make_regular`]: when `src` is a uniquely-owned node
+/// (refcount 1, any variant) its allocation is overwritten in place —
+/// the in-place update of the paper's reference-counting scheme. A
+/// shared (or absent) `src` falls back to a fresh allocation; the two
+/// outcomes are tallied as [`crate::stats::OpCounts::nodes_reused`] vs
+/// [`crate::stats::OpCounts::nodes_copied`].
+pub(crate) fn reuse_regular<E, A, C>(
+    src: Tree<E, A, C>,
+    left: Tree<E, A, C>,
+    entry: E,
+    right: Tree<E, A, C>,
+) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if let Some(mut arc) = src {
+        if let Some(slot) = Arc::get_mut(&mut arc) {
+            *slot = regular_node(left, entry, right);
+            stats::count_node_reuse();
+            return Some(arc);
+        }
+    }
+    stats::count_node_copy();
+    make_regular(left, entry, right)
+}
+
+/// Ownership-aware [`make_flat`]: re-encodes `entries` into `src`'s
+/// allocation when `src` is uniquely owned, else copies (see
+/// [`reuse_regular`] for the accounting).
+pub(crate) fn reuse_flat<E, A, C>(src: Tree<E, A, C>, entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    if entries.is_empty() {
+        return None;
+    }
+    if let Some(mut arc) = src {
+        if let Some(slot) = Arc::get_mut(&mut arc) {
+            stats::count_block_encode();
+            *slot = Node::Flat {
+                aug: A::from_entries(entries),
+                block: C::encode(entries),
+            };
+            stats::count_node_reuse();
+            return Some(arc);
+        }
+    }
+    stats::count_node_copy();
+    make_flat(entries)
 }
 
 /// Builds a flat node from entries in collection order.

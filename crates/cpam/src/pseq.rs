@@ -182,7 +182,7 @@ where
     /// Keeps elements satisfying `pred` (paper's Filter).
     pub fn filter(&self, pred: impl Fn(&V) -> bool + Sync) -> Self {
         PacSeq {
-            root: algos::filter(self.b, &self.root, &pred),
+            root: algos::filter(self.b, self.root.clone(), &pred),
             b: self.b,
         }
     }

@@ -19,7 +19,7 @@ where
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    split_at(b, t, i).0
+    split_at(b, t.clone(), i).0
 }
 
 /// Everything after the first `i` entries.
@@ -29,7 +29,7 @@ where
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    split_at(b, t, i).1
+    split_at(b, t.clone(), i).1
 }
 
 /// The subsequence `[lo, hi)` by position.
@@ -40,8 +40,8 @@ where
     C: Codec<E>,
 {
     debug_assert!(lo <= hi);
-    let (_, suffix) = split_at(b, t, lo);
-    split_at(b, &suffix, hi - lo).0
+    let (_, suffix) = split_at(b, t.clone(), lo);
+    split_at(b, suffix, hi - lo).0
 }
 
 /// Concatenation (the paper's Append): `O(log n + B)` work — the
@@ -52,7 +52,7 @@ where
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    join2(b, l.clone(), r.clone())
+    join2(b, None, l.clone(), r.clone())
 }
 
 /// Reverses the sequence. `O(n)` work, `O(log n)` span: children swap and

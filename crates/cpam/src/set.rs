@@ -148,16 +148,28 @@ where
 
     /// A new set with `k` added.
     pub fn insert(&self, k: K) -> Self {
+        self.clone().insert_owned(k)
+    }
+
+    /// Consuming [`PacSet::insert`]: uniquely-owned nodes on the update
+    /// path are rebuilt in place instead of path-copied (the refcount-1
+    /// fast path; see [`crate::PacMap`]'s "Consuming updates" section).
+    pub fn insert_owned(self, k: K) -> Self {
         PacSet {
-            root: algos::insert(self.b, &self.root, k, &|old: &K, _new: &K| old.clone()),
+            root: algos::insert(self.b, self.root, k, &|old: &K, _new: &K| old.clone()),
             b: self.b,
         }
     }
 
     /// A new set without `k`.
     pub fn remove(&self, k: &K) -> Self {
+        self.clone().remove_owned(k)
+    }
+
+    /// Consuming [`PacSet::remove`].
+    pub fn remove_owned(self, k: &K) -> Self {
         PacSet {
-            root: algos::remove(self.b, &self.root, k),
+            root: algos::remove(self.b, self.root, k),
             b: self.b,
         }
     }
@@ -170,11 +182,19 @@ where
     /// shares subtrees with both inputs, so mismatched `B` would
     /// silently violate the leaf-size invariant).
     pub fn union(&self, other: &Self) -> Self {
+        self.clone().union_owned(other.clone())
+    }
+
+    /// Consuming [`PacSet::union`]: both operands are consumed and
+    /// whichever side's nodes are uniquely owned are reused in place.
+    ///
+    /// # Panics
+    ///
+    /// See [`PacSet::union`].
+    pub fn union_owned(self, other: Self) -> Self {
         assert_eq!(self.b, other.b, "union requires equal block sizes");
         PacSet {
-            root: setops::union_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
-                a.clone()
-            }),
+            root: setops::union_with(self.b, self.root, other.root, &|a, _| a.clone()),
             b: self.b,
         }
     }
@@ -185,11 +205,18 @@ where
     ///
     /// See [`PacSet::union`].
     pub fn intersect(&self, other: &Self) -> Self {
+        self.clone().intersect_owned(other.clone())
+    }
+
+    /// Consuming [`PacSet::intersect`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PacSet::union`].
+    pub fn intersect_owned(self, other: Self) -> Self {
         assert_eq!(self.b, other.b, "intersect requires equal block sizes");
         PacSet {
-            root: setops::intersect_with(self.b, self.root.clone(), other.root.clone(), &|a, _| {
-                a.clone()
-            }),
+            root: setops::intersect_with(self.b, self.root, other.root, &|a, _| a.clone()),
             b: self.b,
         }
     }
@@ -200,9 +227,18 @@ where
     ///
     /// See [`PacSet::union`].
     pub fn difference(&self, other: &Self) -> Self {
+        self.clone().difference_owned(other.clone())
+    }
+
+    /// Consuming [`PacSet::difference`].
+    ///
+    /// # Panics
+    ///
+    /// See [`PacSet::union`].
+    pub fn difference_owned(self, other: Self) -> Self {
         assert_eq!(self.b, other.b, "difference requires equal block sizes");
         PacSet {
-            root: setops::difference(self.b, self.root.clone(), other.root.clone()),
+            root: setops::difference(self.b, self.root, other.root),
             b: self.b,
         }
     }
@@ -220,31 +256,44 @@ where
     }
 
     /// Batch insert of arbitrary keys (parallel sort + dedup + merge).
-    pub fn multi_insert(&self, mut keys: Vec<K>) -> Self {
+    pub fn multi_insert(&self, keys: Vec<K>) -> Self {
+        self.clone().multi_insert_owned(keys)
+    }
+
+    /// Consuming [`PacSet::multi_insert`].
+    pub fn multi_insert_owned(self, mut keys: Vec<K>) -> Self {
         parlay::par_sort(&mut keys);
         keys.dedup();
         PacSet {
-            root: setops::multi_insert(self.b, self.root.clone(), &keys, &|old: &K, _: &K| {
-                old.clone()
-            }),
+            root: setops::multi_insert(self.b, self.root, &keys, &|old: &K, _: &K| old.clone()),
             b: self.b,
         }
     }
 
     /// Batch delete.
-    pub fn multi_delete(&self, mut keys: Vec<K>) -> Self {
+    pub fn multi_delete(&self, keys: Vec<K>) -> Self {
+        self.clone().multi_delete_owned(keys)
+    }
+
+    /// Consuming [`PacSet::multi_delete`].
+    pub fn multi_delete_owned(self, mut keys: Vec<K>) -> Self {
         parlay::par_sort(&mut keys);
         keys.dedup();
         PacSet {
-            root: setops::multi_delete(self.b, self.root.clone(), &keys),
+            root: setops::multi_delete(self.b, self.root, &keys),
             b: self.b,
         }
     }
 
     /// Keeps elements satisfying `pred`.
     pub fn filter(&self, pred: impl Fn(&K) -> bool + Sync) -> Self {
+        self.clone().filter_owned(pred)
+    }
+
+    /// Consuming [`PacSet::filter`].
+    pub fn filter_owned(self, pred: impl Fn(&K) -> bool + Sync) -> Self {
         PacSet {
-            root: algos::filter(self.b, &self.root, &pred),
+            root: algos::filter(self.b, self.root, &pred),
             b: self.b,
         }
     }
@@ -292,7 +341,7 @@ where
     /// Elements in `[lo, hi]` as a new set.
     pub fn range(&self, lo: &K, hi: &K) -> Self {
         PacSet {
-            root: algos::range(self.b, &self.root, lo, hi),
+            root: algos::range(self.b, self.root.clone(), lo, hi),
             b: self.b,
         }
     }
@@ -374,7 +423,7 @@ where
 
     /// Splits into (elements `< k`, membership of `k`, elements `> k`).
     pub fn split(&self, k: &K) -> (Self, bool, Self) {
-        let (l, m, r) = jn::split(self.b, &self.root, k);
+        let (l, m, r) = jn::split(self.b, self.root.clone(), k);
         (
             PacSet { root: l, b: self.b },
             m.is_some(),

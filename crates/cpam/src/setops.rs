@@ -6,12 +6,14 @@
 //! flattened into arrays, merged, and rebuilt — 4–7x faster in the paper)
 //! and a *naive* expose-only version kept for the Section 8 ablation.
 
+use std::sync::Arc;
+
 use codecs::Codec;
 
 use crate::aug::Augmentation;
-use crate::base::{from_sorted, push_all, to_vec};
+use crate::base::{from_sorted, push_all, rebuild_leaf, to_vec};
 use crate::entry::Entry;
-use crate::join::{expose, join, join2, split};
+use crate::join::{expose_owned, join, join2, split};
 use crate::node::{size, Tree};
 use crate::scratch::with_scratch;
 
@@ -41,13 +43,33 @@ where
     }
 }
 
+/// Picks the better reuse husk out of two consumed operands: a uniquely
+/// owned root wins (its allocation can be overwritten), the other is
+/// dropped.
+fn pick_husk<E, A, C>(a: Tree<E, A, C>, b: Tree<E, A, C>) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    match (a, b) {
+        (Some(x), y) if Arc::strong_count(&x) == 1 => {
+            drop(y);
+            Some(x)
+        }
+        (x, y) => y.or(x),
+    }
+}
+
 /// Flattens both trees into scratch buffers (sized once from the root
 /// sizes), merges them with `merge` into a third, and rebuilds — the
-/// Section 8 array base case, allocation-free in steady state.
+/// Section 8 array base case, allocation-free in steady state. Both
+/// operands are consumed; whichever root is uniquely owned donates its
+/// allocation to the rebuilt result.
 fn merge_base_case<E, A, C>(
     b: usize,
-    t1: &Tree<E, A, C>,
-    t2: &Tree<E, A, C>,
+    t1: Tree<E, A, C>,
+    t2: Tree<E, A, C>,
     merge: impl FnOnce(&[E], &[E], &mut Vec<E>),
 ) -> Tree<E, A, C>
 where
@@ -55,13 +77,13 @@ where
     A: Augmentation<E>,
     C: Codec<E>,
 {
-    with_scratch(size(t1), |xs: &mut Vec<E>| {
-        push_all(t1, xs);
-        with_scratch(size(t2), |ys: &mut Vec<E>| {
-            push_all(t2, ys);
+    with_scratch(size(&t1), |xs: &mut Vec<E>| {
+        push_all(&t1, xs);
+        with_scratch(size(&t2), |ys: &mut Vec<E>| {
+            push_all(&t2, ys);
             with_scratch(xs.len() + ys.len(), |out: &mut Vec<E>| {
                 merge(xs, ys, out);
-                from_sorted(b, out)
+                rebuild_leaf(b, pick_husk(t1, t2), out)
             })
         })
     })
@@ -148,10 +170,10 @@ where
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
         // Section 8 base case: flatten into scratch, merge, rebuild.
-        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_union(xs, ys, f, out));
+        return merge_base_case(b, t1, t2, |xs, ys, out| merge_union(xs, ys, f, out));
     }
-    let (l2, k2, r2) = expose(n2);
-    let (l1, m, r1) = split(b, &t1, k2.key());
+    let (l2, k2, r2, husk) = expose_owned(t2);
+    let (l1, m, r1) = split(b, t1, k2.key());
     let entry = match m {
         Some(e1) => f(&e1, &k2),
         None => k2,
@@ -164,7 +186,7 @@ where
     } else {
         (union_with(b, l1, l2, f), union_with(b, r1, r2, f))
     };
-    join(b, tl, entry, tr)
+    join(b, husk, tl, entry, tr)
 }
 
 /// Expose-only union (Fig. 5 style, no array base case) — kept for the
@@ -186,8 +208,8 @@ where
         return refold(b, t1.or(t2));
     };
     let total = size(&t1) + n2.size();
-    let (l2, k2, r2) = expose(n2);
-    let (l1, m, r1) = split(b, &t1, k2.key());
+    let (l2, k2, r2, husk) = expose_owned(t2);
+    let (l1, m, r1) = split(b, t1, k2.key());
     let entry = match m {
         Some(e1) => f(&e1, &k2),
         None => k2,
@@ -200,7 +222,7 @@ where
     } else {
         (union_naive(b, l1, l2, f), union_naive(b, r1, r2, f))
     };
-    join(b, tl, entry, tr)
+    join(b, husk, tl, entry, tr)
 }
 
 /// Intersection with a combiner for the retained entries.
@@ -221,10 +243,10 @@ where
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
-        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_intersect(xs, ys, f, out));
+        return merge_base_case(b, t1, t2, |xs, ys, out| merge_intersect(xs, ys, f, out));
     }
-    let (l2, k2, r2) = expose(n2);
-    let (l1, m, r1) = split(b, &t1, k2.key());
+    let (l2, k2, r2, husk) = expose_owned(t2);
+    let (l1, m, r1) = split(b, t1, k2.key());
     let (tl, tr) = if s1 + s2 > par_cutoff(b) {
         parlay::join(
             || intersect_with(b, l1, l2, f),
@@ -234,8 +256,8 @@ where
         (intersect_with(b, l1, l2, f), intersect_with(b, r1, r2, f))
     };
     match m {
-        Some(e1) => join(b, tl, f(&e1, &k2), tr),
-        None => join2(b, tl, tr),
+        Some(e1) => join(b, husk, tl, f(&e1, &k2), tr),
+        None => join2(b, husk, tl, tr),
     }
 }
 
@@ -251,16 +273,16 @@ where
     };
     let (s1, s2) = (n1.size(), n2.size());
     if s1 + s2 <= KAPPA_BLOCKS * b {
-        return merge_base_case(b, &t1, &t2, |xs, ys, out| merge_difference(xs, ys, out));
+        return merge_base_case(b, t1, t2, |xs, ys, out| merge_difference(xs, ys, out));
     }
-    let (l2, k2, r2) = expose(n2);
-    let (l1, _m, r1) = split(b, &t1, k2.key());
+    let (l2, k2, r2, husk) = expose_owned(t2);
+    let (l1, _m, r1) = split(b, t1, k2.key());
     let (tl, tr) = if s1 + s2 > par_cutoff(b) {
         parlay::join(|| difference(b, l1, l2), || difference(b, r1, r2))
     } else {
         (difference(b, l1, l2), difference(b, r1, r2))
     };
-    join2(b, tl, tr)
+    join2(b, husk, tl, tr)
 }
 
 /// Batch insert (Fig. 8's `multi_insert`): `batch` must be sorted by key
@@ -291,11 +313,11 @@ where
             with_scratch(s + batch.len(), |out: &mut Vec<E>| {
                 // Reuse the union merge with roles: existing entries first.
                 merge_union(xs, batch, f, out);
-                from_sorted(b, out)
+                rebuild_leaf(b, t, out)
             })
         });
     }
-    let (l, e, r) = expose(node);
+    let (l, e, r, husk) = expose_owned(t);
     let pos = batch.partition_point(|x| x.key() < e.key());
     let (hit, rest_at) = if pos < batch.len() && batch[pos].key() == e.key() {
         (Some(&batch[pos]), pos + 1)
@@ -318,7 +340,7 @@ where
             multi_insert(b, r, right_batch, f),
         )
     };
-    join(b, tl, entry, tr)
+    join(b, husk, tl, entry, tr)
 }
 
 /// Batch delete: removes all entries whose keys appear in the sorted,
@@ -341,10 +363,10 @@ where
         return with_scratch(s, |xs: &mut Vec<E>| {
             push_all(&t, xs);
             xs.retain(|e| keys.binary_search_by(|k| k.cmp(e.key())).is_err());
-            from_sorted(b, xs)
+            rebuild_leaf(b, t, xs)
         });
     }
-    let (l, e, r) = expose(node);
+    let (l, e, r, husk) = expose_owned(t);
     let pos = keys.partition_point(|k| k < e.key());
     let (hit, rest_at) = if pos < keys.len() && &keys[pos] == e.key() {
         (true, pos + 1)
@@ -364,8 +386,8 @@ where
         )
     };
     if hit {
-        join2(b, tl, tr)
+        join2(b, husk, tl, tr)
     } else {
-        join(b, tl, e, tr)
+        join(b, husk, tl, e, tr)
     }
 }

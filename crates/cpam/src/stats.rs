@@ -11,10 +11,22 @@ static NODE_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BLOCK_ENCODES: AtomicU64 = AtomicU64::new(0);
 static BLOCK_DECODES: AtomicU64 = AtomicU64::new(0);
 static CURSOR_OPS: AtomicU64 = AtomicU64::new(0);
+static NODES_REUSED: AtomicU64 = AtomicU64::new(0);
+static NODES_COPIED: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn count_node_alloc() {
     NODE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_node_reuse() {
+    NODES_REUSED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_node_copy() {
+    NODES_COPIED.fetch_add(1, Ordering::Relaxed);
 }
 
 #[inline]
@@ -48,6 +60,15 @@ pub struct OpCounts {
     /// flat — that is the "no full decode on find" invariant the
     /// regression tests assert.
     pub cursor_ops: u64,
+    /// Nodes rebuilt *in place* by the ownership-aware update path: the
+    /// caller held the only reference (`Arc` refcount 1), so the node's
+    /// allocation was overwritten instead of path-copied.
+    pub nodes_reused: u64,
+    /// Nodes a reuse-eligible update site had to copy after all: the
+    /// node was shared (pinned by a snapshot or reached through the
+    /// borrowing `&self` API), so mutating it would have been visible
+    /// through the other reference.
+    pub nodes_copied: u64,
 }
 
 /// Reads the counters.
@@ -68,6 +89,8 @@ pub fn read() -> OpCounts {
         block_encodes: BLOCK_ENCODES.load(Ordering::Relaxed),
         block_decodes: BLOCK_DECODES.load(Ordering::Relaxed),
         cursor_ops: CURSOR_OPS.load(Ordering::Relaxed),
+        nodes_reused: NODES_REUSED.load(Ordering::Relaxed),
+        nodes_copied: NODES_COPIED.load(Ordering::Relaxed),
     }
 }
 
@@ -78,5 +101,20 @@ pub fn delta(earlier: OpCounts, later: OpCounts) -> OpCounts {
         block_encodes: later.block_encodes - earlier.block_encodes,
         block_decodes: later.block_decodes - earlier.block_decodes,
         cursor_ops: later.cursor_ops - earlier.cursor_ops,
+        nodes_reused: later.nodes_reused - earlier.nodes_reused,
+        nodes_copied: later.nodes_copied - earlier.nodes_copied,
+    }
+}
+
+impl OpCounts {
+    /// Fraction of reuse-eligible node rebuilds that mutated in place:
+    /// `reused / (reused + copied)`, or 0 when no eligible site ran.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.nodes_reused + self.nodes_copied;
+        if total == 0 {
+            0.0
+        } else {
+            self.nodes_reused as f64 / total as f64
+        }
     }
 }

@@ -209,7 +209,7 @@ mod tests {
         m.visit_nodes(&mut |n| {
             nodes.push(match n {
                 NodeRef::Empty => NodeOwned::Empty,
-                NodeRef::Regular(e) => NodeOwned::Regular(e.clone()),
+                NodeRef::Regular(e) => NodeOwned::Regular(*e),
                 NodeRef::Flat(b) => NodeOwned::Flat(b.clone()),
             });
         });

@@ -1,9 +1,20 @@
 //! Differential tests for the batch-parallel map API: randomized op
 //! sequences drive `PacMap::{multi_insert_with, multi_delete, range,
-//! union_with}` against a `BTreeMap` oracle, across the paper's
-//! block-size sweep B ∈ {1, 2, 8, 32, 128}. Every divergence panics
-//! with the exact reproducing seed (`PROPTEST_SEED=<n>`), and setting
-//! that variable replays just that sequence on every block size.
+//! union_with, insert_with, remove, filter}` against a `BTreeMap`
+//! oracle, across the paper's block-size sweep B ∈ {1, 2, 8, 32, 128}.
+//!
+//! Every sequence runs through **both** API flavours in lockstep — the
+//! persistent `&self` methods and the consuming `*_owned` methods — so
+//! the ownership-aware in-place path is differentially checked against
+//! the same oracle as the path-copying one. Snapshot pins of the
+//! consuming replica are interleaved at every step and re-validated at
+//! the end of the sequence: if an in-place rebuild ever touched a node
+//! a pin could reach, the pin's recorded contents diverge and the seed
+//! is reported.
+//!
+//! Every divergence panics with the exact reproducing seed
+//! (`PROPTEST_SEED=<n>`), and setting that variable replays just that
+//! sequence on every block size.
 
 use std::collections::BTreeMap;
 
@@ -25,26 +36,55 @@ fn env_seed() -> Option<u64> {
     std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok())
 }
 
-fn check(step: &str, m: &PacMap<u64, u64>, oracle: &BTreeMap<u64, u64>) -> Result<(), String> {
-    let got = m.to_vec();
-    let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
-    if got != want {
-        return Err(format!(
-            "{step}: contents diverge\n  pacmap: {got:?}\n  oracle: {want:?}"
-        ));
-    }
-    m.check_invariants().map_err(|e| format!("{step}: {e}"))
+fn oracle_vec(oracle: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    oracle.iter().map(|(&k, &v)| (k, v)).collect()
 }
 
-/// One randomized sequence over one block size.
+fn check(
+    step: &str,
+    m: &PacMap<u64, u64>,
+    mc: &PacMap<u64, u64>,
+    oracle: &BTreeMap<u64, u64>,
+) -> Result<(), String> {
+    let want = oracle_vec(oracle);
+    let got = m.to_vec();
+    if got != want {
+        return Err(format!(
+            "{step}: persistent API diverges\n  pacmap: {got:?}\n  oracle: {want:?}"
+        ));
+    }
+    let got_c = mc.to_vec();
+    if got_c != want {
+        return Err(format!(
+            "{step}: consuming API diverges\n  pacmap: {got_c:?}\n  oracle: {want:?}"
+        ));
+    }
+    m.check_invariants()
+        .map_err(|e| format!("{step}: persistent: {e}"))?;
+    mc.check_invariants()
+        .map_err(|e| format!("{step}: consuming: {e}"))
+}
+
+/// One randomized sequence over one block size: the same ops through
+/// the persistent map `m` and the consuming map `mc`, with pins of `mc`
+/// interleaved.
 fn run_one(seed: u64, b: usize) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut m: PacMap<u64, u64> = PacMap::with_block_size(b);
+    let mut mc: PacMap<u64, u64> = PacMap::with_block_size(b);
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    // Pinned `(snapshot, expected contents, step)` of the consuming map.
+    type Pin = (PacMap<u64, u64>, Vec<(u64, u64)>, usize);
+    let mut pins: Vec<Pin> = Vec::new();
 
-    let steps = 1 + rng.gen_range(0..6usize);
+    let steps = 1 + rng.gen_range(0..8usize);
     for step in 0..steps {
-        match rng.gen_range(0..4) {
+        // Half the steps pin the consuming replica *before* mutating
+        // it, so later in-place updates run against a shared spine.
+        if rng.gen_range(0..2) == 0 {
+            pins.push((mc.clone(), oracle_vec(&oracle), step));
+        }
+        match rng.gen_range(0..7) {
             // multi_insert_with: duplicate keys (both within the batch
             // and vs the map) combine with f — the group-by semantics.
             0 => {
@@ -55,8 +95,9 @@ fn run_one(seed: u64, b: usize) -> Result<(), String> {
                 for (k, v) in &batch {
                     *oracle.entry(*k).or_insert(0) += v;
                 }
-                m = m.multi_insert_with(batch, |old, new| old + new);
-                check(&format!("step {step}: multi_insert_with"), &m, &oracle)?;
+                m = m.multi_insert_with(batch.clone(), |old, new| old + new);
+                mc = mc.multi_insert_with_owned(batch, |old, new| old + new);
+                check(&format!("step {step}: multi_insert_with"), &m, &mc, &oracle)?;
             }
             // multi_delete: absent keys and duplicates must be no-ops.
             1 => {
@@ -66,8 +107,9 @@ fn run_one(seed: u64, b: usize) -> Result<(), String> {
                 for k in &keys {
                     oracle.remove(k);
                 }
-                m = m.multi_delete(keys);
-                check(&format!("step {step}: multi_delete"), &m, &oracle)?;
+                m = m.multi_delete(keys.clone());
+                mc = mc.multi_delete_owned(keys);
+                check(&format!("step {step}: multi_delete"), &m, &mc, &oracle)?;
             }
             // range: the submap [lo, hi] both as a tree and as entries.
             2 => {
@@ -88,6 +130,32 @@ fn run_one(seed: u64, b: usize) -> Result<(), String> {
                 if m.range_entries(&lo, &hi) != want {
                     return Err(format!("step {step}: range_entries [{lo}, {hi}] diverges"));
                 }
+            }
+            // insert_with: point insert, combining on an existing key.
+            3 => {
+                let k = rng.gen_range(0..KEY_SPAN);
+                let v = rng.gen_range(0..1_000);
+                *oracle.entry(k).or_insert(0) += v;
+                m = m.insert_with(k, v, |old, new| old + new);
+                mc = mc.insert_with_owned(k, v, |old, new| old + new);
+                check(&format!("step {step}: insert_with"), &m, &mc, &oracle)?;
+            }
+            // remove: point delete, possibly missing.
+            4 => {
+                let k = rng.gen_range(0..KEY_SPAN + 32);
+                oracle.remove(&k);
+                m = m.remove(&k);
+                mc = mc.remove_owned(&k);
+                check(&format!("step {step}: remove"), &m, &mc, &oracle)?;
+            }
+            // filter: drop a keyed residue class.
+            5 => {
+                let modulus = 2 + rng.gen_range(0..5u64);
+                let keep = rng.gen_range(0..modulus);
+                oracle.retain(|k, _| k % modulus != keep);
+                m = m.filter(|k, _| k % modulus != keep);
+                mc = mc.filter_owned(|k, _| k % modulus != keep);
+                check(&format!("step {step}: filter"), &m, &mc, &oracle)?;
             }
             // union_with: merge with an independently generated map,
             // combining values on key collisions.
@@ -112,9 +180,23 @@ fn run_one(seed: u64, b: usize) -> Result<(), String> {
                         .or_insert(v);
                 }
                 m = m.union_with(&other, |a, b| a.wrapping_mul(31).wrapping_add(*b));
-                check(&format!("step {step}: union_with"), &m, &oracle)?;
+                mc = mc.union_with_owned(other, |a, b| a.wrapping_mul(31).wrapping_add(*b));
+                check(&format!("step {step}: union_with"), &m, &mc, &oracle)?;
             }
         }
+    }
+    // Every pin must still read exactly what was current when it was
+    // taken: in-place reuse must never have leaked into a shared spine.
+    for (pin, want, at) in &pins {
+        if pin.to_vec() != *want {
+            return Err(format!(
+                "pin taken at step {at} was mutated by a later consuming update\n  \
+                 pin:    {:?}\n  expected: {want:?}",
+                pin.to_vec()
+            ));
+        }
+        pin.check_invariants()
+            .map_err(|e| format!("pin taken at step {at}: {e}"))?;
     }
     Ok(())
 }

@@ -1,0 +1,59 @@
+//! Regression gate for the deep-drop hazard: dropping a tree must not
+//! recurse once per node. A plain derived drop runs `Arc` → `Node` →
+//! children recursively, which is a stack overflow waiting to happen on
+//! huge trees (millions of nodes at `B = 1`, where every entry is its
+//! own leaf) — especially on worker threads with small stacks. `Node`'s
+//! `Drop` unlinks big subtrees iteratively/in parallel instead; these
+//! tests build million-entry trees at `B = 1` and drop them on threads
+//! with deliberately small stacks.
+
+use cpam::{PacMap, PacSet};
+
+const N: u64 = 1_000_000;
+/// Small enough that per-node drop recursion would blow it, large
+/// enough for the O(log n) build/drop recursion plus test harness.
+const SMALL_STACK: usize = 512 * 1024;
+
+fn on_small_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name("small-stack-drop".into())
+        .stack_size(SMALL_STACK)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("deep drop overflowed the stack or panicked");
+}
+
+#[test]
+fn dropping_a_million_entry_b1_map_does_not_overflow() {
+    // ~1M leaf nodes + ~1M regular nodes at B = 1.
+    let pairs: Vec<(u64, u64)> = (0..N).map(|i| (i, i)).collect();
+    let map = PacMap::<u64, u64>::from_sorted_pairs(1, &pairs);
+    assert_eq!(map.len(), N as usize);
+    on_small_stack(move || drop(map));
+}
+
+#[test]
+fn dropping_a_million_entry_b1_set_after_owned_updates_does_not_overflow() {
+    // Same hazard through the consuming update path: the final tree is a
+    // mix of original and in-place-rebuilt nodes.
+    let keys: Vec<u64> = (0..N).map(|i| 2 * i).collect();
+    let mut set = PacSet::<u64>::from_sorted_keys(1, &keys);
+    for k in 0..1000u64 {
+        set = set.insert_owned(2 * k + 1);
+    }
+    assert_eq!(set.len(), N as usize + 1000);
+    on_small_stack(move || drop(set));
+}
+
+#[test]
+fn dropping_a_shared_spine_is_shallow_and_keeps_the_pin_intact() {
+    // Dropping one handle of a shared tree must only decrement: the
+    // other handle still reads everything afterwards.
+    let pairs: Vec<(u64, u64)> = (0..N).map(|i| (i, i * 3)).collect();
+    let map = PacMap::<u64, u64>::from_sorted_pairs(1, &pairs);
+    let pin = map.clone();
+    on_small_stack(move || drop(map));
+    assert_eq!(pin.len(), N as usize);
+    assert_eq!(pin.find(&123_456), Some(370_368));
+}

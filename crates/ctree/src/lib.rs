@@ -130,7 +130,7 @@ impl<K: CKey> CTree<K> {
     }
 
     fn is_head(&self, k: &K) -> bool {
-        k.mix() % (self.b as u64) == 0
+        k.mix().is_multiple_of(self.b as u64)
     }
 
     /// Builds from arbitrary keys (sorted and deduplicated internally).

@@ -515,9 +515,12 @@ where
     /// each boundary entry.
     pub fn range_decompose(&self, lo: &K, hi: &K, mut f: impl FnMut(cpam::RangePart<'_, K, V, A::Value>)) {
         use cpam::RangePart;
+        /// The decomposition callback (factored out per clippy's
+        /// type-complexity lint).
+        type Sink<'f, K, V, AV> = dyn for<'a> FnMut(cpam::RangePart<'a, K, V, AV>) + 'f;
         fn whole<K: ScalarKey, V: Element, A: Augmentation<(K, V)>>(
             t: &Tree<(K, V), A>,
-            f: &mut dyn FnMut(RangePart<'_, K, V, A::Value>),
+            f: &mut Sink<'_, K, V, A::Value>,
         ) {
             if let Some(n) = t {
                 f(RangePart::Subtree(&n.aug));
@@ -526,7 +529,7 @@ where
         fn ge<K: ScalarKey, V: Element, A: Augmentation<(K, V)>>(
             t: &Tree<(K, V), A>,
             lo: &K,
-            f: &mut dyn FnMut(RangePart<'_, K, V, A::Value>),
+            f: &mut Sink<'_, K, V, A::Value>,
         ) {
             let Some(n) = t else { return };
             if &n.entry.0 >= lo {
@@ -540,7 +543,7 @@ where
         fn le<K: ScalarKey, V: Element, A: Augmentation<(K, V)>>(
             t: &Tree<(K, V), A>,
             hi: &K,
-            f: &mut dyn FnMut(RangePart<'_, K, V, A::Value>),
+            f: &mut Sink<'_, K, V, A::Value>,
         ) {
             let Some(n) = t else { return };
             if &n.entry.0 <= hi {
@@ -555,7 +558,7 @@ where
             t: &Tree<(K, V), A>,
             lo: &K,
             hi: &K,
-            f: &mut dyn FnMut(RangePart<'_, K, V, A::Value>),
+            f: &mut Sink<'_, K, V, A::Value>,
         ) {
             let Some(n) = t else { return };
             let k = &n.entry.0;

@@ -21,6 +21,18 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 
+impl<T> SendPtr<T> {
+    /// The raw pointer. Taking `self` by value makes closures capture
+    /// the whole `SendPtr` (which is `Send + Sync`) instead of
+    /// edition-2021 disjoint-capturing the bare `*mut T` field (which
+    /// is neither) — the reason the old code rebound the pointer inside
+    /// every closure.
+    #[inline]
+    pub fn raw(self) -> *mut T {
+        self.0
+    }
+}
+
 // SAFETY: the users of SendPtr only write disjoint ranges from each task.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
@@ -90,10 +102,9 @@ where
     let mut out: Vec<T> = Vec::with_capacity(n);
     let ptr = SendPtr(out.as_mut_ptr());
     blocked(0, n, DEFAULT_GRAIN, &|lo, hi| {
-        let ptr = ptr;
         for i in lo..hi {
             // SAFETY: each index is written exactly once, within capacity.
-            unsafe { ptr.0.add(i).write(f(i)) };
+            unsafe { ptr.raw().add(i).write(f(i)) };
         }
     });
     // SAFETY: all n slots were initialized above.
@@ -203,17 +214,15 @@ pub fn scan_inplace(xs: &mut [u64]) -> u64 {
         let sums = SendPtr(block_sums.as_mut_ptr());
         let data = SendPtr(xs.as_mut_ptr());
         blocked(0, num_blocks, 1, &|blo, bhi| {
-            let sums = sums;
-            let data = data;
             for b in blo..bhi {
                 let lo = b * DEFAULT_GRAIN;
                 let hi = ((b + 1) * DEFAULT_GRAIN).min(n);
                 let mut acc = 0u64;
                 for i in lo..hi {
                     // SAFETY: blocks are disjoint index ranges.
-                    unsafe { acc += *data.0.add(i) };
+                    unsafe { acc += *data.raw().add(i) };
                 }
-                unsafe { *sums.0.add(b) = acc };
+                unsafe { *sums.raw().add(b) = acc };
             }
         });
     }
@@ -228,17 +237,15 @@ pub fn scan_inplace(xs: &mut [u64]) -> u64 {
         let sums = SendPtr(block_sums.as_mut_ptr());
         let data = SendPtr(xs.as_mut_ptr());
         blocked(0, num_blocks, 1, &|blo, bhi| {
-            let sums = sums;
-            let data = data;
             for b in blo..bhi {
                 let lo = b * DEFAULT_GRAIN;
                 let hi = ((b + 1) * DEFAULT_GRAIN).min(n);
                 // SAFETY: blocks are disjoint index ranges.
-                let mut running = unsafe { *sums.0.add(b) };
+                let mut running = unsafe { *sums.raw().add(b) };
                 for i in lo..hi {
                     unsafe {
-                        let v = *data.0.add(i);
-                        *data.0.add(i) = running;
+                        let v = *data.raw().add(i);
+                        *data.raw().add(i) = running;
                         running += v;
                     }
                 }
@@ -275,16 +282,15 @@ where
     let mut out: Vec<T> = Vec::with_capacity(total);
     let ptr = SendPtr(out.as_mut_ptr());
     blocked(0, num_blocks, 1, &|blo, bhi| {
-        let ptr = ptr;
-        for b in blo..bhi {
+        for (b, &off) in offsets.iter().enumerate().take(bhi).skip(blo) {
             let lo = b * DEFAULT_GRAIN;
             let hi = ((b + 1) * DEFAULT_GRAIN).min(n);
-            let mut at = offsets[b] as usize;
+            let mut at = off as usize;
             for x in &xs[lo..hi] {
                 if pred(x) {
                     // SAFETY: each block writes its own disjoint output
                     // range starting at its scanned offset.
-                    unsafe { ptr.0.add(at).write(x.clone()) };
+                    unsafe { ptr.raw().add(at).write(x.clone()) };
                     at += 1;
                 }
             }

@@ -119,7 +119,6 @@ pub fn append<T: Clone + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out: Vec<T> = Vec::with_capacity(n);
     let ptr = SendPtr(out.as_mut_ptr());
     blocked(0, n, DEFAULT_GRAIN, &|lo, hi| {
-        let ptr = ptr;
         for i in lo..hi {
             let v = if i < a.len() {
                 a[i].clone()
@@ -127,7 +126,7 @@ pub fn append<T: Clone + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
                 b[i - a.len()].clone()
             };
             // SAFETY: disjoint writes within capacity.
-            unsafe { ptr.0.add(i).write(v) };
+            unsafe { ptr.raw().add(i).write(v) };
         }
     });
     // SAFETY: all n slots written.

@@ -155,6 +155,11 @@ impl PamIntervalTree {
         self.map.len()
     }
 
+    /// True if the tree holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.map.len() == 0
+    }
+
     /// All intervals containing `q`.
     pub fn stab(&self, q: u64) -> Vec<(u64, u64)> {
         self.map

@@ -229,6 +229,11 @@ impl PamRangeTree2D {
         self.outer.len()
     }
 
+    /// True if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.outer.len() == 0
+    }
+
     /// Counts points in the rectangle.
     pub fn count(&self, x1: u32, y1: u32, x2: u32, y2: u32) -> usize {
         let (lo, hi) = (pack(x1, 0), pack(x2, u32::MAX));

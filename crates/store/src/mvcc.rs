@@ -268,8 +268,16 @@ where
 /// delete. Used identically by commit and by log replay — and by each
 /// shard of a [`crate::ShardedStore`] — so a replayed store converges
 /// to the same state.
+///
+/// Consumes the working map: the group leader hands over its private
+/// clone, so the batch insert frees or reuses whatever spine nodes the
+/// leader exclusively owns, and the batch delete consumes the insert's
+/// freshly built output — whose nodes are uniquely owned by
+/// construction and are therefore rebuilt *in place* (cpam's refcount-1
+/// fast path). No snapshot can pin the working tree mid-commit: readers
+/// only ever pin published versions under the state lock.
 pub(crate) fn apply_ops<K, V, C>(
-    map: &PacMap<K, V, NoAug, C>,
+    map: PacMap<K, V, NoAug, C>,
     ops: impl IntoIterator<Item = Op<K, V>>,
 ) -> PacMap<K, V, NoAug, C>
 where
@@ -296,12 +304,12 @@ where
             None => dels.push(k),
         }
     }
-    let mut out = map.clone();
+    let mut out = map;
     if !puts.is_empty() {
-        out = out.multi_insert(puts);
+        out = out.multi_insert_owned(puts);
     }
     if !dels.is_empty() {
-        out = out.multi_delete(dels);
+        out = out.multi_delete_owned(dels);
     }
     out
 }
@@ -378,6 +386,7 @@ where
         // log — acknowledged commits would vanish at replay.
         let dir_lock = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .write(true)
             .open(dir.join(LOCK_FILE))?;
         match dir_lock.try_lock() {
@@ -422,7 +431,7 @@ where
                     continue;
                 }
                 version = record.version;
-                map = apply_ops(&map, record.ops);
+                map = apply_ops(map, record.ops);
                 history.push_back((version, map.clone()));
                 while history.len() > opts.history_limit.max(1) {
                     history.pop_front();
@@ -541,7 +550,7 @@ where
                 &all_ops,
             )
         });
-        let new_map = apply_ops(&base_map, all_ops);
+        let new_map = apply_ops(base_map, all_ops);
 
         // Durability before visibility: log the group (all-or-nothing,
         // so a failed group can never strand a record whose version the

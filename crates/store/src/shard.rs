@@ -332,6 +332,9 @@ where
     }
 }
 
+/// One retained version: `(global, locals, maps)`.
+type HistoryEntry<K, V, C> = (u64, Vec<u64>, Vec<PacMap<K, V, NoAug, C>>);
+
 struct ShardedState<K, V, C>
 where
     K: StoreKey,
@@ -343,7 +346,7 @@ where
     maps: Vec<PacMap<K, V, NoAug, C>>,
     /// Recent `(global, locals, maps)` triples, oldest first; always
     /// contains the current version as its back element.
-    history: VecDeque<(u64, Vec<u64>, Vec<PacMap<K, V, NoAug, C>>)>,
+    history: VecDeque<HistoryEntry<K, V, C>>,
 }
 
 /// The durable half of a sharded store: per-shard WAL handles plus the
@@ -575,6 +578,7 @@ where
         // One advisory lock for the whole sharded directory.
         let dir_lock = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .write(true)
             .open(dir.join(LOCK_FILE))?;
         match dir_lock.try_lock() {
@@ -612,7 +616,8 @@ where
         let shards = router.shard_count();
 
         // Load shard snapshot pages in parallel.
-        let loaded: Vec<Result<(PacMap<K, V, NoAug, C>, u64), StoreError>> =
+        type Loaded<K, V, C> = Vec<Result<(PacMap<K, V, NoAug, C>, u64), StoreError>>;
+        let loaded: Loaded<K, V, C> =
             par_for_shards(shards, &|i| {
                 let sdir = dir.join(shard_dir_name(i));
                 std::fs::create_dir_all(&sdir)?;
@@ -714,7 +719,7 @@ where
         let mut global =
             checkpoint_global.max(snap_vers.iter().copied().max().unwrap_or(0));
 
-        let mut history: VecDeque<(u64, Vec<u64>, Vec<PacMap<K, V, NoAug, C>>)> = VecDeque::new();
+        let mut history: VecDeque<HistoryEntry<K, V, C>> = VecDeque::new();
         history.push_back((global, locals.clone(), maps.clone()));
 
         // Truncation decision: byte length to keep per shard WAL and
@@ -808,7 +813,7 @@ where
             for &i in &holders {
                 let rec = &shard_replays[i].records[cursor[i]];
                 if rec.version > locals[i] {
-                    maps[i] = apply_ops(&maps[i], rec.ops.clone());
+                    maps[i] = apply_ops(std::mem::take(&mut maps[i]), rec.ops.clone());
                     locals[i] = rec.version;
                 }
                 cursor[i] += 1;
@@ -860,7 +865,7 @@ where
         {
             let keep = cut.as_ref().map_or(manifest.valid_len, |(_, _, mcut)| *mcut);
             if (keep as u64) < manifest_bytes.len() as u64 {
-                let f = OpenOptions::new().write(true).create(true).open(&manifest_path)?;
+                let f = OpenOptions::new().write(true).create(true).truncate(false).open(&manifest_path)?;
                 f.set_len(keep as u64)?;
             }
         }
@@ -1031,7 +1036,10 @@ where
                     .then(|| wal::encode_record(new_local, g, participants, schema, ops));
                 ShardResult {
                     shard: *shard,
-                    new_map: apply_ops(&base_maps[*shard], ops.iter().cloned()),
+                    // Hand the leader's private clone of the shard map to
+                    // the consuming path (the published original stays in
+                    // `state`, untouched).
+                    new_map: apply_ops(base_maps[*shard].clone(), ops.iter().cloned()),
                     new_local,
                     record,
                 }

@@ -51,7 +51,7 @@ fn main() {
                 let parents = parlay::run(|| bfs(&fs, 0));
                 let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
                 queries += 1;
-                if queries % 10 == 0 {
+                if queries.is_multiple_of(10) {
                     println!(
                         "  query {queries}: BFS reached {reached} vertices on a {}-edge version",
                         snap.num_edges()

@@ -521,7 +521,7 @@ mod tests {
 
         #[test]
         fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..5) {
-            prop_assert!(x >= 10 && x < 20);
+            prop_assert!((10..20).contains(&x));
             prop_assert!(y < 5);
         }
 
