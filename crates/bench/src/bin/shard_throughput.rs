@@ -151,10 +151,10 @@ fn main() {
         let four = rows.iter().find(|m| m.shards == 4).map_or(1.0, |m| m.puts_per_sec);
         four / one
     };
-    let json = format!(
-        "{{\n  \"bench\": \"shard_throughput\",\n  \"threads\": {},\n  \"total_keys\": {},\n  \
-         \"batch_size\": {},\n  \"memory_sweep\": {},\n  \"memory_ratio_1_to_4\": {:.3},\n  \
-         \"durable_total_keys\": {},\n  \"durable_sweep\": {},\n  \"durable_ratio_1_to_4\": {:.3}\n}}\n",
+    let section = format!(
+        "{{\n    \"threads\": {},\n    \"total_keys\": {},\n    \
+         \"batch_size\": {},\n    \"memory_sweep\": {},\n    \"memory_ratio_1_to_4\": {:.3},\n    \
+         \"durable_total_keys\": {},\n    \"durable_sweep\": {},\n    \"durable_ratio_1_to_4\": {:.3}\n  }}",
         parlay::num_threads(),
         total,
         batch,
@@ -164,7 +164,20 @@ fn main() {
         json_rows(&durable),
         ratio(&durable),
     );
+    // `BENCH_store.json` holds one section per store bench binary; this
+    // run rewrites `shard_throughput` and preserves `store_lifecycle`
+    // (the distinctive-key filter skips stale pre-section layouts).
+    let previous = std::fs::read_to_string("BENCH_store.json").unwrap_or_default();
+    let lifecycle = bench::extract_obj(&previous, "store_lifecycle")
+        .filter(|o| o.contains("compact_pause_ms_mean"))
+        .map(str::to_string);
+    let json = match lifecycle {
+        Some(lc) => format!(
+            "{{\n  \"shard_throughput\": {section},\n  \"store_lifecycle\": {lc}\n}}\n"
+        ),
+        None => format!("{{\n  \"shard_throughput\": {section}\n}}\n"),
+    };
     let mut f = std::fs::File::create("BENCH_store.json").expect("create BENCH_store.json");
     f.write_all(json.as_bytes()).expect("write BENCH_store.json");
-    println!("wrote BENCH_store.json");
+    println!("wrote BENCH_store.json (shard_throughput section)");
 }

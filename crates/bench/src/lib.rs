@@ -63,6 +63,32 @@ pub fn row(label: &str, cells: &[String]) {
     println!();
 }
 
+/// Returns the braced object following `"key":` in `json`, if any.
+///
+/// Just enough JSON structure for the harnesses that maintain merged
+/// result files (`BENCH_store.json` holds one section per binary, each
+/// rewriting its own section and preserving the others) without pulling
+/// in a JSON dependency — the files are only ever written by these
+/// binaries.
+pub fn extract_obj<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Deterministic xorshift for workload generation inside harnesses.
 pub struct XorShift(pub u64);
 

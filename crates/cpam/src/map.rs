@@ -589,6 +589,54 @@ where
         })
     }
 
+    /// Pre-order *diff* walk against `base`: subtrees physically shared
+    /// with `base` (same `Arc` allocation, i.e. untouched since `base`
+    /// was pinned) are reported as a single
+    /// [`structure::DiffNodeRef::Shared`] carrying the subtree's
+    /// pre-order index in `base`, and are not descended into. This is
+    /// the incremental-snapshot hook: a page diffed against the
+    /// previous checkpoint's pinned root serializes only the new nodes.
+    ///
+    /// Sound only while the caller keeps `base` alive for the duration
+    /// of the walk — a pinned base keeps its refcounts ≥ 2, which the
+    /// in-place-reuse machinery treats as immutable.
+    pub fn visit_nodes_diff(
+        &self,
+        base: &Self,
+        f: &mut impl FnMut(structure::DiffNodeRef<'_, (K, V), C::Block>),
+    ) {
+        let index = structure::index_preorder(&base.root);
+        structure::visit_preorder_diff(&self.root, &index, f);
+    }
+
+    /// Bulk constructor from a pre-order diff stream — the inverse of
+    /// [`PacMap::visit_nodes_diff`]. `base` must be behaviourally equal
+    /// to the tree the encoder diffed against (same shape and blocks;
+    /// typically the decoded previous checkpoint); shared references
+    /// resolve to its subtrees, so the result shares structure with it.
+    ///
+    /// # Errors
+    ///
+    /// [`structure::BuildError`] when the stream's source fails or the
+    /// stream is structurally invalid (oversized blocks, runaway depth,
+    /// shared indices past the base tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn from_diff_node_stream<S>(
+        b: usize,
+        base: &Self,
+        next: &mut impl FnMut() -> Result<structure::DiffNodeOwned<(K, V), C::Block>, S>,
+    ) -> Result<Self, structure::BuildError<S>> {
+        assert!(b > 0, "block size must be positive");
+        let subtrees = structure::collect_preorder(&base.root);
+        Ok(PacMap {
+            root: structure::build_preorder_diff(b, &subtrees, next)?,
+            b,
+        })
+    }
+
     /// Verifies every structural invariant; returns the first violation.
     ///
     /// # Errors

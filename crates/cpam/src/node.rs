@@ -103,6 +103,10 @@ where
     C: Codec<E>,
 {
     fn drop(&mut self) {
+        // Every node deallocation passes through here exactly once
+        // (drop_heavy only hollows out children before dropping the
+        // owning Arc, whose own drop still lands in this impl).
+        stats::count_node_drop();
         if let Node::Regular { left, right, size, .. } = self {
             if *size >= PAR_DROP_MIN {
                 let (l, r) = (left.take(), right.take());

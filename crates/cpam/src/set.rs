@@ -408,6 +408,43 @@ where
         })
     }
 
+    /// Pre-order diff walk against `base`; the set counterpart of
+    /// [`crate::PacMap::visit_nodes_diff`]. Subtrees shared with `base`
+    /// are reported by base-pre-order index and pruned.
+    pub fn visit_nodes_diff(
+        &self,
+        base: &Self,
+        f: &mut impl FnMut(structure::DiffNodeRef<'_, K, C::Block>),
+    ) {
+        let index = structure::index_preorder(&base.root);
+        structure::visit_preorder_diff(&self.root, &index, f);
+    }
+
+    /// Bulk constructor from a pre-order diff stream — the inverse of
+    /// [`PacSet::visit_nodes_diff`]; the set counterpart of
+    /// [`crate::PacMap::from_diff_node_stream`].
+    ///
+    /// # Errors
+    ///
+    /// [`structure::BuildError`] when the stream's source fails or the
+    /// stream is structurally invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn from_diff_node_stream<S>(
+        b: usize,
+        base: &Self,
+        next: &mut impl FnMut() -> Result<structure::DiffNodeOwned<K, C::Block>, S>,
+    ) -> Result<Self, structure::BuildError<S>> {
+        assert!(b > 0, "block size must be positive");
+        let subtrees = structure::collect_preorder(&base.root);
+        Ok(PacSet {
+            root: structure::build_preorder_diff(b, &subtrees, next)?,
+            b,
+        })
+    }
+
     /// Verifies every structural invariant.
     ///
     /// # Errors

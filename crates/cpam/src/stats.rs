@@ -13,10 +13,16 @@ static BLOCK_DECODES: AtomicU64 = AtomicU64::new(0);
 static CURSOR_OPS: AtomicU64 = AtomicU64::new(0);
 static NODES_REUSED: AtomicU64 = AtomicU64::new(0);
 static NODES_COPIED: AtomicU64 = AtomicU64::new(0);
+static NODES_DROPPED: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn count_node_alloc() {
     NODE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_node_drop() {
+    NODES_DROPPED.fetch_add(1, Ordering::Relaxed);
 }
 
 #[inline]
@@ -69,6 +75,11 @@ pub struct OpCounts {
     /// borrowing `&self` API), so mutating it would have been visible
     /// through the other reference.
     pub nodes_copied: u64,
+    /// Tree nodes deallocated. `node_allocs - nodes_dropped` is the
+    /// number of live nodes in the process; the version-GC reclaim
+    /// gates assert that dropping unpinned history returns this
+    /// balance to a fresh-store baseline.
+    pub nodes_dropped: u64,
 }
 
 /// Reads the counters.
@@ -91,6 +102,7 @@ pub fn read() -> OpCounts {
         cursor_ops: CURSOR_OPS.load(Ordering::Relaxed),
         nodes_reused: NODES_REUSED.load(Ordering::Relaxed),
         nodes_copied: NODES_COPIED.load(Ordering::Relaxed),
+        nodes_dropped: NODES_DROPPED.load(Ordering::Relaxed),
     }
 }
 
@@ -103,6 +115,16 @@ pub fn delta(earlier: OpCounts, later: OpCounts) -> OpCounts {
         cursor_ops: later.cursor_ops - earlier.cursor_ops,
         nodes_reused: later.nodes_reused - earlier.nodes_reused,
         nodes_copied: later.nodes_copied - earlier.nodes_copied,
+        nodes_dropped: later.nodes_dropped - earlier.nodes_dropped,
+    }
+}
+
+impl OpCounts {
+    /// Nodes allocated but not yet deallocated between two snapshots:
+    /// `node_allocs - nodes_dropped` of a [`delta`]. Saturates at zero
+    /// when a window frees more than it allocates.
+    pub fn live_nodes(&self) -> u64 {
+        self.node_allocs.saturating_sub(self.nodes_dropped)
     }
 }
 

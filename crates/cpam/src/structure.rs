@@ -29,6 +29,9 @@
 //! runaway recursion depth, and truncated streams all produce a typed
 //! [`BuildError`] instead of a panic or an invalid tree.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use codecs::Codec;
 
 use crate::aug::Augmentation;
@@ -57,6 +60,46 @@ pub enum NodeOwned<E, B> {
     Regular(E),
     /// A flat leaf's encoded block, adopted verbatim.
     Flat(B),
+}
+
+/// One node of a pre-order *diff* walk against a base tree
+/// ([`PacMap::visit_nodes_diff`](crate::PacMap::visit_nodes_diff)).
+///
+/// Identical to [`NodeRef`] except that a subtree physically shared
+/// with the base tree (same `Arc` allocation) is reported as a single
+/// [`DiffNodeRef::Shared`] and not descended into. The index it
+/// carries is the subtree root's position in the base tree's pre-order
+/// enumeration of *non-empty* nodes — a purely structural coordinate,
+/// so an encoder and a decoder that hold behaviourally equal copies of
+/// the base (e.g. the in-memory pinned root and its decoded-from-disk
+/// counterpart) agree on it.
+#[derive(Debug)]
+pub enum DiffNodeRef<'a, E, B> {
+    /// An empty subtree.
+    Empty,
+    /// A regular node's pivot entry (not shared with the base); its
+    /// left diff follows, then its right.
+    Regular(&'a E),
+    /// A flat leaf's encoded block (not shared with the base).
+    Flat(&'a B),
+    /// The whole subtree is shared with the base tree: the value is
+    /// the base-pre-order index of its root.
+    Shared(u64),
+}
+
+/// One node of a pre-order diff stream, by value (the decode-side
+/// counterpart of [`DiffNodeRef`]).
+#[derive(Debug)]
+pub enum DiffNodeOwned<E, B> {
+    /// An empty subtree.
+    Empty,
+    /// A regular node's pivot entry (left diff follows, then right).
+    Regular(E),
+    /// A flat leaf's encoded block, adopted verbatim.
+    Flat(B),
+    /// A subtree taken wholesale from the base tree, by its
+    /// base-pre-order index.
+    Shared(u64),
 }
 
 /// Why [`from_node_stream`](crate::PacMap::from_node_stream) rejected a
@@ -159,6 +202,167 @@ where
     }
 }
 
+/// Indexes every non-empty node of `t` by allocation address, mapping
+/// it to its pre-order position. Shared-with-base detection in
+/// [`visit_preorder_diff`] is a lookup in this map.
+///
+/// Address identity is sound as a "same content" witness only while the
+/// base tree is *pinned* (its `Arc`s held alive by the caller): a live
+/// second reference keeps every refcount ≥ 2, which is exactly the
+/// condition under which the ownership-aware update path refuses to
+/// mutate a node in place. A node inside the base can therefore never
+/// be overwritten while the pin lasts, so pointer equality implies
+/// structural equality.
+pub(crate) fn index_preorder<E, A, C>(t: &Tree<E, A, C>) -> HashMap<usize, u64>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    fn go<E, A, C>(t: &Tree<E, A, C>, map: &mut HashMap<usize, u64>, next: &mut u64)
+    where
+        E: Element,
+        A: Augmentation<E>,
+        C: Codec<E>,
+    {
+        let Some(arc) = t else { return };
+        // A DAG-shared node is visited (and counted) once per path; the
+        // map keeps the latest index. Any of its indices resolves to
+        // the same subtree on the decode side, which enumerates with
+        // the identical revisiting walk.
+        map.insert(Arc::as_ptr(arc) as *const () as usize, *next);
+        *next += 1;
+        if let Node::Regular { left, right, .. } = &**arc {
+            go(left, map, next);
+            go(right, map, next);
+        }
+    }
+    let mut map = HashMap::new();
+    let mut next = 0;
+    go(t, &mut map, &mut next);
+    map
+}
+
+/// Collects every non-empty subtree of `t` in pre-order — the decode
+/// side's resolution table for [`DiffNodeOwned::Shared`] indices. Each
+/// entry is an `Arc` clone, so the vector is cheap (`O(n)` pointer
+/// copies) and shares all structure with `t`.
+pub(crate) fn collect_preorder<E, A, C>(t: &Tree<E, A, C>) -> Vec<Tree<E, A, C>>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    fn go<E, A, C>(t: &Tree<E, A, C>, out: &mut Vec<Tree<E, A, C>>)
+    where
+        E: Element,
+        A: Augmentation<E>,
+        C: Codec<E>,
+    {
+        let Some(arc) = t else { return };
+        out.push(Some(Arc::clone(arc)));
+        if let Node::Regular { left, right, .. } = &**arc {
+            go(left, out);
+            go(right, out);
+        }
+    }
+    let mut out = Vec::new();
+    go(t, &mut out);
+    out
+}
+
+/// Pre-order diff walk of `t` against an address index of a pinned base
+/// tree (see [`index_preorder`]): subtrees found in the index are
+/// reported as [`DiffNodeRef::Shared`] and pruned, everything else is
+/// walked like [`visit_preorder`].
+pub(crate) fn visit_preorder_diff<E, A, C, F>(
+    t: &Tree<E, A, C>,
+    base: &HashMap<usize, u64>,
+    f: &mut F,
+) where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: FnMut(DiffNodeRef<'_, E, C::Block>),
+{
+    match t {
+        None => f(DiffNodeRef::Empty),
+        Some(arc) => {
+            if let Some(&idx) = base.get(&(Arc::as_ptr(arc) as *const () as usize)) {
+                f(DiffNodeRef::Shared(idx));
+                return;
+            }
+            match &**arc {
+                Node::Regular {
+                    left, entry, right, ..
+                } => {
+                    f(DiffNodeRef::Regular(entry));
+                    visit_preorder_diff(left, base, f);
+                    visit_preorder_diff(right, base, f);
+                }
+                Node::Flat { block, .. } => f(DiffNodeRef::Flat(block)),
+            }
+        }
+    }
+}
+
+/// Rebuilds a tree from a pre-order diff stream; inverse of
+/// [`visit_preorder_diff`]. `base` is the pre-order subtree table of
+/// the same base tree the encoder diffed against (see
+/// [`collect_preorder`]); shared references resolve to `Arc` clones out
+/// of it, so the rebuilt tree shares those subtrees with the base.
+pub(crate) fn build_preorder_diff<E, A, C, S, N>(
+    b: usize,
+    base: &[Tree<E, A, C>],
+    next: &mut N,
+) -> Result<Tree<E, A, C>, BuildError<S>>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    N: FnMut() -> Result<DiffNodeOwned<E, C::Block>, S>,
+{
+    fn go<E, A, C, S, N>(
+        b: usize,
+        base: &[Tree<E, A, C>],
+        next: &mut N,
+        depth: usize,
+    ) -> Result<Tree<E, A, C>, BuildError<S>>
+    where
+        E: Element,
+        A: Augmentation<E>,
+        C: Codec<E>,
+        N: FnMut() -> Result<DiffNodeOwned<E, C::Block>, S>,
+    {
+        if depth > MAX_DEPTH {
+            return Err(BuildError::Invalid("node stream deeper than any balanced tree"));
+        }
+        match next().map_err(BuildError::Source)? {
+            DiffNodeOwned::Empty => Ok(None),
+            DiffNodeOwned::Shared(idx) => match base.get(idx as usize) {
+                Some(sub) => Ok(sub.clone()),
+                None => Err(BuildError::Invalid("shared subtree index past the base tree")),
+            },
+            DiffNodeOwned::Flat(block) => {
+                let len = C::len(&block);
+                if len == 0 {
+                    return Err(BuildError::Invalid("empty flat block"));
+                }
+                if len > 2 * b {
+                    return Err(BuildError::Invalid("flat block larger than 2b"));
+                }
+                Ok(make_flat_from_block(block))
+            }
+            DiffNodeOwned::Regular(entry) => {
+                let left = go(b, base, next, depth + 1)?;
+                let right = go(b, base, next, depth + 1)?;
+                Ok(make_regular(left, entry, right))
+            }
+        }
+    }
+    go(b, base, next, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +442,97 @@ mod tests {
         nodes.truncate(nodes.len() / 2);
         let err = PacSet::<u64>::from_node_stream(4, &mut drain(nodes)).unwrap_err();
         assert_eq!(err, BuildError::Source("stream exhausted"));
+    }
+
+    fn drain_diff<E: Clone, B: Clone>(
+        nodes: Vec<DiffNodeOwned<E, B>>,
+    ) -> impl FnMut() -> Result<DiffNodeOwned<E, B>, &'static str> {
+        let mut it = nodes.into_iter();
+        move || it.next().ok_or("stream exhausted")
+    }
+
+    macro_rules! collect_diff {
+        ($m:expr, $base:expr) => {{
+            let mut nodes = Vec::new();
+            $m.visit_nodes_diff($base, &mut |n| {
+                nodes.push(match n {
+                    DiffNodeRef::Empty => DiffNodeOwned::Empty,
+                    DiffNodeRef::Regular(e) => DiffNodeOwned::Regular(*e),
+                    DiffNodeRef::Flat(b) => DiffNodeOwned::Flat(b.clone()),
+                    DiffNodeRef::Shared(i) => DiffNodeOwned::Shared(i),
+                });
+            });
+            nodes
+        }};
+    }
+
+    #[test]
+    fn diff_stream_roundtrips_and_prunes_shared_subtrees() {
+        let base: PacMap<u64, u32> =
+            PacMap::from_pairs_with(8, (0..4_000).map(|i| (i, i as u32)).collect());
+        // A sparse update: most of the tree stays physically shared.
+        let mut m = base.clone();
+        for k in [3u64, 1_999, 3_998] {
+            m = m.insert(k, 7);
+        }
+
+        let diff = collect_diff!(&m, &base);
+        let full_len = {
+            let mut n = 0usize;
+            m.visit_nodes(&mut |_| n += 1);
+            n
+        };
+        let shared = diff
+            .iter()
+            .filter(|n| matches!(n, DiffNodeOwned::Shared(_)))
+            .count();
+        assert!(shared > 0, "sparse update must share subtrees with the base");
+        assert!(
+            diff.len() < full_len,
+            "diff stream ({}) should be shorter than the full walk ({full_len})",
+            diff.len()
+        );
+
+        let rebuilt: PacMap<u64, u32> =
+            PacMap::from_diff_node_stream(8, &base, &mut drain_diff(diff)).expect("rebuild");
+        assert_eq!(rebuilt.to_vec(), m.to_vec());
+        rebuilt.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn diff_against_disjoint_base_degenerates_to_full_stream() {
+        let base: PacMap<u64, u32> = PacMap::from_pairs_with(8, vec![(1, 1)]);
+        let m: PacMap<u64, u32> =
+            PacMap::from_pairs_with(8, (0..500).map(|i| (i, i as u32)).collect());
+        let diff = collect_diff!(&m, &base);
+        assert!(diff.iter().all(|n| !matches!(n, DiffNodeOwned::Shared(_))));
+        let rebuilt: PacMap<u64, u32> =
+            PacMap::from_diff_node_stream(8, &base, &mut drain_diff(diff)).expect("rebuild");
+        assert_eq!(rebuilt.to_vec(), m.to_vec());
+    }
+
+    #[test]
+    fn shared_index_past_the_base_is_rejected() {
+        let base: PacMap<u64, u32> = PacMap::from_pairs_with(8, vec![(1, 1)]);
+        let err = PacMap::<u64, u32>::from_diff_node_stream(
+            8,
+            &base,
+            &mut drain_diff(vec![DiffNodeOwned::Shared(999)]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::Invalid(_)));
+    }
+
+    #[test]
+    fn dropped_nodes_are_counted() {
+        let before = crate::stats::read();
+        let s: PacSet<u64> = PacSet::from_keys_with(4, (0..10_000).collect());
+        drop(s);
+        let d = crate::stats::delta(before, crate::stats::read());
+        assert!(d.nodes_dropped >= d.node_allocs);
+        // Allocs and drops balance for a build-then-drop window up to
+        // concurrent-test noise; the gate tests in `store` serialize.
+        assert!(d.node_allocs > 0);
     }
 
     #[test]

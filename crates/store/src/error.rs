@@ -64,6 +64,29 @@ pub enum StoreError {
     /// A sharded store directory's partition map disagrees with the
     /// store being opened (shard count, or a missing/foreign file).
     PartitionMismatch(String),
+    /// The log (or manifest) references versions the checkpoint pages
+    /// do not reach: the first replayable record is more than one step
+    /// past the checkpointed version, so the intermediate history is
+    /// gone (a snapshot or incremental page was deleted after the WAL
+    /// was truncated past it). Replaying anyway would silently resurrect
+    /// an old state with the missing commits lost.
+    VersionGap {
+        /// The version the checkpoint pages reach.
+        checkpoint: u64,
+        /// The first version the log asks to apply.
+        first: u64,
+    },
+    /// [`crate::PacStore::unpin_version`] was asked to release a
+    /// version that holds no pin.
+    NotPinned(u64),
+    /// [`crate::PacStore::save_incremental`] was asked to diff against
+    /// a version that is not the store's latest checkpoint.
+    CheckpointMismatch {
+        /// The base version the caller asked to diff against.
+        requested: u64,
+        /// The store's actual latest checkpoint, if any.
+        actual: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -106,6 +129,25 @@ impl std::fmt::Display for StoreError {
             StoreError::PartitionMismatch(msg) => {
                 write!(f, "partition map mismatch: {msg}")
             }
+            StoreError::VersionGap { checkpoint, first } => write!(
+                f,
+                "log references version {first} but the checkpoint pages only reach \
+                 {checkpoint}: intermediate versions are missing (snapshot or \
+                 incremental page deleted?)"
+            ),
+            StoreError::NotPinned(v) => write!(f, "version {v} is not pinned"),
+            StoreError::CheckpointMismatch { requested, actual } => match actual {
+                Some(actual) => write!(
+                    f,
+                    "incremental save requested against version {requested}, but the \
+                     latest checkpoint is {actual}"
+                ),
+                None => write!(
+                    f,
+                    "incremental save requested against version {requested}, but the \
+                     store has no checkpoint yet (save a full snapshot first)"
+                ),
+            },
         }
     }
 }

@@ -50,6 +50,7 @@
 
 pub mod checksum;
 mod error;
+mod lifecycle;
 mod mvcc;
 pub mod pagefmt;
 mod router;
@@ -57,13 +58,15 @@ mod shard;
 pub mod wal;
 
 pub use error::StoreError;
+pub use lifecycle::{GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
 pub use mvcc::{
     Op, PacStore, Snapshot, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE,
     SNAPSHOT_FILE,
 };
 pub use pagefmt::{
-    decode_snapshot, encode_snapshot, read_snapshot_file, write_file_atomic,
-    write_snapshot_file, DiskTree, SNAPSHOT_MAGIC,
+    decode_incremental, decode_snapshot, encode_incremental, encode_snapshot, incr_file_name,
+    read_snapshot_file, write_file_atomic, write_snapshot_file, DiskTree, INCREMENTAL_MAGIC,
+    SNAPSHOT_MAGIC,
 };
 pub use router::{Router, PARTITION_FILE, PARTITION_MAGIC};
 pub use shard::{shard_dir_name, ShardedSnapshot, ShardedStore, MANIFEST_FILE};

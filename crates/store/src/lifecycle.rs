@@ -1,0 +1,218 @@
+//! Version lifecycle: retention policy, pin registry, and the stats
+//! counters behind GC and log compaction.
+//!
+//! MVCC snapshots are cheap to *create* — a PaC-tree clone is one
+//! refcount bump — but history retained forever pins every subtree any
+//! old version ever referenced. The lifecycle subsystem reclaims that
+//! space along two axes:
+//!
+//! * **Version GC** ([`crate::PacStore::gc`] /
+//!   [`crate::ShardedStore::gc`]): drops retained history entries that
+//!   are neither within the [`RetentionPolicy`]'s `keep_last` window
+//!   nor pinned in the [`VersionRegistry`]. Dropping a version is just
+//!   dropping its root `Arc`; the existing refcount machinery frees
+//!   exactly the subtrees no surviving version shares, which the
+//!   [`cpam::stats`] `nodes_dropped` counter makes observable.
+//! * **Log compaction** ([`crate::PacStore::compact`] /
+//!   [`crate::ShardedStore::compact`]): checkpoint-then-truncate — the
+//!   committed version is persisted (incrementally when a previous
+//!   checkpoint is pinned), then the WAL prefix it covers is dropped,
+//!   bounding log growth under sustained writes.
+//!
+//! Safety argument: a pinned version's root keeps every node it
+//! references at refcount ≥ 1 *and* marks them shared (refcount ≥ 2
+//! for anything also in the current version), so neither GC of other
+//! versions nor the in-place-reuse write path can free or mutate a
+//! pinned snapshot's data out from under a reader.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::Mutex;
+
+/// Which retained versions GC may drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep this many most-recent history entries (the current version
+    /// is always kept regardless). Pinned versions are kept on top of
+    /// this window.
+    pub keep_last: usize,
+}
+
+impl RetentionPolicy {
+    /// Keep the `k` most recent versions plus everything pinned.
+    pub fn keep_last(k: usize) -> Self {
+        RetentionPolicy { keep_last: k }
+    }
+}
+
+impl Default for RetentionPolicy {
+    /// Keep only the current version (plus pins).
+    fn default() -> Self {
+        RetentionPolicy { keep_last: 1 }
+    }
+}
+
+/// What one GC pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// History entries dropped by this pass.
+    pub versions_dropped: usize,
+    /// History entries retained (window + pins + current).
+    pub versions_retained: usize,
+    /// Tree nodes freed while dropping those entries, measured as the
+    /// [`cpam::stats`] `nodes_dropped` delta around the drop. Exact
+    /// when no other thread frees trees concurrently; an upper bound
+    /// otherwise (the counters are process-global).
+    pub nodes_reclaimed: u64,
+}
+
+/// Cumulative lifecycle counters for one store handle, read via
+/// [`crate::PacStore::lifecycle_stats`] /
+/// [`crate::ShardedStore::lifecycle_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// GC passes run.
+    pub gc_runs: u64,
+    /// History entries dropped across all GC passes.
+    pub versions_dropped: u64,
+    /// Nodes reclaimed across all GC passes (see
+    /// [`GcStats::nodes_reclaimed`] for accuracy).
+    pub nodes_reclaimed: u64,
+    /// Full snapshot pages written.
+    pub full_saves: u64,
+    /// Incremental snapshot pages written.
+    pub incremental_saves: u64,
+    /// Compaction cycles completed.
+    pub compactions: u64,
+    /// Cumulative bytes of full pages written.
+    pub full_page_bytes: u64,
+    /// Cumulative bytes of incremental pages written.
+    pub incremental_page_bytes: u64,
+    /// Cumulative WAL bytes dropped by checkpoint truncation.
+    pub wal_bytes_truncated: u64,
+}
+
+/// Tracks explicitly pinned versions. Pins are counted, so independent
+/// readers can pin the same version and each unpin releases one hold;
+/// the version stays GC-exempt until the count reaches zero.
+///
+/// The registry is bookkeeping only — the memory safety of a pinned
+/// snapshot comes from the `Arc` the history entry holds. What a pin
+/// buys is *retention*: GC and commit-time history eviction skip
+/// pinned versions, so [`crate::PacStore::snapshot_at`] keeps working
+/// for them.
+pub struct VersionRegistry {
+    pins: Mutex<HashMap<u64, usize>>,
+}
+
+impl Default for VersionRegistry {
+    fn default() -> Self {
+        VersionRegistry {
+            pins: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for VersionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionRegistry")
+            .field("pins", &*self.pins.lock())
+            .finish()
+    }
+}
+
+impl VersionRegistry {
+    /// Adds one pin on `version`.
+    pub fn pin(&self, version: u64) {
+        *self.pins.lock().entry(version).or_insert(0) += 1;
+    }
+
+    /// Releases one pin on `version`; returns `false` if it held none.
+    pub fn unpin(&self, version: u64) -> bool {
+        let mut pins = self.pins.lock();
+        match pins.get_mut(&version) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                pins.remove(&version);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `version` currently holds any pin.
+    pub fn is_pinned(&self, version: u64) -> bool {
+        self.pins.lock().contains_key(&version)
+    }
+
+    /// The set of pinned versions, for a retention decision.
+    pub fn pinned(&self) -> HashSet<u64> {
+        self.pins.lock().keys().copied().collect()
+    }
+}
+
+/// Commit-time history eviction, pin-aware: pops the *oldest unpinned*
+/// entries until at most `limit` remain or only pinned entries (plus
+/// the newest) are left. With pins held, history may exceed `limit` —
+/// that is the point of a pin.
+pub(crate) fn evict_history<T>(
+    history: &mut VecDeque<T>,
+    limit: usize,
+    version_of: impl Fn(&T) -> u64,
+    registry: &VersionRegistry,
+) {
+    let limit = limit.max(1);
+    while history.len() > limit {
+        let pinned = registry.pinned();
+        // Never evict the newest entry (the current version).
+        let victim = history
+            .iter()
+            .take(history.len() - 1)
+            .position(|e| !pinned.contains(&version_of(e)));
+        match victim {
+            Some(i) => {
+                history.remove(i);
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_are_counted() {
+        let r = VersionRegistry::default();
+        r.pin(7);
+        r.pin(7);
+        assert!(r.is_pinned(7));
+        assert!(r.unpin(7));
+        assert!(r.is_pinned(7));
+        assert!(r.unpin(7));
+        assert!(!r.is_pinned(7));
+        assert!(!r.unpin(7));
+    }
+
+    #[test]
+    fn eviction_skips_pinned_and_keeps_newest() {
+        let r = VersionRegistry::default();
+        r.pin(2);
+        let mut h: VecDeque<u64> = (1..=6).collect();
+        evict_history(&mut h, 2, |&v| v, &r);
+        assert_eq!(h, VecDeque::from(vec![2, 6]));
+
+        // All pinned but the newest: nothing below the limit to evict.
+        let r = VersionRegistry::default();
+        for v in 1..=3 {
+            r.pin(v);
+        }
+        let mut h: VecDeque<u64> = (1..=4).collect();
+        evict_history(&mut h, 1, |&v| v, &r);
+        assert_eq!(h, VecDeque::from(vec![1, 2, 3, 4]));
+    }
+}

@@ -27,6 +27,7 @@ use cpam::{Element, NoAug, PacMap, ScalarKey, DEFAULT_B};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::StoreError;
+use crate::lifecycle::{self, GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
 use crate::pagefmt;
 use crate::wal;
 
@@ -81,6 +82,11 @@ impl Default for StoreOptions {
 
 /// File name of the snapshot page inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.pac";
+/// Incremental chains longer than this are collapsed into a full page
+/// by [`PacStore::compact`]: each link costs a decode pass at `open`,
+/// and past this depth the cumulative incremental bytes approach a
+/// full page anyway.
+pub(crate) const MAX_INCR_CHAIN: usize = 16;
 /// File name of the append-only batch log inside a store directory.
 pub const LOG_FILE: &str = "wal.pac";
 /// File name of the advisory lock inside a store directory: held for a
@@ -179,6 +185,24 @@ where
     history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
 }
 
+/// The last *persisted* version: its in-memory root is kept pinned so
+/// the next incremental save can detect still-shared subtrees by `Arc`
+/// identity (a pinned root keeps its nodes at refcount ≥ 2, which also
+/// bars the in-place-reuse write path from mutating them — see
+/// [`cpam::PacMap::visit_nodes_diff`]).
+struct Checkpoint<K, V, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    version: u64,
+    map: PacMap<K, V, NoAug, C>,
+    /// Incremental pages on disk after the full page; bounds
+    /// [`PacStore::compact`]'s full-vs-incremental choice.
+    chain_len: usize,
+}
+
 struct CommitQueue<K, V> {
     pending: Vec<(u64, Vec<Op<K, V>>)>,
     next_ticket: u64,
@@ -219,6 +243,16 @@ where
     state: Mutex<State<K, V, C>>,
     commit: Mutex<CommitQueue<K, V>>,
     commit_cv: Condvar,
+    /// Serializes `save` / `save_incremental` / `compact` against each
+    /// other (taken before `log`), so the checkpoint pin and the pages
+    /// on disk can never interleave.
+    checkpoint_lock: Mutex<()>,
+    /// The pinned last checkpoint; `None` until the first full save.
+    /// Taken under `log` (after `state`) where both are held.
+    checkpoint: Mutex<Option<Checkpoint<K, V, C>>>,
+    /// Explicitly pinned (GC-exempt) versions.
+    registry: VersionRegistry,
+    lifecycle: Mutex<LifecycleStats>,
 }
 
 /// A versioned, persistent key-value store whose state is a [`PacMap`].
@@ -320,6 +354,7 @@ where
     V: StoreValue,
     C: BlockIo<(K, V)>,
 {
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         opts: StoreOptions,
         dir: Option<PathBuf>,
@@ -328,6 +363,7 @@ where
         version: u64,
         map: PacMap<K, V, NoAug, C>,
         history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
+        checkpoint: Option<Checkpoint<K, V, C>>,
     ) -> Self {
         PacStore {
             inner: Arc::new(Inner {
@@ -343,6 +379,10 @@ where
                     leader_running: false,
                 }),
                 commit_cv: Condvar::new(),
+                checkpoint_lock: Mutex::new(()),
+                checkpoint: Mutex::new(checkpoint),
+                registry: VersionRegistry::default(),
+                lifecycle: Mutex::new(LifecycleStats::default()),
             }),
         }
     }
@@ -357,7 +397,7 @@ where
         let map = PacMap::with_block_size(opts.block_size);
         let mut history = VecDeque::new();
         history.push_back((0, map.clone()));
-        Self::from_parts(opts, None, None, LogState::None, 0, map, history)
+        Self::from_parts(opts, None, None, LogState::None, 0, map, history, None)
     }
 
     /// Opens (or creates) a durable store in `dir`: loads the snapshot
@@ -395,11 +435,16 @@ where
             Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
         }
 
-        let snap_path = dir.join(SNAPSHOT_FILE);
-        let (mut map, mut version) = if snap_path.exists() {
-            pagefmt::read_snapshot_file::<PacMap<K, V, NoAug, C>>(&snap_path)?
-        } else {
-            (PacMap::with_block_size(opts.block_size), 0)
+        // Full page plus any incremental pages chained onto it.
+        let chain = pagefmt::load_chain::<PacMap<K, V, NoAug, C>>(&dir, SNAPSHOT_FILE)?;
+        let checkpoint = chain.as_ref().map(|(map, version, chain_len)| Checkpoint {
+            version: *version,
+            map: map.clone(),
+            chain_len: *chain_len,
+        });
+        let (mut map, mut version) = match chain {
+            Some((map, version, _)) => (map, version),
+            None => (PacMap::with_block_size(opts.block_size), 0),
         };
 
         let mut history = VecDeque::new();
@@ -427,8 +472,20 @@ where
             }
             for record in replay.records {
                 if record.version <= version {
-                    // Already covered by the snapshot page.
+                    // Already covered by the snapshot pages.
                     continue;
+                }
+                if record.version > version + 1 {
+                    // Commits assign consecutive versions, so a jump
+                    // means the pages that held the intermediate state
+                    // are gone (deleted snapshot or incremental link)
+                    // while the log was already truncated past it.
+                    // Replaying from here would silently resurrect an
+                    // old state minus the missing commits.
+                    return Err(StoreError::VersionGap {
+                        checkpoint: version,
+                        first: record.version,
+                    });
                 }
                 version = record.version;
                 map = apply_ops(map, record.ops);
@@ -454,6 +511,7 @@ where
             version,
             map,
             history,
+            checkpoint,
         ))
     }
 
@@ -575,9 +633,12 @@ where
         s.version = new_version;
         s.map = new_map.clone();
         s.history.push_back((new_version, new_map));
-        while s.history.len() > self.inner.opts.history_limit.max(1) {
-            s.history.pop_front();
-        }
+        lifecycle::evict_history(
+            &mut s.history,
+            self.inner.opts.history_limit,
+            |(v, _)| *v,
+            &self.inner.registry,
+        );
         drop(s);
         drop(log_guard);
         Ok(new_version)
@@ -646,31 +707,245 @@ where
     ///
     /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
     pub fn save(&self) -> Result<u64, StoreError> {
+        let _ckpt = self.inner.checkpoint_lock.lock();
+        self.save_full_locked()
+    }
+
+    fn save_full_locked(&self) -> Result<u64, StoreError> {
         let dir = self.inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
         let mut log_guard = self.inner.log.lock();
         let (map, version) = {
             let s = self.inner.state.lock();
             (s.map.clone(), s.version)
         };
-        pagefmt::write_snapshot_file(&dir.join(SNAPSHOT_FILE), &map, version)?;
-        // Holding the log lock, no group is between append and publish,
-        // so every logged record has version <= `version`: all covered.
-        // A successful truncation also heals a poisoned log — the
-        // stranded partial record is gone.
-        let state = std::mem::replace(&mut *log_guard, LogState::None);
-        match state {
-            LogState::None => {}
-            LogState::Active(f) | LogState::Poisoned(f) => match f.set_len(0) {
-                Ok(()) => *log_guard = LogState::Active(f),
-                Err(e) => {
-                    // Keep refusing appends: the snapshot is saved but
-                    // the log still holds stale (covered) records.
-                    *log_guard = LogState::Poisoned(f);
-                    return Err(e.into());
-                }
-            },
-        }
+        let page = pagefmt::encode_snapshot(&map, version);
+        pagefmt::write_file_atomic(&dir.join(SNAPSHOT_FILE), &page)?;
+        // The full page supersedes any incremental chain; stale links
+        // that survive a crash here are skipped (and re-deleted) by the
+        // next open or save.
+        pagefmt::remove_incr_files(dir)?;
+        let truncated = Self::reset_log(&mut log_guard)?;
+        *self.inner.checkpoint.lock() = Some(Checkpoint {
+            version,
+            map,
+            chain_len: 0,
+        });
+        let mut stats = self.inner.lifecycle.lock();
+        stats.full_saves += 1;
+        stats.full_page_bytes += page.len() as u64;
+        stats.wal_bytes_truncated += truncated;
         Ok(version)
+    }
+
+    /// Persists only what changed since the previous checkpoint: an
+    /// incremental page diffed against the pinned root of
+    /// `prev_version`, then resets the log the page now covers. `open`
+    /// chains the page back onto the full snapshot. Returns the saved
+    /// version.
+    ///
+    /// `prev_version` must be the store's latest checkpoint (see
+    /// [`PacStore::latest_checkpoint`]) — the page records it as the
+    /// chain link, and the diff is only sound against that pinned root.
+    /// [`PacStore::compact`] automates the choice between this and a
+    /// full [`PacStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CheckpointMismatch`] when `prev_version` is not
+    /// the latest checkpoint (or none exists);
+    /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
+    pub fn save_incremental(&self, prev_version: u64) -> Result<u64, StoreError> {
+        let _ckpt = self.inner.checkpoint_lock.lock();
+        self.save_incremental_locked(prev_version)
+    }
+
+    fn save_incremental_locked(&self, prev_version: u64) -> Result<u64, StoreError> {
+        let dir = self.inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let mut log_guard = self.inner.log.lock();
+        let (map, version) = {
+            let s = self.inner.state.lock();
+            (s.map.clone(), s.version)
+        };
+        let mut checkpoint = self.inner.checkpoint.lock();
+        let ck = match checkpoint.as_ref() {
+            Some(ck) if ck.version == prev_version => ck,
+            other => {
+                return Err(StoreError::CheckpointMismatch {
+                    requested: prev_version,
+                    actual: other.map(|ck| ck.version),
+                })
+            }
+        };
+        if version == ck.version {
+            // Nothing committed since the checkpoint; the log can only
+            // hold covered records (we hold the log lock), so just
+            // reset it.
+            let truncated = Self::reset_log(&mut log_guard)?;
+            self.inner.lifecycle.lock().wal_bytes_truncated += truncated;
+            return Ok(version);
+        }
+        let page = pagefmt::encode_incremental(&map, &ck.map, ck.version, version);
+        pagefmt::write_file_atomic(&dir.join(pagefmt::incr_file_name(version)), &page)?;
+        let chain_len = ck.chain_len + 1;
+        let truncated = Self::reset_log(&mut log_guard)?;
+        *checkpoint = Some(Checkpoint {
+            version,
+            map,
+            chain_len,
+        });
+        let mut stats = self.inner.lifecycle.lock();
+        stats.incremental_saves += 1;
+        stats.incremental_page_bytes += page.len() as u64;
+        stats.wal_bytes_truncated += truncated;
+        Ok(version)
+    }
+
+    /// One checkpoint-then-truncate cycle: persists the current
+    /// committed version — incrementally when a checkpoint exists and
+    /// the chain is short, as a full page otherwise (first save, or
+    /// every `MAX_INCR_CHAIN` links to bound `open`'s chain walk) —
+    /// and truncates the log it covers. Returns the checkpointed
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let _ckpt = self.inner.checkpoint_lock.lock();
+        let base = self
+            .inner
+            .checkpoint
+            .lock()
+            .as_ref()
+            .filter(|ck| ck.chain_len < MAX_INCR_CHAIN)
+            .map(|ck| ck.version);
+        let version = match base {
+            Some(prev) => self.save_incremental_locked(prev)?,
+            None => self.save_full_locked()?,
+        };
+        self.inner.lifecycle.lock().compactions += 1;
+        Ok(version)
+    }
+
+    /// Truncates the log under its held lock; every record is covered
+    /// by the page just written (no group is between append and
+    /// publish while the lock is held). A successful truncation also
+    /// heals a poisoned log — the stranded partial record is gone.
+    /// Returns the number of bytes dropped.
+    fn reset_log(log_guard: &mut LogState) -> Result<u64, StoreError> {
+        let state = std::mem::replace(log_guard, LogState::None);
+        match state {
+            LogState::None => Ok(0),
+            LogState::Active(f) | LogState::Poisoned(f) => {
+                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                match f.set_len(0) {
+                    Ok(()) => {
+                        *log_guard = LogState::Active(f);
+                        Ok(len)
+                    }
+                    Err(e) => {
+                        // Keep refusing appends: the page is saved but
+                        // the log still holds stale (covered) records.
+                        *log_guard = LogState::Poisoned(f);
+                        Err(e.into())
+                    }
+                }
+            }
+        }
+    }
+
+    /// The version of the latest persisted checkpoint (full page plus
+    /// incremental chain), or `None` if nothing was saved yet.
+    pub fn latest_checkpoint(&self) -> Option<u64> {
+        self.inner.checkpoint.lock().as_ref().map(|ck| ck.version)
+    }
+
+    /// Pins `version` against history eviction and [`PacStore::gc`]:
+    /// [`PacStore::snapshot_at`] keeps working for it until every pin
+    /// is released. Pins are counted per version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VersionNotFound`] when `version` is not currently
+    /// in history (an evicted version cannot be resurrected).
+    pub fn pin_version(&self, version: u64) -> Result<(), StoreError> {
+        // Under the state lock so eviction (which consults the
+        // registry under the same lock) cannot race the containment
+        // check.
+        let s = self.inner.state.lock();
+        if !s.history.iter().any(|(v, _)| *v == version) {
+            return Err(StoreError::VersionNotFound(version));
+        }
+        self.inner.registry.pin(version);
+        Ok(())
+    }
+
+    /// Releases one pin on `version` (it becomes GC-eligible when the
+    /// count reaches zero and it leaves the retention window).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotPinned`] when `version` holds no pin.
+    pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
+        if self.inner.registry.unpin(version) {
+            Ok(())
+        } else {
+            Err(StoreError::NotPinned(version))
+        }
+    }
+
+    /// The currently pinned versions, ascending.
+    pub fn pinned_versions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.inner.registry.pinned().into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops retained history outside `policy`'s window (pinned
+    /// versions and the current version always survive), releasing
+    /// every subtree no surviving version shares. Space reclamation is
+    /// the existing refcount machinery — dropping a version's root
+    /// `Arc` frees exactly its unshared nodes, counted in
+    /// [`GcStats::nodes_reclaimed`].
+    pub fn gc(&self, policy: RetentionPolicy) -> GcStats {
+        let keep = policy.keep_last.max(1);
+        let mut dropped_maps = Vec::new();
+        let versions_retained;
+        {
+            let mut s = self.inner.state.lock();
+            let pinned = self.inner.registry.pinned();
+            let cut = s.history.len().saturating_sub(keep);
+            let old = std::mem::take(&mut s.history);
+            for (i, (v, m)) in old.into_iter().enumerate() {
+                if i >= cut || pinned.contains(&v) {
+                    s.history.push_back((v, m));
+                } else {
+                    dropped_maps.push(m);
+                }
+            }
+            versions_retained = s.history.len();
+        }
+        // Drop outside the state lock — freeing a deep unshared
+        // version walks its whole tree — and measure what came back.
+        let versions_dropped = dropped_maps.len();
+        let before = cpam::stats::read();
+        drop(dropped_maps);
+        let nodes_reclaimed =
+            cpam::stats::delta(before, cpam::stats::read()).nodes_dropped;
+        let mut stats = self.inner.lifecycle.lock();
+        stats.gc_runs += 1;
+        stats.versions_dropped += versions_dropped as u64;
+        stats.nodes_reclaimed += nodes_reclaimed;
+        GcStats {
+            versions_dropped,
+            versions_retained,
+            nodes_reclaimed,
+        }
+    }
+
+    /// Cumulative lifecycle counters for this store handle.
+    pub fn lifecycle_stats(&self) -> LifecycleStats {
+        *self.inner.lifecycle.lock()
     }
 
     /// The store's directory (`None` for in-memory stores).

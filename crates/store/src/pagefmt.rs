@@ -34,10 +34,10 @@
 //! flips surface as typed [`StoreError`]s, never as panics or silently
 //! wrong data.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use codecs::{bytecode, BlockIo, ByteEncode};
-use cpam::structure::{BuildError, NodeOwned, NodeRef};
+use cpam::structure::{BuildError, DiffNodeOwned, DiffNodeRef, NodeOwned, NodeRef};
 use cpam::{Augmentation, Element, PacMap, PacSet, ScalarKey};
 
 use crate::checksum::{crc32, schema_id};
@@ -56,9 +56,35 @@ use crate::error::StoreError;
 /// re-derives them from the payload.)
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PACSNP02";
 
+/// Identifies a pacstore *incremental* snapshot page, version 01.
+///
+/// An incremental page stores the diff of a tree against a **base
+/// snapshot** it names by version: the node stream may use tag `3`
+/// ("shared"), a varint pre-order index into the base tree's non-empty
+/// nodes, in place of a whole subtree. Decoding therefore requires the
+/// base tree (full page, or the result of a shorter incremental chain)
+/// to already be loaded; `open` chains incrementals in version order
+/// back to the full page. Layout matches the full page with one extra
+/// header field:
+///
+/// ```text
+/// magic        8 bytes   b"PACINC01"
+/// codec id     1 byte
+/// schema       4 bytes
+/// block size   varint    must equal the base tree's
+/// base version varint    version of the snapshot this page diffs against
+/// version      varint    store version this page captures
+/// count        varint    entries in the *resulting* tree
+/// length       varint    byte length of the diff node stream
+/// nodes        length    tagged pre-order diff stream (tags 0..=3)
+/// crc32        4 bytes   little-endian, over everything above
+/// ```
+pub const INCREMENTAL_MAGIC: [u8; 8] = *b"PACINC01";
+
 const TAG_EMPTY: u8 = 0;
 const TAG_REGULAR: u8 = 1;
 const TAG_FLAT: u8 = 2;
+const TAG_SHARED: u8 = 3;
 
 /// A collection that can be written to and read from a snapshot page:
 /// implemented for [`PacMap`] and [`PacSet`] whose entries are
@@ -87,6 +113,20 @@ pub trait DiskTree: Clone + Sized + Send + Sync + 'static {
     /// Assumes `buf` passed an integrity check (the page CRC): entry
     /// payload bytes themselves are trusted.
     fn read_nodes(b: usize, buf: &[u8]) -> Result<Self, StoreError>;
+
+    /// Appends the tagged pre-order *diff* node stream against `base`
+    /// (subtrees shared with `base` become `TAG_SHARED` references).
+    fn write_nodes_diff(&self, base: &Self, out: &mut Vec<u8>);
+
+    /// Rebuilds a tree from a diff node stream, resolving shared
+    /// references against `base`; inverse of
+    /// [`DiskTree::write_nodes_diff`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on truncated or structurally invalid streams,
+    /// including shared indices past the base tree.
+    fn read_nodes_diff(b: usize, base: &Self, buf: &[u8]) -> Result<Self, StoreError>;
 }
 
 fn flatten_build_error(e: BuildError<StoreError>) -> StoreError {
@@ -132,6 +172,53 @@ where
     }
 }
 
+/// Parses one node of the tagged diff stream.
+fn read_diff_node<E, C>(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<DiffNodeOwned<E, C::Block>, StoreError>
+where
+    E: ByteEncode + Element,
+    C: BlockIo<E>,
+{
+    let tag = *buf.get(*pos).ok_or(StoreError::Truncated("node tag"))?;
+    *pos += 1;
+    match tag {
+        TAG_EMPTY => Ok(DiffNodeOwned::Empty),
+        TAG_REGULAR => Ok(DiffNodeOwned::Regular(E::read(buf, pos))),
+        TAG_FLAT => Ok(DiffNodeOwned::Flat(C::read_block(buf, pos)?)),
+        TAG_SHARED => {
+            let idx = bytecode::try_read_varint(buf, pos)
+                .ok_or(StoreError::Truncated("shared subtree index"))?;
+            Ok(DiffNodeOwned::Shared(idx))
+        }
+        other => Err(StoreError::Corrupt(format!("unknown node tag {other}"))),
+    }
+}
+
+/// Serializes one node of the tagged diff stream.
+fn write_diff_node<E, C>(n: DiffNodeRef<'_, E, C::Block>, out: &mut Vec<u8>)
+where
+    E: ByteEncode + Element,
+    C: BlockIo<E>,
+{
+    match n {
+        DiffNodeRef::Empty => out.push(TAG_EMPTY),
+        DiffNodeRef::Regular(e) => {
+            out.push(TAG_REGULAR);
+            e.write(out);
+        }
+        DiffNodeRef::Flat(b) => {
+            out.push(TAG_FLAT);
+            C::write_block(b, out);
+        }
+        DiffNodeRef::Shared(idx) => {
+            out.push(TAG_SHARED);
+            bytecode::write_varint(idx, out);
+        }
+    }
+}
+
 impl<K, V, A, C> DiskTree for PacMap<K, V, A, C>
 where
     K: ScalarKey + ByteEncode,
@@ -162,6 +249,21 @@ where
         let mut pos = 0;
         let tree = Self::from_node_stream(b, &mut || read_node::<(K, V), C>(buf, &mut pos))
             .map_err(flatten_build_error)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
+        }
+        Ok(tree)
+    }
+
+    fn write_nodes_diff(&self, base: &Self, out: &mut Vec<u8>) {
+        self.visit_nodes_diff(base, &mut |n| write_diff_node::<(K, V), C>(n, out));
+    }
+
+    fn read_nodes_diff(b: usize, base: &Self, buf: &[u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let tree =
+            Self::from_diff_node_stream(b, base, &mut || read_diff_node::<(K, V), C>(buf, &mut pos))
+                .map_err(flatten_build_error)?;
         if pos != buf.len() {
             return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
         }
@@ -198,6 +300,21 @@ where
         let mut pos = 0;
         let tree = Self::from_node_stream(b, &mut || read_node::<K, C>(buf, &mut pos))
             .map_err(flatten_build_error)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
+        }
+        Ok(tree)
+    }
+
+    fn write_nodes_diff(&self, base: &Self, out: &mut Vec<u8>) {
+        self.visit_nodes_diff(base, &mut |n| write_diff_node::<K, C>(n, out));
+    }
+
+    fn read_nodes_diff(b: usize, base: &Self, buf: &[u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let tree =
+            Self::from_diff_node_stream(b, base, &mut || read_diff_node::<K, C>(buf, &mut pos))
+                .map_err(flatten_build_error)?;
         if pos != buf.len() {
             return Err(StoreError::Corrupt("trailing bytes after node stream".into()));
         }
@@ -346,6 +463,221 @@ pub fn read_snapshot_file<T: DiskTree>(path: &Path) -> Result<(T, u64), StoreErr
     decode_snapshot(&bytes)
 }
 
+/// Encodes the diff of `tree` (captured at `version`) against `base`
+/// (the tree persisted at `base_version`) into an incremental page.
+///
+/// Sound only if `base` is the *pinned* checkpoint root `tree` evolved
+/// from (see [`cpam::PacMap::visit_nodes_diff`] for why the pin makes
+/// pointer identity a valid sharing witness).
+pub fn encode_incremental<T: DiskTree>(
+    tree: &T,
+    base: &T,
+    base_version: u64,
+    version: u64,
+) -> Vec<u8> {
+    let mut nodes = Vec::new();
+    tree.write_nodes_diff(base, &mut nodes);
+
+    let mut page = Vec::with_capacity(nodes.len() + 64);
+    page.extend_from_slice(&INCREMENTAL_MAGIC);
+    page.push(T::CODEC_ID);
+    page.extend_from_slice(&T::schema().to_le_bytes());
+    bytecode::write_varint(tree.disk_block_size() as u64, &mut page);
+    bytecode::write_varint(base_version, &mut page);
+    bytecode::write_varint(version, &mut page);
+    bytecode::write_varint(tree.disk_len() as u64, &mut page);
+    bytecode::write_varint(nodes.len() as u64, &mut page);
+    page.extend_from_slice(&nodes);
+    let crc = crc32(&page);
+    page.extend_from_slice(&crc.to_le_bytes());
+    page
+}
+
+/// Decodes an incremental page against the base tree it names,
+/// returning `(tree, base_version, version)`. The caller must verify
+/// that `base_version` matches the version `base` actually captures —
+/// the page only records the number.
+///
+/// # Errors
+///
+/// The same typed-error surface as [`decode_snapshot`] (CRC before
+/// payload, codec/schema checks), plus [`StoreError::Corrupt`] when the
+/// page's block size disagrees with `base`'s or a shared reference
+/// points past the base tree.
+pub fn decode_incremental<T: DiskTree>(
+    bytes: &[u8],
+    base: &T,
+) -> Result<(T, u64, u64), StoreError> {
+    if bytes.len() < INCREMENTAL_MAGIC.len() + 1 + 4 + 4 {
+        return Err(StoreError::Truncated("incremental page header"));
+    }
+    if bytes[..INCREMENTAL_MAGIC.len()] != INCREMENTAL_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut pos = INCREMENTAL_MAGIC.len();
+    let codec_id = body[pos];
+    pos += 1;
+    if codec_id != T::CODEC_ID {
+        return Err(StoreError::CodecMismatch {
+            found: codec_id,
+            expected: T::CODEC_ID,
+            expected_name: T::CODEC_NAME,
+        });
+    }
+    let found_schema = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"));
+    pos += 4;
+    if found_schema != T::schema() {
+        return Err(StoreError::SchemaMismatch {
+            found: found_schema,
+            expected: T::schema(),
+        });
+    }
+    let b = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("block size"))? as usize;
+    if b == 0 {
+        return Err(StoreError::Corrupt("zero block size".into()));
+    }
+    if b != base.disk_block_size() {
+        return Err(StoreError::Corrupt(format!(
+            "incremental page block size {b} differs from its base's {}",
+            base.disk_block_size()
+        )));
+    }
+    let base_version = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("base version"))?;
+    let version =
+        bytecode::try_read_varint(body, &mut pos).ok_or(StoreError::Truncated("version"))?;
+    let count = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("entry count"))? as usize;
+    let len = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("payload length"))? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| StoreError::Corrupt("payload length overflows".into()))?;
+    if end != body.len() {
+        return Err(StoreError::Corrupt(format!(
+            "payload length {len} does not match page size"
+        )));
+    }
+
+    let tree = T::read_nodes_diff(b, base, &body[pos..end])?;
+    if tree.disk_len() != count {
+        return Err(StoreError::Corrupt(format!(
+            "entry count mismatch: header {count}, decoded {}",
+            tree.disk_len()
+        )));
+    }
+    Ok((tree, base_version, version))
+}
+
+/// The file name an incremental page captured at `version` is stored
+/// under (zero-padded so lexical order is version order).
+pub fn incr_file_name(version: u64) -> String {
+    format!("incr-{version:020}.pac")
+}
+
+/// Parses a file name produced by [`incr_file_name`].
+fn parse_incr_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("incr-")?.strip_suffix(".pac")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists the incremental pages in `dir`, sorted by captured version.
+///
+/// # Errors
+///
+/// Any underlying I/O error while reading the directory.
+pub(crate) fn list_incr_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(v) = entry.file_name().to_str().and_then(parse_incr_file_name) {
+            out.push((v, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(v, _)| v);
+    Ok(out)
+}
+
+/// Deletes every incremental page in `dir` — called after a full
+/// snapshot supersedes the chain. Ignores missing files (idempotent).
+///
+/// # Errors
+///
+/// Any underlying I/O error other than the files already being gone.
+pub(crate) fn remove_incr_files(dir: &Path) -> Result<(), StoreError> {
+    for (_, path) in list_incr_files(dir)? {
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Loads a full snapshot page and chains every newer incremental page
+/// onto it in version order. Returns `None` when `dir` has no full page
+/// (and, as a consistency check, no incrementals either); otherwise the
+/// chained tree, the version it reaches, and the number of incrementals
+/// applied.
+///
+/// Incrementals at or below the full page's version are *stale* —
+/// superseded by a later full save whose cleanup did not complete — and
+/// are skipped. An incremental whose recorded base version is not the
+/// version the chain has reached means a link was deleted: typed
+/// [`StoreError::Corrupt`], never a silently shortened history.
+///
+/// # Errors
+///
+/// I/O errors, every [`decode_snapshot`] / [`decode_incremental`]
+/// error, and [`StoreError::Corrupt`] for a broken chain.
+pub(crate) fn load_chain<T: DiskTree>(
+    dir: &Path,
+    snapshot_file: &str,
+) -> Result<Option<(T, u64, usize)>, StoreError> {
+    let full = dir.join(snapshot_file);
+    if !full.exists() {
+        if !list_incr_files(dir)?.is_empty() {
+            return Err(StoreError::Corrupt(
+                "incremental snapshot pages present without a base snapshot".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    let (mut tree, mut version) = read_snapshot_file::<T>(&full)?;
+    let mut applied = 0;
+    for (v, path) in list_incr_files(dir)? {
+        if v <= version {
+            continue;
+        }
+        let bytes = std::fs::read(&path)?;
+        let (next, base_version, page_version) = decode_incremental::<T>(&bytes, &tree)?;
+        if base_version != version {
+            return Err(StoreError::Corrupt(format!(
+                "incremental page {} diffs against version {base_version}, but the \
+                 chain reaches {version}: a link is missing",
+                path.display()
+            )));
+        }
+        debug_assert_eq!(page_version, v, "file name vs header version");
+        tree = next;
+        version = page_version;
+        applied += 1;
+    }
+    Ok(Some((tree, version, applied)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +709,67 @@ mod tests {
     fn foreign_file_is_bad_magic() {
         let err = decode_snapshot::<PacSet<u64>>(b"definitely not a snapshot").unwrap_err();
         assert!(matches!(err, StoreError::BadMagic));
+    }
+
+    #[test]
+    fn incremental_page_roundtrips_and_is_small() {
+        let base: PacMap<u64, u64> =
+            PacMap::from_pairs_with(32, (0..20_000u64).map(|i| (2 * i, i)).collect());
+        let mut m = base.clone();
+        for k in [1u64, 20_001, 39_999] {
+            m = m.insert(k, 0);
+        }
+        let full = encode_snapshot(&m, 8);
+        let page = encode_incremental(&m, &base, 7, 8);
+        assert!(
+            page.len() * 10 < full.len(),
+            "sparse diff page ({}) should be far smaller than the full page ({})",
+            page.len(),
+            full.len()
+        );
+        let (back, base_version, version): (PacMap<u64, u64>, u64, u64) =
+            decode_incremental(&page, &base).expect("decode");
+        assert_eq!((base_version, version), (7, 8));
+        assert_eq!(back.to_vec(), m.to_vec());
+        back.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn truncated_incremental_page_is_typed() {
+        let base: PacMap<u64, u64> = PacMap::from_pairs_with(8, vec![(1, 1)]);
+        let m = base.insert(2, 2);
+        let page = encode_incremental(&m, &base, 1, 2);
+        for cut in 0..page.len() {
+            let err = decode_incremental::<PacMap<u64, u64>>(&page[..cut], &base).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated(_)
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::BadMagic
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_against_wrong_block_size_is_corrupt() {
+        let base: PacMap<u64, u64> = PacMap::from_pairs_with(8, (0..100).map(|i| (i, i)).collect());
+        let m = base.insert(500, 0);
+        let page = encode_incremental(&m, &base, 1, 2);
+        let other: PacMap<u64, u64> =
+            PacMap::from_pairs_with(16, (0..100).map(|i| (i, i)).collect());
+        let err = decode_incremental::<PacMap<u64, u64>>(&page, &other).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+
+    #[test]
+    fn incr_file_names_roundtrip_in_version_order() {
+        assert_eq!(parse_incr_file_name(&incr_file_name(42)), Some(42));
+        assert_eq!(parse_incr_file_name("incr-x.pac"), None);
+        assert_eq!(parse_incr_file_name("snapshot.pac"), None);
+        assert!(incr_file_name(9) < incr_file_name(10));
+        assert!(incr_file_name(99) < incr_file_name(100));
     }
 }

@@ -48,7 +48,11 @@ use cpam::{NoAug, PacMap};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::StoreError;
-use crate::mvcc::{apply_ops, Op, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, SNAPSHOT_FILE};
+use crate::lifecycle::{self, GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
+use crate::mvcc::{
+    apply_ops, Op, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, MAX_INCR_CHAIN,
+    SNAPSHOT_FILE,
+};
 use crate::pagefmt;
 use crate::router::{Router, PARTITION_FILE};
 use crate::wal;
@@ -364,6 +368,49 @@ enum DurableState {
     Poisoned { shard_logs: Vec<File> },
 }
 
+/// One shard's latest persisted checkpoint: the version its on-disk
+/// page chain reaches, the pinned tree at that version (the base the
+/// next incremental page diffs against — pinning it keeps its nodes
+/// shared, so pointer identity against it is sound), and the chain
+/// length (bounding `open`'s chain walk via [`MAX_INCR_CHAIN`]).
+struct ShardCheckpoint<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    version: u64,
+    map: PacMap<K, V, NoAug, C>,
+    chain_len: usize,
+}
+
+/// The sharded store's checkpoint state: the global commit id the last
+/// checkpoint covered plus one optional pin per shard (`None` until the
+/// shard's first page is written).
+struct Checkpoints<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    global: Option<u64>,
+    shards: Vec<Option<ShardCheckpoint<K, V, C>>>,
+}
+
+impl<K, V, C> Checkpoints<K, V, C>
+where
+    K: StoreKey,
+    V: StoreValue,
+    C: BlockIo<(K, V)>,
+{
+    fn empty(shards: usize) -> Self {
+        Checkpoints {
+            global: None,
+            shards: (0..shards).map(|_| None).collect(),
+        }
+    }
+}
+
 struct CommitQueue<K, V> {
     pending: Vec<(u64, Vec<Op<K, V>>)>,
     next_ticket: u64,
@@ -383,12 +430,19 @@ where
     /// Held for the lifetime of this store's handles (see
     /// [`crate::PacStore`]'s lock discussion).
     _dir_lock: Option<File>,
-    /// Lock order: `log` before `state` (leaders hold it across prepare,
-    /// manifest append, *and* publish).
+    /// Lock order: `checkpoint_lock` before `log` before `state`
+    /// (leaders hold `log` across prepare, manifest append, *and*
+    /// publish; `save`/`compact` hold `checkpoint_lock` across a whole
+    /// checkpoint cycle).
+    checkpoint_lock: Mutex<()>,
     log: Mutex<DurableState>,
     state: Mutex<ShardedState<K, V, C>>,
     commit: Mutex<CommitQueue<K, V>>,
     commit_cv: Condvar,
+    /// Per-shard checkpoint pins; `checkpoint_lock` serializes writers.
+    checkpoints: Mutex<Checkpoints<K, V, C>>,
+    registry: VersionRegistry,
+    lifecycle: Mutex<LifecycleStats>,
 }
 
 /// A versioned, persistent key-value store partitioned into N
@@ -470,6 +524,7 @@ where
         dir_lock: Option<File>,
         log: DurableState,
         state: ShardedState<K, V, C>,
+        checkpoints: Checkpoints<K, V, C>,
     ) -> Self {
         ShardedStore {
             inner: Arc::new(Inner {
@@ -477,6 +532,7 @@ where
                 router: Arc::new(router),
                 dir,
                 _dir_lock: dir_lock,
+                checkpoint_lock: Mutex::new(()),
                 log: Mutex::new(log),
                 state: Mutex::new(state),
                 commit: Mutex::new(CommitQueue {
@@ -486,6 +542,9 @@ where
                     leader_running: false,
                 }),
                 commit_cv: Condvar::new(),
+                checkpoints: Mutex::new(checkpoints),
+                registry: VersionRegistry::default(),
+                lifecycle: Mutex::new(LifecycleStats::default()),
             }),
         }
     }
@@ -516,8 +575,17 @@ where
     ///
     /// See [`ShardedStore::in_memory`].
     pub fn in_memory_with(router: Router<K>, opts: StoreOptions) -> Result<Self, StoreError> {
-        let state = Self::fresh_state(&opts, router.shard_count());
-        Ok(Self::from_parts(opts, router, None, None, DurableState::None, state))
+        let shards = router.shard_count();
+        let state = Self::fresh_state(&opts, shards);
+        Ok(Self::from_parts(
+            opts,
+            router,
+            None,
+            None,
+            DurableState::None,
+            state,
+            Checkpoints::empty(shards),
+        ))
     }
 
     /// Opens an existing sharded store in `dir`, recovering the routing
@@ -615,26 +683,40 @@ where
         };
         let shards = router.shard_count();
 
-        // Load shard snapshot pages in parallel.
-        type Loaded<K, V, C> = Vec<Result<(PacMap<K, V, NoAug, C>, u64), StoreError>>;
+        // Load shard page chains (full page plus incrementals) in
+        // parallel. `None` chain length = no pages yet.
+        type Loaded<K, V, C> =
+            Vec<Result<(PacMap<K, V, NoAug, C>, u64, Option<usize>), StoreError>>;
         let loaded: Loaded<K, V, C> =
             par_for_shards(shards, &|i| {
                 let sdir = dir.join(shard_dir_name(i));
                 std::fs::create_dir_all(&sdir)?;
-                let snap_path = sdir.join(SNAPSHOT_FILE);
-                if snap_path.exists() {
-                    pagefmt::read_snapshot_file::<PacMap<K, V, NoAug, C>>(&snap_path)
-                } else {
-                    Ok((PacMap::with_block_size(opts.block_size), 0))
+                match pagefmt::load_chain::<PacMap<K, V, NoAug, C>>(&sdir, SNAPSHOT_FILE)? {
+                    Some((m, v, applied)) => Ok((m, v, Some(applied))),
+                    None => Ok((PacMap::with_block_size(opts.block_size), 0, None)),
                 }
             });
         let mut maps = Vec::with_capacity(shards);
         let mut snap_vers = Vec::with_capacity(shards);
+        let mut chain_lens = Vec::with_capacity(shards);
         for r in loaded {
-            let (m, v) = r?;
+            let (m, v, cl) = r?;
             maps.push(m);
             snap_vers.push(v);
+            chain_lens.push(cl);
         }
+        // Pin each shard's checkpoint *before* WAL replay mutates the
+        // maps: the pinned clone is the diff base for the next
+        // incremental page, and must be exactly what the pages decode
+        // to.
+        let checkpoint_pins: Vec<Option<ShardCheckpoint<K, V, C>>> = maps
+            .iter()
+            .zip(&snap_vers)
+            .zip(&chain_lens)
+            .map(|((m, &v), &cl)| {
+                cl.map(|chain_len| ShardCheckpoint { version: v, map: m.clone(), chain_len })
+            })
+            .collect();
 
         // Replay the manifest and every shard WAL.
         let manifest_path = dir.join(MANIFEST_FILE);
@@ -788,6 +870,17 @@ where
                     }));
 
             if !prepared {
+                // A cut is only legitimate for the *last* in-flight
+                // commit: the manifest record is appended after every
+                // prepare, so an acknowledged (manifested) commit
+                // *later* than g proves g was once fully prepared too —
+                // its records were truncated by a checkpoint whose
+                // pages no longer reach it. That is missing history,
+                // never a torn tail; cutting would silently resurrect
+                // an old state.
+                if manifest.records.iter().any(|r| r.global > g) {
+                    return Err(StoreError::VersionGap { checkpoint: global, first: g });
+                }
                 // Drop g and everything after it from every WAL and
                 // from the manifest: all-or-nothing.
                 let wal_cuts: Vec<usize> = (0..shards)
@@ -812,11 +905,33 @@ where
             // whose snapshot page already covers it).
             for &i in &holders {
                 let rec = &shard_replays[i].records[cursor[i]];
+                // Local versions advance by exactly one per commit a
+                // shard participates in; a farther jump means the
+                // record's predecessors are in neither the pages nor
+                // the WAL (a shard page chain was deleted or rolled
+                // back after its WAL was truncated past it).
+                if rec.version > locals[i] + 1 {
+                    return Err(StoreError::VersionGap {
+                        checkpoint: locals[i],
+                        first: rec.version,
+                    });
+                }
                 if rec.version > locals[i] {
                     maps[i] = apply_ops(std::mem::take(&mut maps[i]), rec.ops.clone());
                     locals[i] = rec.version;
                 }
                 cursor[i] += 1;
+            }
+            // A manifest record asserts the whole version vector at g;
+            // after rolling g forward every shard must have reached it
+            // (participants via their records or pages, bystanders via
+            // earlier commits). A shard left behind lost history.
+            if let Some(mrec) = manifest_rec {
+                for (&have, &want) in locals.iter().zip(&mrec.locals) {
+                    if have < want {
+                        return Err(StoreError::VersionGap { checkpoint: have, first: want });
+                    }
+                }
             }
             if g > global {
                 global = g;
@@ -904,6 +1019,13 @@ where
                 .map_err(|fail| StoreError::Io(fail.error))?;
         }
 
+        let checkpoints = Checkpoints {
+            global: checkpoint_pins
+                .iter()
+                .any(Option::is_some)
+                .then_some(checkpoint_global),
+            shards: checkpoint_pins,
+        };
         let state = ShardedState { global, locals, maps, history };
         Ok(Self::from_parts(
             opts,
@@ -912,6 +1034,7 @@ where
             Some(dir_lock),
             DurableState::Active { shard_logs, manifest: manifest_file },
             state,
+            checkpoints,
         ))
     }
 
@@ -1131,9 +1254,12 @@ where
         }
         let snapshot = (g, s.locals.clone(), s.maps.clone());
         s.history.push_back(snapshot);
-        while s.history.len() > inner.opts.history_limit.max(1) {
-            s.history.pop_front();
-        }
+        lifecycle::evict_history(
+            &mut s.history,
+            inner.opts.history_limit,
+            |(g, _, _)| *g,
+            &inner.registry,
+        );
         drop(s);
         drop(log_guard);
         Ok(g)
@@ -1233,24 +1359,48 @@ where
     pub fn save(&self) -> Result<u64, StoreError> {
         let inner = &self.inner;
         let dir = inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _ckpt = inner.checkpoint_lock.lock();
         let mut log_guard = inner.log.lock();
         let (maps, locals, global) = {
             let s = inner.state.lock();
             (s.maps.clone(), s.locals.clone(), s.global)
         };
 
-        // Parallel snapshot-page writes (atomic per shard).
-        let writes: Vec<Result<(), StoreError>> = {
+        // Parallel snapshot-page writes (atomic per shard). A full page
+        // supersedes the shard's incremental chain; stale links that
+        // survive a crash here are skipped (and re-deleted) next time.
+        let writes: Vec<Result<usize, StoreError>> = {
             let maps = &maps;
             let locals = &locals;
             par_for_shards(maps.len(), &move |i| {
                 let sdir = dir.join(shard_dir_name(i));
                 std::fs::create_dir_all(&sdir)?;
-                pagefmt::write_snapshot_file(&sdir.join(SNAPSHOT_FILE), &maps[i], locals[i])
+                let page = pagefmt::encode_snapshot(&maps[i], locals[i]);
+                pagefmt::write_file_atomic(&sdir.join(SNAPSHOT_FILE), &page)?;
+                pagefmt::remove_incr_files(&sdir)?;
+                Ok(page.len())
             })
         };
+        let mut full_page_bytes = 0u64;
         for w in writes {
-            w?;
+            full_page_bytes += w? as u64;
+        }
+        // Re-pin every shard at the pages just written.
+        {
+            let mut ckpts = inner.checkpoints.lock();
+            for (i, m) in maps.iter().enumerate() {
+                ckpts.shards[i] = Some(ShardCheckpoint {
+                    version: locals[i],
+                    map: m.clone(),
+                    chain_len: 0,
+                });
+            }
+            ckpts.global = Some(global);
+        }
+        {
+            let mut stats = inner.lifecycle.lock();
+            stats.full_saves += maps.len() as u64;
+            stats.full_page_bytes += full_page_bytes;
         }
 
         // Checkpoint the manifest, then reset the WALs it covers.
@@ -1268,11 +1418,14 @@ where
             DurableState::None => {}
             DurableState::Active { shard_logs, .. } | DurableState::Poisoned { shard_logs } => {
                 let mut ok = true;
+                let mut truncated = 0u64;
                 for f in &shard_logs {
+                    truncated += f.metadata().map(|m| m.len()).unwrap_or(0);
                     if f.set_len(0).is_err() {
                         ok = false;
                     }
                 }
+                inner.lifecycle.lock().wal_bytes_truncated += truncated;
                 // The checkpoint replaced the manifest file on disk;
                 // reopen an append handle on the new file. Any failure
                 // here poisons rather than leaving the state `None`,
@@ -1302,6 +1455,318 @@ where
             }
         }
         Ok(global)
+    }
+
+    /// One checkpoint-then-truncate cycle: persists the committed
+    /// version vector — per shard, an incremental page diffed against
+    /// the shard's pinned checkpoint when the chain is short, a full
+    /// page otherwise, nothing at all for shards unchanged since their
+    /// checkpoint — then drops the WAL prefixes and manifest records
+    /// the pages now cover. Returns the checkpointed global commit id.
+    ///
+    /// Unlike [`ShardedStore::save`], the page writes happen *outside*
+    /// the log lock, so commits keep flowing while pages are encoded;
+    /// only the final manifest/WAL truncation briefly excludes writers.
+    /// Records appended during the page writes are past the captured
+    /// version vector and survive the truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors. A
+    /// failure during the truncation step poisons the log
+    /// (conservatively — the on-disk state stays recoverable);
+    /// [`ShardedStore::save`] heals it.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let inner = &self.inner;
+        let dir = inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _ckpt = inner.checkpoint_lock.lock();
+
+        // Capture the committed state to checkpoint. Commits may land
+        // after this point; they stay in the logs.
+        let (maps, locals, global) = {
+            let s = inner.state.lock();
+            (s.maps.clone(), s.locals.clone(), s.global)
+        };
+        let shards = maps.len();
+
+        // ----- Phase 1: page writes, in parallel, no log lock. --------
+        enum PageWrite {
+            Skipped,
+            Incremental(usize),
+            Full(usize),
+        }
+        let mut ckpts = inner.checkpoints.lock();
+        let writes: Vec<Result<PageWrite, StoreError>> = {
+            let maps = &maps;
+            let locals = &locals;
+            let pins = &ckpts.shards;
+            par_for_shards(shards, &move |i| {
+                let sdir = dir.join(shard_dir_name(i));
+                std::fs::create_dir_all(&sdir)?;
+                match pins[i].as_ref() {
+                    Some(ck) if ck.version == locals[i] => Ok(PageWrite::Skipped),
+                    Some(ck) if ck.chain_len < MAX_INCR_CHAIN => {
+                        let page = pagefmt::encode_incremental(
+                            &maps[i], &ck.map, ck.version, locals[i],
+                        );
+                        pagefmt::write_file_atomic(
+                            &sdir.join(pagefmt::incr_file_name(locals[i])),
+                            &page,
+                        )?;
+                        Ok(PageWrite::Incremental(page.len()))
+                    }
+                    _ => {
+                        let page = pagefmt::encode_snapshot(&maps[i], locals[i]);
+                        pagefmt::write_file_atomic(&sdir.join(SNAPSHOT_FILE), &page)?;
+                        pagefmt::remove_incr_files(&sdir)?;
+                        Ok(PageWrite::Full(page.len()))
+                    }
+                }
+            })
+        };
+        // Re-pin every shard whose page landed — even when another
+        // shard failed, so the pins always match the on-disk chains
+        // (the next incremental must diff against the newest link).
+        let mut first_err = None;
+        {
+            let mut stats = inner.lifecycle.lock();
+            for (i, w) in writes.into_iter().enumerate() {
+                let new_pin = |chain_len| {
+                    Some(ShardCheckpoint { version: locals[i], map: maps[i].clone(), chain_len })
+                };
+                match w {
+                    Ok(PageWrite::Skipped) => {}
+                    Ok(PageWrite::Incremental(n)) => {
+                        let chain_len =
+                            ckpts.shards[i].as_ref().map_or(1, |ck| ck.chain_len + 1);
+                        ckpts.shards[i] = new_pin(chain_len);
+                        stats.incremental_saves += 1;
+                        stats.incremental_page_bytes += n as u64;
+                    }
+                    Ok(PageWrite::Full(n)) => {
+                        ckpts.shards[i] = new_pin(0);
+                        stats.full_saves += 1;
+                        stats.full_page_bytes += n as u64;
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        ckpts.global = Some(global);
+        drop(ckpts);
+
+        // ----- Phase 2: truncate, under the log lock. -----------------
+        //
+        // Ordering is WAL trims first, manifest swap last, and every
+        // intermediate state recovers exactly: `open` judges coverage
+        // against the pages themselves, so a commit's WAL records can
+        // vanish the moment the pages reach its version vector, with
+        // or without the manifest checkpoint record.
+        let mut log_guard = inner.log.lock();
+        let poisoned = matches!(&*log_guard, DurableState::Poisoned { .. });
+        let poison = |log_guard: &mut DurableState| {
+            let state = std::mem::replace(log_guard, DurableState::None);
+            if let DurableState::Active { shard_logs, .. }
+            | DurableState::Poisoned { shard_logs } = state
+            {
+                *log_guard = DurableState::Poisoned { shard_logs };
+            }
+        };
+        let expected = crate::checksum::schema_id::<(K, V)>();
+        let mut wal_bytes_truncated = 0u64;
+        for (i, &local) in locals.iter().enumerate() {
+            let log_path = dir.join(shard_dir_name(i)).join(LOG_FILE);
+            let bytes = if log_path.exists() { std::fs::read(&log_path)? } else { Vec::new() };
+            let replay = wal::replay::<K, V>(&bytes, expected);
+            // Keep the records past the captured vector (commits that
+            // landed during phase 1) and drop any torn tail. A poisoned
+            // log holds no acknowledged record past the vector — only
+            // the stranded prepares of a *failed* commit, which must
+            // not survive into a healed log (their global id will be
+            // reused) — so it resets completely.
+            let keep: &[u8] = if poisoned {
+                &[]
+            } else {
+                let cut = replay
+                    .records
+                    .iter()
+                    .position(|r| r.version > local)
+                    .map_or(replay.valid_len, |idx| replay.offsets[idx]);
+                &bytes[cut..replay.valid_len]
+            };
+            if keep.len() == bytes.len() {
+                continue;
+            }
+            wal_bytes_truncated += (bytes.len() - keep.len()) as u64;
+            if pagefmt::write_file_atomic(&log_path, keep).is_err()
+                || !self.reopen_shard_log(&mut log_guard, i, &log_path)
+            {
+                // The old handle may point at the renamed-over file;
+                // refuse appends until save() resets everything.
+                poison(&mut log_guard);
+                return Err(StoreError::Io(std::io::Error::other(format!(
+                    "failed to truncate shard {i}'s log during compaction"
+                ))));
+            }
+        }
+        // Swap the manifest for one checkpoint record plus the records
+        // past the captured global id.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest_bytes =
+            if manifest_path.exists() { std::fs::read(&manifest_path)? } else { Vec::new() };
+        let mreplay = replay_manifest(&manifest_bytes, shards);
+        let mcut = mreplay
+            .records
+            .iter()
+            .position(|r| r.global > global)
+            .map_or(mreplay.valid_len, |idx| mreplay.offsets[idx]);
+        let mut new_manifest = encode_manifest_record(&ManifestRecord {
+            global,
+            participants: Vec::new(),
+            locals: locals.clone(),
+        });
+        new_manifest.extend_from_slice(&manifest_bytes[mcut..mreplay.valid_len]);
+        wal_bytes_truncated +=
+            (manifest_bytes.len() - (mreplay.valid_len - mcut)) as u64;
+        let reopened = pagefmt::write_file_atomic(&manifest_path, &new_manifest)
+            .and_then(|()| {
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&manifest_path)
+                    .map_err(StoreError::Io)
+            });
+        let manifest_file = match reopened {
+            Ok(f) => f,
+            Err(e) => {
+                poison(&mut log_guard);
+                return Err(e);
+            }
+        };
+        // Install the new manifest handle; a fully truncated log is
+        // also a healed one (the stranded bytes are gone).
+        let state = std::mem::replace(&mut *log_guard, DurableState::None);
+        match state {
+            DurableState::None => {}
+            DurableState::Active { shard_logs, .. } | DurableState::Poisoned { shard_logs } => {
+                *log_guard = DurableState::Active { shard_logs, manifest: manifest_file };
+            }
+        }
+        drop(log_guard);
+
+        let mut stats = inner.lifecycle.lock();
+        stats.compactions += 1;
+        stats.wal_bytes_truncated += wal_bytes_truncated;
+        Ok(global)
+    }
+
+    /// Replaces shard `i`'s log handle with a fresh append handle on
+    /// `path`; `false` when the open failed (caller poisons).
+    fn reopen_shard_log(
+        &self,
+        log_guard: &mut DurableState,
+        i: usize,
+        path: &Path,
+    ) -> bool {
+        let (DurableState::Active { shard_logs, .. } | DurableState::Poisoned { shard_logs }) =
+            log_guard
+        else {
+            return true;
+        };
+        match OpenOptions::new().create(true).append(true).open(path) {
+            Ok(f) => {
+                shard_logs[i] = f;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The global commit id of the latest persisted checkpoint (full
+    /// pages plus incremental chains), or `None` if nothing was saved
+    /// yet.
+    pub fn latest_checkpoint(&self) -> Option<u64> {
+        self.inner.checkpoints.lock().global
+    }
+
+    /// Pins global commit `version` against history eviction and
+    /// [`ShardedStore::gc`]: [`ShardedStore::snapshot_at`] keeps
+    /// working for it until every pin is released. Pins are counted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VersionNotFound`] when `version` is not currently
+    /// in history (an evicted version cannot be resurrected).
+    pub fn pin_version(&self, version: u64) -> Result<(), StoreError> {
+        let s = self.inner.state.lock();
+        if !s.history.iter().any(|(g, _, _)| *g == version) {
+            return Err(StoreError::VersionNotFound(version));
+        }
+        self.inner.registry.pin(version);
+        Ok(())
+    }
+
+    /// Releases one pin on global commit `version`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotPinned`] when `version` holds no pin.
+    pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
+        if self.inner.registry.unpin(version) {
+            Ok(())
+        } else {
+            Err(StoreError::NotPinned(version))
+        }
+    }
+
+    /// The currently pinned global commit ids, ascending.
+    pub fn pinned_versions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.inner.registry.pinned().into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops retained history outside `policy`'s window (pinned
+    /// versions and the current version always survive), releasing
+    /// every shard subtree no surviving version shares — see
+    /// [`crate::PacStore::gc`].
+    pub fn gc(&self, policy: RetentionPolicy) -> GcStats {
+        let keep = policy.keep_last.max(1);
+        let mut dropped = Vec::new();
+        let versions_retained;
+        {
+            let mut s = self.inner.state.lock();
+            let pinned = self.inner.registry.pinned();
+            let cut = s.history.len().saturating_sub(keep);
+            let old = std::mem::take(&mut s.history);
+            for (i, entry) in old.into_iter().enumerate() {
+                if i >= cut || pinned.contains(&entry.0) {
+                    s.history.push_back(entry);
+                } else {
+                    dropped.push(entry);
+                }
+            }
+            versions_retained = s.history.len();
+        }
+        // Drop outside the state lock — freeing deep unshared versions
+        // walks whole trees — and measure what came back.
+        let versions_dropped = dropped.len();
+        let before = cpam::stats::read();
+        drop(dropped);
+        let nodes_reclaimed = cpam::stats::delta(before, cpam::stats::read()).nodes_dropped;
+        let mut stats = self.inner.lifecycle.lock();
+        stats.gc_runs += 1;
+        stats.versions_dropped += versions_dropped as u64;
+        stats.nodes_reclaimed += nodes_reclaimed;
+        GcStats { versions_dropped, versions_retained, nodes_reclaimed }
+    }
+
+    /// Cumulative lifecycle counters for this store handle.
+    pub fn lifecycle_stats(&self) -> LifecycleStats {
+        *self.inner.lifecycle.lock()
     }
 
     /// The store's directory (`None` for in-memory stores).
@@ -1416,6 +1881,67 @@ mod tests {
     fn ephemeral_save_is_typed_error() {
         let store = mem(2);
         assert!(matches!(store.save(), Err(StoreError::Ephemeral)));
+    }
+
+    #[test]
+    fn gc_respects_window_and_pins_across_shards() {
+        let store = mem(3);
+        let opts_limit = StoreOptions::default().history_limit;
+        assert!(opts_limit >= 6, "test assumes the default window holds v0..=v5");
+        for i in 0..5u64 {
+            store.commit(vec![Op::Put(i, i), Op::Put(900 + i, i)]).unwrap();
+        }
+        store.pin_version(2).unwrap();
+        let stats = store.gc(RetentionPolicy::keep_last(1));
+        assert_eq!(store.versions(), vec![2, 5]);
+        assert_eq!(stats.versions_retained, 2);
+        assert_eq!(stats.versions_dropped, 4);
+        // The pinned cross-shard snapshot still reads consistently.
+        let snap = store.snapshot_at(2).unwrap();
+        assert_eq!(snap.get(&1), Some(1));
+        assert_eq!(snap.get(&901), Some(1));
+        assert_eq!(snap.get(&4), None);
+        // Unpin, GC again: only the current version survives.
+        store.unpin_version(2).unwrap();
+        assert!(matches!(
+            store.unpin_version(2),
+            Err(StoreError::NotPinned(2))
+        ));
+        store.gc(RetentionPolicy::default());
+        assert_eq!(store.versions(), vec![5]);
+        assert!(matches!(
+            store.snapshot_at(2),
+            Err(StoreError::VersionNotFound(2))
+        ));
+        assert_eq!(store.lifecycle_stats().gc_runs, 2);
+    }
+
+    #[test]
+    fn pinned_versions_survive_commit_time_eviction() {
+        let opts = StoreOptions { history_limit: 2, ..StoreOptions::default() };
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::in_memory_with(Router::uniform_span(2, 1_000), opts).unwrap();
+        store.commit(vec![Op::Put(1, 1)]).unwrap();
+        store.pin_version(1).unwrap();
+        for i in 2..6u64 {
+            store.commit(vec![Op::Put(i, i), Op::Put(990, i)]).unwrap();
+        }
+        // v1 is pinned; the window keeps the newest alongside it.
+        assert_eq!(store.versions(), vec![1, 5]);
+        assert_eq!(store.snapshot_at(1).unwrap().get(&1), Some(1));
+        assert_eq!(store.pinned_versions(), vec![1]);
+        // Pinning an evicted version is a typed error.
+        assert!(matches!(
+            store.pin_version(3),
+            Err(StoreError::VersionNotFound(3))
+        ));
+    }
+
+    #[test]
+    fn compact_and_checkpoint_apis_are_typed_on_ephemeral_stores() {
+        let store = mem(2);
+        assert!(matches!(store.compact(), Err(StoreError::Ephemeral)));
+        assert_eq!(store.latest_checkpoint(), None);
     }
 
     #[test]

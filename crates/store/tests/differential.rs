@@ -7,12 +7,20 @@
 //! The default volume is 1000 sequences per configuration
 //! (`DIFF_CASES` overrides it); sequences are deliberately small so the
 //! whole grid stays well under a minute in debug builds.
+//!
+//! The second half is the *lifecycle* differential suite: durable
+//! stores driven through random interleavings of commits with `gc`,
+//! `compact`, `save`, `save_incremental`, and full reopens — the oracle
+//! must survive every maintenance operation, pinned snapshots must stay
+//! readable after GC, and unpinned history must actually disappear.
+//! (`DIFF_LIFECYCLE_CASES` overrides its volume, default 50.)
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use store::{Op, Router, ShardedStore, StoreOptions};
+use store::{Op, PacStore, RetentionPolicy, Router, ShardedStore, StoreError, StoreOptions};
 
 /// Keys are drawn a little past the routed span so the last shard's
 /// open upper range is exercised too.
@@ -163,6 +171,364 @@ differential_grid! {
     diff_b128_s1: (128, 1),
     diff_b128_s2: (128, 2),
     diff_b128_s7: (128, 7),
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle differential suite: maintenance must be invisible
+// ---------------------------------------------------------------------
+
+fn lifecycle_cases() -> u64 {
+    std::env::var("DIFF_LIFECYCLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Per-sequence scratch directory; (b, shards, seed) makes it unique
+/// across the parallel test grid.
+fn lifecycle_scratch(b: usize, shards: usize, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pacstore-diff-lc-{b}-{shards}-{seed:016x}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Verifies the store against the oracle and every pinned snapshot
+/// against the contents captured when it was pinned.
+fn check_lifecycle_state(
+    store: &ShardedStore<u64, u32>,
+    oracle: &BTreeMap<u64, u32>,
+    pins: &[(u64, BTreeMap<u64, u32>)],
+    context: &str,
+) -> Result<(), String> {
+    let got = store.snapshot().to_vec();
+    let want: Vec<(u64, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    if got != want {
+        return Err(format!(
+            "{context}: current contents diverge\n  store : {got:?}\n  oracle: {want:?}"
+        ));
+    }
+    for (version, copy) in pins {
+        let snap = store
+            .snapshot_at(*version)
+            .map_err(|e| format!("{context}: pinned version {version} unreadable: {e}"))?;
+        let got = snap.to_vec();
+        let want: Vec<(u64, u32)> = copy.iter().map(|(&k, &v)| (k, v)).collect();
+        if got != want {
+            return Err(format!(
+                "{context}: pinned version {version} diverges\n  store : {got:?}\n  oracle: {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One randomized lifecycle sequence: a durable sharded store driven
+/// through commits interleaved with `save`, `compact`, `gc`, pins, and
+/// full reopens. The oracle must survive every maintenance action,
+/// pinned snapshots must stay readable (and exact) through GC and
+/// compaction, and history GC actually drops must become
+/// `VersionNotFound`.
+fn run_lifecycle_one(seed: u64, b: usize, shards: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D1FF_E4E2);
+    let dir = lifecycle_scratch(b, shards, seed);
+    let opts = StoreOptions {
+        block_size: b,
+        history_limit: 5,
+        ..StoreOptions::default()
+    };
+    let open = |dir: &PathBuf| -> Result<ShardedStore<u64, u32>, String> {
+        ShardedStore::open_or_create(dir, Router::uniform_span(shards, KEY_SPAN), opts.clone())
+            .map_err(|e| format!("open: {e}"))
+    };
+    let mut store = open(&dir)?;
+    let mut oracle: BTreeMap<u64, u32> = BTreeMap::new();
+    // Pinned version -> contents captured at pin time.
+    let mut pins: Vec<(u64, BTreeMap<u64, u32>)> = Vec::new();
+
+    let rounds = 6 + rng.gen_range(0..8usize);
+    for round in 0..rounds {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 50 {
+            // Commit a random batch.
+            let len = 1 + rng.gen_range(0..12usize);
+            let mut ops = Vec::with_capacity(len);
+            for _ in 0..len {
+                let k = rng.gen_range(0..KEY_SPAN + KEY_SPAN / 4);
+                if rng.gen_range(0..10) < 7 {
+                    let v = rng.gen_range(0..1_000u32);
+                    oracle.insert(k, v);
+                    ops.push(Op::Put(k, v));
+                } else {
+                    oracle.remove(&k);
+                    ops.push(Op::Delete(k));
+                }
+            }
+            store.commit(ops).map_err(|e| format!("round {round} commit: {e}"))?;
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after commit"))?;
+        } else if roll < 60 {
+            // Full checkpoint.
+            store.save().map_err(|e| format!("round {round} save: {e}"))?;
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after save"))?;
+        } else if roll < 73 {
+            // Checkpoint-then-truncate (incremental pages after the
+            // first save).
+            store.compact().map_err(|e| format!("round {round} compact: {e}"))?;
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after compact"))?;
+        } else if roll < 83 {
+            // GC under a random retention window: retained versions are
+            // a subset of what was there, everything dropped becomes
+            // VersionNotFound, and pins always survive.
+            let before = store.versions();
+            let keep = 1 + rng.gen_range(0..3usize);
+            store.gc(RetentionPolicy::keep_last(keep));
+            let after = store.versions();
+            for v in &before {
+                if !after.contains(v) {
+                    match store.snapshot_at(*v) {
+                        Err(StoreError::VersionNotFound(got)) if got == *v => {}
+                        other => {
+                            return Err(format!(
+                                "round {round}: gc-dropped version {v} still resolves: {other:?}"
+                            ));
+                        }
+                    }
+                    if pins.iter().any(|(p, _)| p == v) {
+                        return Err(format!("round {round}: gc dropped pinned version {v}"));
+                    }
+                }
+            }
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after gc"))?;
+        } else if roll < 90 {
+            // Pin the current version (or release a random pin).
+            let cur = store.current_version();
+            if !pins.iter().any(|(p, _)| *p == cur) && rng.gen_range(0..4) > 0 {
+                store
+                    .pin_version(cur)
+                    .map_err(|e| format!("round {round} pin {cur}: {e}"))?;
+                pins.push((cur, oracle.clone()));
+            } else if !pins.is_empty() {
+                let i = rng.gen_range(0..pins.len());
+                let (version, _) = pins.swap_remove(i);
+                store
+                    .unpin_version(version)
+                    .map_err(|e| format!("round {round} unpin {version}: {e}"))?;
+            }
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after pin"))?;
+        } else {
+            // Full reopen. Pins are in-memory only, so they do not
+            // survive the handle: forget them, but the current contents
+            // and version must come back exactly.
+            let version = store.current_version();
+            drop(store);
+            pins.clear();
+            store = open(&dir)?;
+            if store.current_version() != version {
+                return Err(format!(
+                    "round {round}: reopen lost commits: version {} != {version}",
+                    store.current_version()
+                ));
+            }
+            check_lifecycle_state(&store, &oracle, &pins, &format!("round {round} after reopen"))?;
+        }
+    }
+
+    check_lifecycle_state(&store, &oracle, &pins, "final")?;
+    drop(store);
+    std::fs::remove_dir_all(&dir).map_err(|e| format!("cleanup: {e}"))?;
+    Ok(())
+}
+
+/// The single-store analogue, which exercises `save_incremental`
+/// directly (the sharded path only reaches it through `compact`):
+/// commits interleaved with explicit incremental checkpoints against
+/// the latest checkpoint, GC, and reopens. A `save_incremental`
+/// against a stale base must be a typed [`StoreError::CheckpointMismatch`].
+fn run_lifecycle_pac(seed: u64, b: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1D1F_F35A_7E11_13E5);
+    // Shard count 0 never collides with the sharded runner's dirs.
+    let dir = lifecycle_scratch(b, 0, seed);
+    let opts = StoreOptions {
+        block_size: b,
+        history_limit: 5,
+        ..StoreOptions::default()
+    };
+    let open = |dir: &PathBuf| -> Result<PacStore<u64, u32>, String> {
+        PacStore::open_with(dir, opts.clone()).map_err(|e| format!("open: {e}"))
+    };
+    let check = |store: &PacStore<u64, u32>,
+                 oracle: &BTreeMap<u64, u32>,
+                 context: &str|
+     -> Result<(), String> {
+        let got = store.snapshot().map().to_vec();
+        let want: Vec<(u64, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        if got != want {
+            return Err(format!(
+                "{context}: contents diverge\n  store : {got:?}\n  oracle: {want:?}"
+            ));
+        }
+        Ok(())
+    };
+    let mut store = open(&dir)?;
+    let mut oracle: BTreeMap<u64, u32> = BTreeMap::new();
+
+    let rounds = 6 + rng.gen_range(0..8usize);
+    for round in 0..rounds {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 55 {
+            let len = 1 + rng.gen_range(0..12usize);
+            let mut ops = Vec::with_capacity(len);
+            for _ in 0..len {
+                let k = rng.gen_range(0..KEY_SPAN);
+                if rng.gen_range(0..10) < 7 {
+                    let v = rng.gen_range(0..1_000u32);
+                    oracle.insert(k, v);
+                    ops.push(Op::Put(k, v));
+                } else {
+                    oracle.remove(&k);
+                    ops.push(Op::Delete(k));
+                }
+            }
+            store.commit(ops).map_err(|e| format!("round {round} commit: {e}"))?;
+        } else if roll < 75 {
+            // Incremental checkpoint against the latest base (a full
+            // save establishes the first base), then probe that a stale
+            // base is rejected with a typed error rather than silently
+            // chained.
+            match store.latest_checkpoint() {
+                Some(base) => {
+                    store
+                        .save_incremental(base)
+                        .map_err(|e| format!("round {round} save_incremental({base}): {e}"))?;
+                }
+                None => {
+                    store.save().map_err(|e| format!("round {round} save: {e}"))?;
+                }
+            }
+            if let Some(ck) = store.latest_checkpoint() {
+                if ck > 0 {
+                    match store.save_incremental(ck - 1) {
+                        Err(StoreError::CheckpointMismatch { requested, actual }) => {
+                            if requested != ck - 1 || actual != Some(ck) {
+                                return Err(format!(
+                                    "round {round}: mismatch fields wrong: \
+                                     requested {requested}, actual {actual:?}, checkpoint {ck}"
+                                ));
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "round {round}: stale incremental base accepted: {other:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        } else if roll < 85 {
+            let before = store.versions();
+            let keep = 1 + rng.gen_range(0..3usize);
+            store.gc(RetentionPolicy::keep_last(keep));
+            for v in &before {
+                if !store.versions().contains(v) {
+                    match store.snapshot_at(*v) {
+                        Err(StoreError::VersionNotFound(got)) if got == *v => {}
+                        other => {
+                            return Err(format!(
+                                "round {round}: gc-dropped version {v} still resolves: {other:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        } else {
+            let version = store.current_version();
+            drop(store);
+            store = open(&dir)?;
+            if store.current_version() != version {
+                return Err(format!(
+                    "round {round}: reopen lost commits: version {} != {version}",
+                    store.current_version()
+                ));
+            }
+        }
+        check(&store, &oracle, &format!("round {round}"))?;
+    }
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).map_err(|e| format!("cleanup: {e}"))?;
+    Ok(())
+}
+
+/// Drives the single-store lifecycle runner across one block size.
+fn run_lifecycle_pac_config(b: usize) {
+    let salt = 0x9AC0_0000_0000_0000u64 | (b as u64) << 24;
+    let (start, n) = match env_seed() {
+        Some(seed) => (seed, 1),
+        None => (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15), lifecycle_cases()),
+    };
+    for case in 0..n {
+        let seed = start.wrapping_add(case);
+        if let Err(msg) = run_lifecycle_pac(seed, b) {
+            panic!(
+                "pac-store lifecycle differential divergence (b={b}): {msg}\n\
+                 reproduce with: PROPTEST_SEED={seed} cargo test -p store --test differential"
+            );
+        }
+    }
+}
+
+#[test]
+fn lifecycle_pac_b2() {
+    run_lifecycle_pac_config(2);
+}
+
+#[test]
+fn lifecycle_pac_b32() {
+    run_lifecycle_pac_config(32);
+}
+
+/// Drives `lifecycle_cases()` sequences (or the single `PROPTEST_SEED`
+/// sequence) through one (block size, shard count) configuration.
+fn run_lifecycle_config(b: usize, shards: usize) {
+    let salt = 0x11FE_0000_0000_0000u64 | (b as u64) << 24 | shards as u64;
+    let (start, n) = match env_seed() {
+        Some(seed) => (seed, 1),
+        None => (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15), lifecycle_cases()),
+    };
+    for case in 0..n {
+        let seed = start.wrapping_add(case);
+        if let Err(msg) = run_lifecycle_one(seed, b, shards) {
+            panic!(
+                "lifecycle differential divergence (b={b}, shards={shards}): {msg}\n\
+                 reproduce with: PROPTEST_SEED={seed} cargo test -p store --test differential"
+            );
+        }
+    }
+}
+
+macro_rules! lifecycle_grid {
+    ($($name:ident: ($b:expr, $shards:expr),)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_lifecycle_config($b, $shards);
+            }
+        )*
+    };
+}
+
+// Durable sequences are slower than the in-memory grid, so the
+// lifecycle grid covers the block-size extremes and middle against
+// every shard count rather than the full cross product.
+lifecycle_grid! {
+    lifecycle_b1_s1: (1, 1),
+    lifecycle_b1_s2: (1, 2),
+    lifecycle_b1_s7: (1, 7),
+    lifecycle_b8_s1: (8, 1),
+    lifecycle_b8_s2: (8, 2),
+    lifecycle_b8_s7: (8, 7),
+    lifecycle_b128_s1: (128, 1),
+    lifecycle_b128_s2: (128, 2),
+    lifecycle_b128_s7: (128, 7),
 }
 
 /// The oracle harness must actually catch divergences: a store with a

@@ -519,6 +519,229 @@ fn strict_mode_refuses_torn_sharded_state() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Crash injection: the compaction cycle (checkpoint-then-truncate)
+// ---------------------------------------------------------------------
+
+/// The keys the post-compaction commit writes: one per shard.
+const POST_COMPACT_KEYS: [u64; 3] = [20, 1_020, 2_020];
+
+/// Builds a store that has been through a full lifecycle — a saved full
+/// page, a commit, a `compact()` (incremental pages + checkpoint
+/// manifest + truncated WALs), and one more cross-shard commit.
+/// Returns the file images right after the compact and after the final
+/// commit.
+fn compact_fixture(dir: &Path) -> (FileImage, FileImage) {
+    let store = sharded_open(dir);
+    store
+        .commit(vec![Op::Put(0, 0), Op::Put(1_000, 0), Op::Put(2_000, 0)])
+        .unwrap();
+    store.save().unwrap();
+    store
+        .commit(vec![Op::Put(1, 7), Op::Put(1_001, 7), Op::Put(2_001, 7)])
+        .unwrap();
+    assert_eq!(store.compact().unwrap(), 2);
+    // The compact went incremental (a checkpoint pin existed) and
+    // truncated every WAL.
+    let stats = store.lifecycle_stats();
+    assert_eq!(stats.compactions, 1);
+    assert_eq!(stats.incremental_saves, SHARDS as u64);
+    let at_compact = capture(dir);
+    for (i, w) in at_compact.wals.iter().enumerate() {
+        assert!(w.is_empty(), "shard {i}: WAL not truncated by compact");
+    }
+    assert!(!at_compact.manifest.is_empty(), "checkpoint record missing");
+    store
+        .commit(POST_COMPACT_KEYS.iter().map(|&k| Op::Put(k, 42)).collect())
+        .unwrap();
+    drop(store);
+    (at_compact, capture(dir))
+}
+
+/// Opens the store, asserts every pre-compaction key is intact and the
+/// post-compaction commit is all-or-nothing; returns its visibility.
+fn check_compact_atomic(dir: &Path, context: &str) -> bool {
+    let store = sharded_open(dir);
+    for base in [0u64, 1_000, 2_000] {
+        assert_eq!(store.get(&base), Some(0), "{context}: checkpointed key {base} lost");
+    }
+    for inc in [1u64, 1_001, 2_001] {
+        assert_eq!(store.get(&inc), Some(7), "{context}: incremental key {inc} lost");
+    }
+    let seen: Vec<bool> =
+        POST_COMPACT_KEYS.iter().map(|k| store.get(k) == Some(42)).collect();
+    assert!(
+        seen.iter().all(|&s| s) || seen.iter().all(|&s| !s),
+        "{context}: post-compaction commit partially visible: {seen:?}"
+    );
+    seen[0]
+}
+
+#[test]
+fn compaction_survives_manifest_truncation_at_every_byte() {
+    let dir = scratch("compact-crash-manifest");
+    let (_, after) = compact_fixture(&dir);
+
+    // Truncate the manifest at every byte boundary — through the
+    // post-compaction record, the checkpoint record, down to nothing.
+    // The pages cover the checkpoint and the WALs hold the full prepare
+    // set for the last commit, so recovery must always land on the
+    // latest version, healing the manifest as needed.
+    for cut in 0..=after.manifest.len() {
+        restore(&dir, &after);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join(MANIFEST_FILE))
+            .unwrap()
+            .set_len(cut as u64)
+            .unwrap();
+        let visible = check_compact_atomic(&dir, &format!("manifest cut {cut}"));
+        assert!(visible, "manifest cut {cut}: prepared commit must roll forward");
+        let healed = capture(&dir);
+        assert!(check_compact_atomic(&dir, &format!("manifest cut {cut} (reopen)")));
+        assert_eq!(healed, capture(&dir), "manifest cut {cut}: reopen not idempotent");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_survives_shard_wal_truncation_at_every_byte() {
+    let dir = scratch("compact-crash-wal");
+    let (at_compact, after) = compact_fixture(&dir);
+
+    // Crash during the post-compaction prepare: the manifest never got
+    // the record and shard `s`'s WAL is torn at every byte boundary.
+    // Recovery must drop the commit from every shard and land exactly
+    // on the checkpointed version.
+    for s in 0..SHARDS {
+        for cut in 0..after.wals[s].len() {
+            restore(&dir, &after);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(MANIFEST_FILE))
+                .unwrap()
+                .set_len(at_compact.manifest.len() as u64)
+                .unwrap();
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(shard_dir_name(s)).join(LOG_FILE))
+                .unwrap()
+                .set_len(cut as u64)
+                .unwrap();
+            let visible = check_compact_atomic(&dir, &format!("shard {s} cut {cut}"));
+            assert!(!visible, "shard {s} cut {cut}: partial prepare must be dropped");
+            let recovered = capture(&dir);
+            assert!(!check_compact_atomic(&dir, &format!("shard {s} cut {cut} (reopen)")));
+            assert_eq!(recovered, capture(&dir), "shard {s} cut {cut}: reopen not idempotent");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_checkpoint_pages_are_typed_errors() {
+    // The page files are written atomically (temp + fsync + rename), so
+    // a crash never tears them — but disk corruption can. Every byte
+    // truncation of an incremental page and a spread of cuts of the
+    // full page must surface as a typed error, never a panic or a
+    // silently shortened history.
+    let dir = scratch("compact-torn-pages");
+    compact_fixture(&dir);
+
+    let sdir = dir.join(shard_dir_name(0));
+    let incr_path = {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&sdir)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                (name.starts_with("incr-") && name.ends_with(".pac")).then_some(p)
+            })
+            .collect();
+        assert_eq!(found.len(), 1, "expected exactly one incremental page");
+        found.pop().unwrap()
+    };
+    let incr_full = std::fs::read(&incr_path).unwrap();
+    for cut in 0..incr_full.len() {
+        std::fs::write(&incr_path, &incr_full[..cut]).unwrap();
+        let err = ShardedStore::<u64, u64>::open(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. }
+                    | StoreError::Truncated(_)
+                    | StoreError::BadMagic
+                    | StoreError::Corrupt(_)
+            ),
+            "incr cut {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::write(&incr_path, &incr_full).unwrap();
+
+    let snap_path = sdir.join(SNAPSHOT_FILE);
+    let snap_full = std::fs::read(&snap_path).unwrap();
+    for cut in [0, 1, 8, 9, 13, snap_full.len() / 2, snap_full.len() - 1] {
+        std::fs::write(&snap_path, &snap_full[..cut]).unwrap();
+        let err = ShardedStore::<u64, u64>::open(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. }
+                    | StoreError::Truncated(_)
+                    | StoreError::BadMagic
+                    | StoreError::Corrupt(_)
+            ),
+            "snapshot cut {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::write(&snap_path, &snap_full).unwrap();
+
+    // Restored intact, everything reads back.
+    assert!(check_compact_atomic(&dir, "restored"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_between_page_writes_and_wal_truncation_during_compact_is_safe() {
+    // compact() writes the incremental pages first, truncates the WALs
+    // second, and swaps the manifest last. Simulate a crash after the
+    // pages landed but before any truncation: covered WAL records and
+    // manifest records coexist with pages that already reach them.
+    let dir = scratch("compact-crash-window");
+    {
+        let store = sharded_open(&dir);
+        store
+            .commit(vec![Op::Put(0, 0), Op::Put(1_000, 0), Op::Put(2_000, 0)])
+            .unwrap();
+        store.save().unwrap();
+        store
+            .commit(vec![Op::Put(1, 7), Op::Put(1_001, 7), Op::Put(2_001, 7)])
+            .unwrap();
+        let pre_compact = capture(&dir);
+        store.compact().unwrap();
+        drop(store);
+        // Put the logs back as if the truncation never happened; the
+        // incremental pages stay.
+        restore(&dir, &pre_compact);
+    }
+    for round in 0..2 {
+        let store = sharded_open(&dir);
+        assert_eq!(store.current_version(), 2, "round {round}: global clock moved");
+        for (k, v) in [(0u64, 0u64), (1_000, 0), (2_000, 0), (1, 7), (1_001, 7), (2_001, 7)] {
+            assert_eq!(store.get(&k), Some(v), "round {round}: key {k}");
+        }
+        // The store keeps committing and compacting cleanly.
+        if round == 1 {
+            store.commit(vec![Op::Put(5, 5)]).unwrap();
+            store.compact().unwrap();
+        }
+        drop(store);
+    }
+    let store = sharded_open(&dir);
+    assert_eq!(store.get(&5), Some(5));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn empty_commits_survive_restart_without_regressing_the_global_clock() {
     // An empty commit produces a manifest record with no participants

@@ -1,0 +1,310 @@
+//! Lifecycle tests: the leak/reclaim gate (GC must hand memory back),
+//! incremental checkpoint chains across reopen, and the missing-history
+//! regression — a store whose WAL references versions the checkpoint
+//! pages no longer reach must fail typed, never silently replay from an
+//! older state.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use store::{
+    shard_dir_name, Op, PacStore, RetentionPolicy, Router, ShardedStore, StoreError,
+    StoreOptions, LOG_FILE, SNAPSHOT_FILE,
+};
+
+/// A fresh, empty scratch directory unique to this test.
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pacstore-lifecycle-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The [`cpam::stats`] counters are process-global; tests that measure
+/// allocation deltas must not run concurrently with other tests in this
+/// binary.
+static STATS_GATE: Mutex<()> = Mutex::new(());
+
+fn live_nodes() -> u64 {
+    cpam::stats::read().live_nodes()
+}
+
+// ---------------------------------------------------------------------
+// Leak / reclaim gate
+// ---------------------------------------------------------------------
+
+#[test]
+fn gc_returns_node_footprint_to_a_fresh_store_within_tolerance() {
+    let _g = STATS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let base = live_nodes();
+    {
+        let opts = StoreOptions { history_limit: 100, ..StoreOptions::default() };
+        let store: PacStore<u64, u64> = PacStore::in_memory_with(opts.clone());
+        // 50 full-overwrite versions: each rebuilds most leaf blocks, so
+        // retained history pins ~50 tree's worth of unshared nodes.
+        for round in 0..50u64 {
+            store
+                .commit((0..400u64).map(|k| Op::Put(k, round)).collect())
+                .unwrap();
+        }
+        let bloated = live_nodes() - base;
+
+        let stats = store.gc(RetentionPolicy::keep_last(1));
+        assert_eq!(stats.versions_dropped, 50, "v0..v49 dropped, v50 kept");
+        assert_eq!(stats.versions_retained, 1);
+        assert!(stats.nodes_reclaimed > 0, "GC reclaimed nothing");
+
+        // The footprint after GC must be within tolerance of a fresh
+        // store holding the identical final contents — history cannot
+        // keep pinning dropped versions' subtrees.
+        let after_gc = live_nodes() - base;
+        assert!(after_gc < bloated, "GC did not shrink the footprint");
+        let fresh: PacStore<u64, u64> = PacStore::in_memory_with(opts);
+        fresh
+            .commit((0..400u64).map(|k| Op::Put(k, 49)).collect())
+            .unwrap();
+        let fresh_net = live_nodes() - base - after_gc;
+        assert!(
+            after_gc <= fresh_net * 2 + 16 && fresh_net <= after_gc * 2 + 16,
+            "post-GC footprint {after_gc} vs fresh footprint {fresh_net}: leak"
+        );
+    }
+    // Dropping every handle returns the counters to the baseline: no
+    // node outlives its last reference.
+    assert_eq!(live_nodes(), base, "nodes leaked past the last handle");
+}
+
+#[test]
+fn sharded_gc_reclaims_across_all_shards_and_leaks_nothing() {
+    let _g = STATS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let base = live_nodes();
+    {
+        let opts = StoreOptions { history_limit: 100, ..StoreOptions::default() };
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::in_memory_with(Router::uniform_span(4, 4_000), opts).unwrap();
+        for round in 0..30u64 {
+            store
+                .commit((0..4_000u64).step_by(10).map(|k| Op::Put(k, round)).collect())
+                .unwrap();
+        }
+        let bloated = live_nodes() - base;
+        let stats = store.gc(RetentionPolicy::keep_last(2));
+        assert_eq!(stats.versions_dropped, 29);
+        assert!(stats.nodes_reclaimed > 0);
+        assert!(live_nodes() - base < bloated);
+    }
+    assert_eq!(live_nodes(), base, "sharded nodes leaked past the last handle");
+}
+
+// ---------------------------------------------------------------------
+// Incremental checkpoint chains
+// ---------------------------------------------------------------------
+
+#[test]
+fn incremental_chain_reopens_and_rolls_over_to_full_pages() {
+    let dir = scratch("chain-rollover");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit((0..2_000u64).map(|k| Op::Put(k, 0)).collect()).unwrap();
+        assert_eq!(store.save().unwrap(), 1);
+        assert_eq!(store.latest_checkpoint(), Some(1));
+        // 17 compact cycles: 16 extend the incremental chain, the 17th
+        // hits the chain cap and rolls over to a full page.
+        for i in 0..17u64 {
+            store.commit(vec![Op::Put(i, i + 100), Op::Put(5_000 + i, i)]).unwrap();
+            assert_eq!(store.compact().unwrap(), i + 2);
+            assert_eq!(store.latest_checkpoint(), Some(i + 2));
+        }
+        let stats = store.lifecycle_stats();
+        assert_eq!(stats.compactions, 17);
+        assert_eq!(stats.incremental_saves, 16);
+        assert_eq!(stats.full_saves, 2, "initial save + chain-cap rollover");
+        assert!(stats.wal_bytes_truncated > 0);
+    }
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.current_version(), 18);
+    assert_eq!(store.len(), 2_000 + 17);
+    for i in 0..17u64 {
+        assert_eq!(store.get(&i), Some(i + 100));
+        assert_eq!(store.get(&(5_000 + i)), Some(i));
+    }
+    // The reopened store continues the chain where it left off.
+    store.commit(vec![Op::Put(1, 1)]).unwrap();
+    store.compact().unwrap();
+    assert_eq!(store.latest_checkpoint(), Some(19));
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn incremental_pages_are_much_smaller_than_full_pages() {
+    let dir = scratch("incr-size");
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    store.commit((0..50_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
+    store.save().unwrap();
+    // A 10-key delta against a 50k-key base.
+    store.commit((0..10u64).map(|k| Op::Put(k, 1)).collect()).unwrap();
+    store.save_incremental(1).unwrap();
+    let stats = store.lifecycle_stats();
+    assert!(
+        stats.incremental_page_bytes * 10 < stats.full_page_bytes,
+        "incremental page ({} B) not ≪ full page ({} B)",
+        stats.incremental_page_bytes,
+        stats.full_page_bytes
+    );
+    // Diffing against anything but the latest checkpoint is typed.
+    assert!(matches!(
+        store.save_incremental(1),
+        Err(StoreError::CheckpointMismatch { requested: 1, actual: Some(2) })
+    ));
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Missing-history regression (typed VersionGap, never silent replay)
+// ---------------------------------------------------------------------
+
+#[test]
+fn deleted_snapshot_page_is_a_version_gap_not_a_silent_replay() {
+    let dir = scratch("gap-deleted-snapshot");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        for i in 0..3u64 {
+            store.commit(vec![Op::Put(i, i)]).unwrap();
+        }
+        store.save().unwrap();
+        // These live only in the WAL, as versions 4 and 5.
+        store.commit(vec![Op::Put(10, 10)]).unwrap();
+        store.commit(vec![Op::Put(11, 11)]).unwrap();
+    }
+    std::fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+    // Replaying v4 onto an empty tree would silently resurrect a store
+    // missing v1..v3; the gap must be typed instead.
+    let err = PacStore::<u64, u64>::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::VersionGap { checkpoint: 0, first: 4 }),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn broken_incremental_chain_is_typed() {
+    let dir = scratch("gap-broken-chain");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(1, 1)]).unwrap();
+        store.save().unwrap();
+        store.commit(vec![Op::Put(2, 2)]).unwrap();
+        store.save_incremental(1).unwrap();
+        store.commit(vec![Op::Put(3, 3)]).unwrap();
+        store.save_incremental(2).unwrap();
+    }
+    // Deleting the middle link (incr @ v2) breaks v3's base reference.
+    let incr2 = dir.join(store::incr_file_name(2));
+    let incr2_bytes = std::fs::read(&incr2).unwrap();
+    std::fs::remove_file(&incr2).unwrap();
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir).unwrap_err(),
+        StoreError::Corrupt(_)
+    ));
+    std::fs::write(&incr2, &incr2_bytes).unwrap();
+    // Deleting the base page strands the incrementals entirely.
+    std::fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir).unwrap_err(),
+        StoreError::Corrupt(_)
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_missing_page_chain_is_a_version_gap() {
+    let dir = scratch("gap-sharded");
+    let router = Router::uniform_span(3, 3_000);
+    let all_shards =
+        |v: u64| vec![Op::Put(1, v), Op::Put(1_001, v), Op::Put(2_001, v)];
+    {
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::open_or_create(&dir, router.clone(), StoreOptions::default())
+                .unwrap();
+        store.commit(all_shards(0)).unwrap();
+        store.save().unwrap();
+        store.commit(all_shards(1)).unwrap();
+        store.compact().unwrap(); // incremental page per shard
+        store.commit(all_shards(2)).unwrap(); // lives only in the WALs
+    }
+    let sdir = dir.join(shard_dir_name(1));
+    let incr_path = sdir.join(store::incr_file_name(2));
+    assert!(incr_path.exists(), "compact should have written an incremental page");
+    let incr_bytes = std::fs::read(&incr_path).unwrap();
+
+    // Case 1: shard 1's chain reaches only v1, but the manifest and
+    // the WAL both reference later local versions.
+    std::fs::remove_file(&incr_path).unwrap();
+    let err = ShardedStore::<u64, u64>::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::VersionGap { checkpoint: 1, .. }),
+        "unexpected error: {err}"
+    );
+
+    // Case 2: no trailing WAL records — the manifest checkpoint record
+    // itself proves shard 1 lost history.
+    std::fs::write(dir.join(shard_dir_name(1)).join(LOG_FILE), b"").unwrap();
+    std::fs::write(dir.join(shard_dir_name(0)).join(LOG_FILE), b"").unwrap();
+    std::fs::write(dir.join(shard_dir_name(2)).join(LOG_FILE), b"").unwrap();
+    let err = ShardedStore::<u64, u64>::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::VersionGap { .. }),
+        "unexpected error: {err}"
+    );
+
+    // Restoring the page heals case 2 (the WAL-only commit is gone, as
+    // those records were deleted above, but nothing is misread).
+    std::fs::write(&incr_path, &incr_bytes).unwrap();
+    let store: ShardedStore<u64, u64> = ShardedStore::open(&dir).unwrap();
+    assert_eq!(store.get(&1), Some(1));
+    assert_eq!(store.get(&1_001), Some(1));
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Pins and GC across the durable lifecycle
+// ---------------------------------------------------------------------
+
+#[test]
+fn pinned_snapshots_stay_readable_through_gc_and_compaction() {
+    let dir = scratch("pin-through-compact");
+    let store: PacStore<u64, u64> = PacStore::open_with(
+        &dir,
+        StoreOptions { history_limit: 50, ..StoreOptions::default() },
+    )
+    .unwrap();
+    for i in 1..=10u64 {
+        store.commit(vec![Op::Put(i, i * 10)]).unwrap();
+    }
+    store.pin_version(4).unwrap();
+    store.compact().unwrap();
+    let stats = store.gc(RetentionPolicy::keep_last(2));
+    assert!(stats.versions_dropped > 0);
+    // The pinned version still serves reads; unpinned history is gone.
+    let pinned = store.snapshot_at(4).unwrap();
+    assert_eq!(pinned.get(&4), Some(40));
+    assert_eq!(pinned.get(&5), None);
+    assert!(matches!(
+        store.snapshot_at(3),
+        Err(StoreError::VersionNotFound(3))
+    ));
+    assert_eq!(store.pinned_versions(), vec![4]);
+    // Release the pin; the next GC drops it.
+    store.unpin_version(4).unwrap();
+    store.gc(RetentionPolicy::keep_last(2));
+    assert!(matches!(
+        store.snapshot_at(4),
+        Err(StoreError::VersionNotFound(4))
+    ));
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

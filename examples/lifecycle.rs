@@ -1,0 +1,83 @@
+//! Version-lifecycle tour: pinning snapshots, GC'ing history, and
+//! keeping the log bounded with checkpoint-then-truncate compaction —
+//! full snapshot pages first, incremental pages once a base exists.
+//!
+//! Run with: `cargo run --release --example lifecycle`
+
+use store::{Op, PacStore, RetentionPolicy, Router, ShardedStore, StoreOptions};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pacstore-lifecycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- History, pins, and GC --------------------------------------
+    let opts = StoreOptions {
+        history_limit: 64,
+        ..StoreOptions::default()
+    };
+    let db: PacStore<u64, u64> = PacStore::open_with(dir.join("kv"), opts).expect("open");
+    for round in 0..10u64 {
+        db.commit((0..1_000).map(|k| Op::Put(k, round)).collect()).expect("commit");
+    }
+    // Pin version 4: GC must keep it readable no matter the policy.
+    db.pin_version(4).expect("pin");
+    let stats = db.gc(RetentionPolicy::keep_last(2));
+    println!(
+        "gc: dropped {} versions, kept {}, reclaimed {} tree nodes",
+        stats.versions_dropped, stats.versions_retained, stats.nodes_reclaimed
+    );
+    let pinned = db.snapshot_at(4).expect("pinned snapshot");
+    assert_eq!(pinned.get(&7), Some(3)); // contents frozen at round 3
+    assert!(db.snapshot_at(5).is_err()); // unpinned history is gone
+    db.unpin_version(4).expect("unpin");
+
+    // --- Compaction: bounded WAL, incremental checkpoints ------------
+    // The first compaction writes a full snapshot page; later ones
+    // diff against the pinned checkpoint and persist only new
+    // subtrees, chaining incremental pages back to the full base.
+    for round in 0..4u64 {
+        db.commit(vec![Op::Put(round, 100 + round)]).expect("write");
+        let at = db.compact().expect("compact");
+        let ls = db.lifecycle_stats();
+        println!(
+            "compact @ v{at}: {} full / {} incremental pages, {} WAL bytes truncated",
+            ls.full_saves, ls.incremental_saves, ls.wal_bytes_truncated
+        );
+    }
+    assert_eq!(db.latest_checkpoint(), Some(db.current_version()));
+    let expect_len = db.len();
+    drop(db);
+
+    // Reopen walks the incremental chain back to the full page, then
+    // replays whatever WAL suffix the last compaction left behind.
+    let db: PacStore<u64, u64> = PacStore::open(dir.join("kv")).expect("reopen");
+    assert_eq!(db.len(), expect_len);
+    assert_eq!(db.get(&3), Some(103));
+    println!("reopened at v{} with {} keys", db.current_version(), db.len());
+    drop(db);
+
+    // --- The same lifecycle, sharded ---------------------------------
+    let sharded: ShardedStore<u64, u64> = ShardedStore::open_or_create(
+        dir.join("sharded"),
+        Router::uniform_span(4, 4_000),
+        StoreOptions::default(),
+    )
+    .expect("open sharded");
+    for round in 0..3u64 {
+        sharded
+            .commit((0..4_000).map(|k| Op::Put(k, round)).collect())
+            .expect("commit");
+        sharded.compact().expect("compact");
+    }
+    let ls = sharded.lifecycle_stats();
+    println!(
+        "sharded: checkpoint at global v{:?}, {} full / {} incremental pages across 4 shards",
+        sharded.latest_checkpoint(),
+        ls.full_saves,
+        ls.incremental_saves
+    );
+    assert_eq!(sharded.latest_checkpoint(), Some(3));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("lifecycle example finished");
+}
