@@ -27,8 +27,8 @@ fn main() {
         let mid = cpam::stats::read();
         std::hint::black_box(sa.union_naive(&sb));
         let after = cpam::stats::read();
-        let fast = cpam::stats::delta(before, mid);
-        let naive = cpam::stats::delta(mid, after);
+        let fast = mid.delta(before);
+        let naive = after.delta(mid);
         println!(
             "node allocations: optimized {} vs naive {} ({:.2}x)",
             fast.node_allocs,

@@ -24,6 +24,10 @@ struct Measurement {
     commits: usize,
     puts_per_sec: f64,
     versions: u64,
+    /// Per-commit latency over the timed loop, from the global
+    /// `pacstore_commit_ns` histogram window (ms).
+    commit_ms_p50: f64,
+    commit_ms_p99: f64,
 }
 
 /// One sweep point: preload `total` keys, then time `commits` batches
@@ -62,6 +66,8 @@ fn sweep_point(
     store
         .commit((0..batch).map(|i| Op::Put(i as u64 % total as u64, 1)).collect())
         .expect("warmup");
+    // Window the cumulative commit-latency histogram to the timed loop.
+    let commit_hist_before = bench::hist_now("pacstore_commit_ns");
     let (_, secs) = time(|| {
         for _ in 0..commits {
             let ops: Vec<Op<u64, u64>> = (0..batch)
@@ -73,23 +79,27 @@ fn sweep_point(
             store.commit(ops).expect("commit");
         }
     });
+    let window = bench::hist_since("pacstore_commit_ns", &commit_hist_before);
+    let (commit_ms_p50, commit_ms_p99, _) = bench::ns_window_ms(&window);
     Measurement {
         shards,
         commits,
         puts_per_sec: (commits * batch) as f64 / secs,
         versions: store.current_version(),
+        commit_ms_p50,
+        commit_ms_p99,
     }
 }
 
 fn print_sweep(rows: &[Measurement]) {
     println!(
-        "{:>10} {:>14} {:>16} {:>12}",
-        "shards", "commits", "puts/s", "versions"
+        "{:>10} {:>14} {:>16} {:>12} {:>14} {:>14}",
+        "shards", "commits", "puts/s", "versions", "commit p50", "commit p99"
     );
     for m in rows {
         println!(
-            "{:>10} {:>14} {:>16.0} {:>12}",
-            m.shards, m.commits, m.puts_per_sec, m.versions
+            "{:>10} {:>14} {:>16.0} {:>12} {:>11.3} ms {:>11.3} ms",
+            m.shards, m.commits, m.puts_per_sec, m.versions, m.commit_ms_p50, m.commit_ms_p99
         );
     }
     if let (Some(one), Some(four)) = (
@@ -109,8 +119,9 @@ fn json_rows(rows: &[Measurement]) -> String {
         .iter()
         .map(|m| {
             format!(
-                "{{\"shards\": {}, \"commits\": {}, \"puts_per_sec\": {:.0}, \"versions\": {}}}",
-                m.shards, m.commits, m.puts_per_sec, m.versions
+                "{{\"shards\": {}, \"commits\": {}, \"puts_per_sec\": {:.0}, \
+                 \"versions\": {}, \"commit_ms_p50\": {:.3}, \"commit_ms_p99\": {:.3}}}",
+                m.shards, m.commits, m.puts_per_sec, m.versions, m.commit_ms_p50, m.commit_ms_p99
             )
         })
         .collect();

@@ -7,8 +7,11 @@
 //!   per-shard WAL right after each compaction (should stay flat), plus
 //!   the peak reached between compactions (bounded by the cycle's
 //!   batch volume, not by total history);
-//! * **compaction pause** — wall time of each `compact()` call, which
-//!   holds the commit path only for the WAL-truncate phase;
+//! * **compaction pause** — p50/p99/max of the store's own
+//!   `pacstore_compact_ns` histogram (the store times every `compact()`
+//!   itself; the harness just windows the cumulative histogram), plus
+//!   the truncate-phase percentiles — the only part that actually
+//!   holds the commit path;
 //! * **incremental vs full snapshot bytes** — average incremental page
 //!   bytes per compaction against a full snapshot of the final state;
 //!   the ratio is the payoff of diff-based checkpointing.
@@ -28,7 +31,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use bench::{header, mib, ms, time, XorShift};
+use bench::{header, hist_now, hist_since, mib, ms, ns_window_ms, time, XorShift};
 use store::{shard_dir_name, Op, Router, ShardedStore, StoreOptions, LOG_FILE, MANIFEST_FILE};
 
 const SHARDS: usize = 4;
@@ -82,9 +85,14 @@ fn main() {
 
     let mut rng = XorShift(0x11FE_C7C1_E5EE_D001);
     let mut commit_secs = 0.0;
-    let mut pauses: Vec<f64> = Vec::with_capacity(CYCLES);
     let mut wal_peak = 0u64;
     let mut wal_after: Vec<u64> = Vec::with_capacity(CYCLES);
+    // Pause and latency percentiles come from the store's own write-path
+    // histograms (obs), windowed to the sustained phase: every compact()
+    // and commit() records itself, the harness only takes snapshots.
+    let compact_before = hist_now("pacstore_compact_ns");
+    let truncate_before = hist_now("pacstore_compact_truncate_ns");
+    let commit_before = hist_now("pacstore_commit_ns");
     for cycle in 0..CYCLES {
         let hot_base = (cycle as u64 * hot_span) % total as u64;
         let (_, secs) = time(|| {
@@ -105,15 +113,17 @@ fn main() {
         });
         commit_secs += secs;
         wal_peak = wal_peak.max(wal_bytes(&dir));
-        let (_, pause) = time(|| store.compact().expect("compact"));
-        pauses.push(pause);
+        store.compact().expect("compact");
         wal_after.push(wal_bytes(&dir));
     }
+    let compact_window = hist_since("pacstore_compact_ns", &compact_before);
+    let truncate_window = hist_since("pacstore_compact_truncate_ns", &truncate_before);
+    let commit_window = hist_since("pacstore_commit_ns", &commit_before);
 
     let stats = store.lifecycle_stats();
-    let incr_saves = (stats.incremental_saves - preload_stats.incremental_saves).max(1);
-    let incr_bytes = stats.incremental_page_bytes - preload_stats.incremental_page_bytes;
-    let incr_avg = incr_bytes / incr_saves * SHARDS as u64;
+    let sustained = stats.delta(preload_stats);
+    let incr_saves = sustained.incremental_saves.max(1);
+    let incr_avg = sustained.incremental_page_bytes / incr_saves * SHARDS as u64;
     // A full snapshot of the *final* state, for a like-for-like
     // incremental-vs-full comparison at identical content.
     let before_full = store.lifecycle_stats().full_page_bytes;
@@ -121,20 +131,31 @@ fn main() {
     let full_bytes = store.lifecycle_stats().full_page_bytes - before_full;
 
     let puts = (CYCLES * COMMITS_PER_CYCLE * batch) as f64;
-    let pause_mean = pauses.iter().sum::<f64>() / pauses.len() as f64;
-    let pause_max = pauses.iter().cloned().fold(0.0f64, f64::max);
+    let pause_mean = compact_window.mean() / 1e9;
+    let (pause_p50, pause_p99, pause_max) = ns_window_ms(&compact_window);
+    let (truncate_p50, truncate_p99, _) = ns_window_ms(&truncate_window);
+    let (commit_p50, commit_p99, _) = ns_window_ms(&commit_window);
     let wal_steady = wal_after.iter().copied().max().unwrap_or(0);
 
     println!("sustained commit throughput = {:.0} puts/s", puts / commit_secs);
+    println!(
+        "commit latency: p50 = {commit_p50:.3} ms, p99 = {commit_p99:.3} ms \
+         over {} commits",
+        commit_window.count()
+    );
     println!(
         "WAL bytes: peak between compactions = {}, max after compaction = {}",
         mib(wal_peak as usize),
         mib(wal_steady as usize)
     );
     println!(
-        "compaction pause: mean = {}, max = {} over {CYCLES} cycles",
+        "compaction pause: mean = {}, p50 = {pause_p50:.3} ms, p99 = {pause_p99:.3} ms, \
+         max = {pause_max:.3} ms over {CYCLES} cycles",
         ms(pause_mean),
-        ms(pause_max)
+    );
+    println!(
+        "  truncate phase (the part commits wait behind): p50 = {truncate_p50:.3} ms, \
+         p99 = {truncate_p99:.3} ms",
     );
     println!(
         "snapshot bytes per cycle: incremental = {} vs full = {} ({:.1}x smaller)",
@@ -150,9 +171,14 @@ fn main() {
     let section = format!(
         "{{\n    \"threads\": {},\n    \"total_keys\": {},\n    \"batch_size\": {},\n    \
          \"cycles\": {CYCLES},\n    \"commits_per_cycle\": {COMMITS_PER_CYCLE},\n    \
-         \"sustained_puts_per_sec\": {:.0},\n    \"wal_peak_bytes\": {},\n    \
+         \"sustained_puts_per_sec\": {:.0},\n    \"commit_ms_p50\": {commit_p50:.3},\n    \
+         \"commit_ms_p99\": {commit_p99:.3},\n    \"wal_peak_bytes\": {},\n    \
          \"wal_after_compact_bytes\": {},\n    \"compact_pause_ms_mean\": {:.3},\n    \
-         \"compact_pause_ms_max\": {:.3},\n    \"incremental_saves\": {},\n    \
+         \"compact_pause_ms_p50\": {pause_p50:.3},\n    \
+         \"compact_pause_ms_p99\": {pause_p99:.3},\n    \
+         \"compact_pause_ms_max\": {pause_max:.3},\n    \
+         \"compact_truncate_ms_p50\": {truncate_p50:.3},\n    \
+         \"compact_truncate_ms_p99\": {truncate_p99:.3},\n    \"incremental_saves\": {},\n    \
          \"incremental_bytes_per_cycle\": {},\n    \"full_snapshot_bytes\": {},\n    \
          \"full_to_incremental_ratio\": {:.1},\n    \"wal_bytes_truncated\": {}\n  }}",
         parlay::num_threads(),
@@ -162,7 +188,6 @@ fn main() {
         wal_peak,
         wal_steady,
         pause_mean * 1e3,
-        pause_max * 1e3,
         stats.incremental_saves,
         incr_avg,
         full_bytes,

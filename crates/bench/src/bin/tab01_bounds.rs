@@ -15,7 +15,7 @@ use cpam::{stats, PacSet};
 fn allocs(f: impl FnOnce()) -> u64 {
     let before = stats::read();
     f();
-    stats::delta(before, stats::read()).node_allocs
+    stats::read().delta(before).node_allocs
 }
 
 fn main() {

@@ -89,6 +89,36 @@ pub fn extract_obj<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
+/// The window of a global-registry latency histogram since `before`:
+/// the current snapshot of `name` minus the earlier one. Empty if the
+/// series does not exist (nothing recorded yet).
+///
+/// Store harnesses use this to turn the cumulative `pacstore_*_ns`
+/// histograms into per-phase percentiles: snapshot before the timed
+/// region, subtract after.
+pub fn hist_since(name: &str, before: &obs::HistogramSnapshot) -> obs::HistogramSnapshot {
+    obs::global()
+        .histogram_snapshot(name)
+        .map(|now| now.delta(before))
+        .unwrap_or_default()
+}
+
+/// The current global snapshot of histogram `name` (empty if absent) —
+/// the `before` argument for a later [`hist_since`].
+pub fn hist_now(name: &str) -> obs::HistogramSnapshot {
+    obs::global().histogram_snapshot(name).unwrap_or_default()
+}
+
+/// Renders a nanosecond histogram window as `(p50, p99, max)` in
+/// milliseconds.
+pub fn ns_window_ms(window: &obs::HistogramSnapshot) -> (f64, f64, f64) {
+    (
+        window.p50() as f64 / 1e6,
+        window.p99() as f64 / 1e6,
+        window.max_value() as f64 / 1e6,
+    )
+}
+
 /// Deterministic xorshift for workload generation inside harnesses.
 pub struct XorShift(pub u64);
 

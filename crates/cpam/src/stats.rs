@@ -107,15 +107,65 @@ pub fn read() -> OpCounts {
 }
 
 /// Difference between two snapshots (`later - earlier`).
+///
+/// Free-function form kept for existing call sites; prefer the method
+/// form `later.delta(earlier)`, which reads in snapshot order and
+/// avoids the swapped-argument footgun.
 pub fn delta(earlier: OpCounts, later: OpCounts) -> OpCounts {
-    OpCounts {
-        node_allocs: later.node_allocs - earlier.node_allocs,
-        block_encodes: later.block_encodes - earlier.block_encodes,
-        block_decodes: later.block_decodes - earlier.block_decodes,
-        cursor_ops: later.cursor_ops - earlier.cursor_ops,
-        nodes_reused: later.nodes_reused - earlier.nodes_reused,
-        nodes_copied: later.nodes_copied - earlier.nodes_copied,
-        nodes_dropped: later.nodes_dropped - earlier.nodes_dropped,
+    later.delta(earlier)
+}
+
+/// Bridge the global counters into an `obs` registry as pull-style
+/// callbacks (`cpam_node_allocs_total`, `cpam_block_decodes_total`,
+/// ...). The counters themselves are untouched — the hot paths keep
+/// their single relaxed `fetch_add` and `stats::read()` keeps working —
+/// so instrumentation adds zero cost until something scrapes the
+/// registry. Idempotent: re-registering a name is a no-op.
+pub fn register_with(registry: &obs::Registry) {
+    registry.register_callback("cpam_node_allocs_total", || {
+        NODE_ALLOCS.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_block_encodes_total", || {
+        BLOCK_ENCODES.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_block_decodes_total", || {
+        BLOCK_DECODES.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_cursor_ops_total", || {
+        CURSOR_OPS.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_nodes_reused_total", || {
+        NODES_REUSED.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_nodes_copied_total", || {
+        NODES_COPIED.load(Ordering::Relaxed)
+    });
+    registry.register_callback("cpam_nodes_dropped_total", || {
+        NODES_DROPPED.load(Ordering::Relaxed)
+    });
+}
+
+impl OpCounts {
+    /// Counter increments between `earlier` and `self`, where both were
+    /// read from [`read`] and `earlier` was taken first:
+    ///
+    /// ```
+    /// let before = cpam::stats::read();
+    /// let set = cpam::PacSet::<u64>::from_keys((0..100).collect::<Vec<_>>());
+    /// let spent = cpam::stats::read().delta(before);
+    /// assert!(spent.node_allocs > 0);
+    /// drop(set);
+    /// ```
+    pub fn delta(&self, earlier: OpCounts) -> OpCounts {
+        OpCounts {
+            node_allocs: self.node_allocs - earlier.node_allocs,
+            block_encodes: self.block_encodes - earlier.block_encodes,
+            block_decodes: self.block_decodes - earlier.block_decodes,
+            cursor_ops: self.cursor_ops - earlier.cursor_ops,
+            nodes_reused: self.nodes_reused - earlier.nodes_reused,
+            nodes_copied: self.nodes_copied - earlier.nodes_copied,
+            nodes_dropped: self.nodes_dropped - earlier.nodes_dropped,
+        }
     }
 }
 

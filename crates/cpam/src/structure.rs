@@ -528,7 +528,7 @@ mod tests {
         let before = crate::stats::read();
         let s: PacSet<u64> = PacSet::from_keys_with(4, (0..10_000).collect());
         drop(s);
-        let d = crate::stats::delta(before, crate::stats::read());
+        let d = crate::stats::read().delta(before);
         assert!(d.nodes_dropped >= d.node_allocs);
         // Allocs and drops balance for a build-then-drop window up to
         // concurrent-test noise; the gate tests in `store` serialize.

@@ -167,7 +167,7 @@ fn stats_counters_move() {
     let s = PacSet::<u64>::from_keys((0..10_000).collect());
     let _u = s.union(&PacSet::from_keys((5_000..15_000).collect()));
     let after = cpam::stats::read();
-    let d = cpam::stats::delta(before, after);
+    let d = after.delta(before);
     assert!(d.node_allocs > 0);
     assert!(d.block_encodes > 0);
     assert!(d.block_decodes > 0);

@@ -48,7 +48,7 @@ fn point_lookups_on_byte_coded_map_never_fully_decode() {
                 hits += 1;
             }
         }
-        let d = stats::delta(before, stats::read());
+        let d = stats::read().delta(before);
         assert!(hits > 0, "workload degenerated: no hits at all");
         assert_eq!(
             d.block_decodes, 0,
@@ -87,7 +87,7 @@ fn sequential_unique_owner_inserts_reuse_the_spine() {
                 .wrapping_add(1442695040888963407)
                 % 1_000_000;
         }
-        let d = stats::delta(before, stats::read());
+        let d = stats::read().delta(before);
         assert!(
             d.nodes_reused + d.nodes_copied > 0,
             "insert loop never hit a reuse-eligible rebuild"
@@ -125,7 +125,7 @@ fn pinned_snapshot_spines_are_never_reused() {
             let k = (i * 97 % 50_000) * 2;
             m = m.insert_owned(k, 1_000_000 + i);
         }
-        let d = stats::delta(before, stats::read());
+        let d = stats::read().delta(before);
         assert_eq!(
             d.nodes_reused, 0,
             "an update mutated a node reachable from a pinned snapshot"

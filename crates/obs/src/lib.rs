@@ -1,0 +1,59 @@
+//! `obs` — dependency-free observability core for the pactrees
+//! workspace.
+//!
+//! Three pieces (see `DESIGN.md` §10 for the full policy):
+//!
+//! - a process-wide [`Registry`] of named atomic [`Counter`]s,
+//!   [`Gauge`]s, and pull-style callbacks (used to bridge pre-existing
+//!   counter sets like `cpam::stats` without changing their API);
+//! - lock-free log-bucketed latency [`Histogram`]s (base-2 buckets with
+//!   32 linear sub-buckets each: quantile estimates within 3.125% above
+//!   the true sample, ~15 KiB per histogram, relaxed atomics only) with
+//!   mergeable/deltable [`HistogramSnapshot`]s;
+//! - scoped [`Span`] timers (and the [`span!`] macro) that record their
+//!   elapsed nanoseconds into a histogram on drop.
+//!
+//! Exposition is Prometheus-style text ([`Registry::render_text`]) or
+//! hand-rolled JSON ([`Registry::snapshot_json`]) — no serde, no
+//! dependencies at all, so every crate in the workspace (including
+//! `cpam`) can depend on `obs` without cycles.
+//!
+//! # Example
+//!
+//! ```
+//! let r = obs::Registry::new();
+//! let commits = r.counter("commits_total");
+//! let lat = r.histogram(&obs::labeled("commit_ns", &[("shard", "000")]));
+//!
+//! for _ in 0..10 {
+//!     let _span = obs::span!(lat); // records on scope exit
+//!     commits.inc();
+//! }
+//!
+//! let snap = r.histogram_snapshot(&obs::labeled("commit_ns", &[("shard", "000")])).unwrap();
+//! assert_eq!(snap.count(), 10);
+//! assert!(snap.p99() >= snap.p50());
+//! let text = r.render_text();
+//! assert!(text.contains("commits_total 10"));
+//! ```
+//!
+//! Production code records into [`global()`], the process-wide
+//! registry, so benches and the (future) server can scrape one place.
+
+mod hist;
+mod registry;
+
+pub use hist::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Span, BUCKETS, SUB, SUB_BITS,
+};
+pub use registry::{global, labeled, Counter, Gauge, Registry};
+
+/// Start a [`Span`] recording into the given histogram on scope exit:
+/// `let _span = obs::span!(hist);`. Accepts anything that derefs to a
+/// [`Histogram`] (e.g. `Arc<Histogram>`).
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $crate::Span::enter(&$hist)
+    };
+}

@@ -1,0 +1,167 @@
+//! Property tests for the log-bucketed histogram: the bucket layout's
+//! error bound, quantiles against an exact sorted oracle, merge
+//! algebra, and lossless concurrent recording. Failures replay with
+//! `PROPTEST_SEED`.
+
+use obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, SUB, SUB_BITS};
+use proptest::prelude::*;
+
+/// Records every value into a fresh histogram and snapshots it.
+fn snap_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact `q`-quantile of `values` under the histogram's rank rule
+/// (`ceil(q * n)`, clamped to `[1, n]`), from a sorted copy.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+/// The histogram quantile estimate never falls below the true sample
+/// and overshoots by at most `x / SUB` (the relative error bound).
+fn assert_within_bound(est: u64, exact: u64) {
+    assert!(est >= exact, "estimate {est} below true quantile {exact}");
+    assert!(
+        est - exact <= exact / SUB,
+        "estimate {est} more than 1/{SUB} above true quantile {exact}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Every value lands in a bucket that contains it, and the bucket
+    // is narrow enough for the advertised relative error: exact below
+    // `SUB`, width at most `lo >> SUB_BITS` above it.
+    #[test]
+    fn bucket_contains_value_within_error_bound(v in any::<u64>()) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+        if v < SUB {
+            prop_assert_eq!((lo, hi), (v, v));
+        } else {
+            prop_assert!(hi - lo <= lo >> SUB_BITS);
+        }
+    }
+
+    // Quantile estimates stay within the error bound against an exact
+    // sorted oracle, across the whole quantile ladder.
+    #[test]
+    fn quantiles_match_sorted_oracle(
+        values in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let snap = snap_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            assert_within_bound(snap.quantile(q), exact_quantile(&values, q));
+        }
+        // min is exact on a direct snapshot; max always is.
+        prop_assert_eq!(snap.min_value(), *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max_value(), *values.iter().max().unwrap());
+    }
+
+    // `merge` is associative and commutative, and merging is the same
+    // distribution as recording the concatenation.
+    #[test]
+    fn merge_is_assoc_comm_and_matches_concat(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+        c in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), snap_of(&all));
+
+        // Quantiles of the merged distribution still obey the bound.
+        if !all.is_empty() {
+            let merged = sa.merge(&sb).merge(&sc);
+            for q in [0.50, 0.99] {
+                assert_within_bound(merged.quantile(q), exact_quantile(&all, q));
+            }
+        }
+    }
+
+    // A delta window between two snapshots of one histogram holds
+    // exactly the values recorded in between.
+    #[test]
+    fn delta_window_is_exact(
+        first in prop::collection::vec(any::<u64>(), 0..200),
+        second in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let window = h.snapshot().delta(&before);
+        prop_assert_eq!(window.count(), second.len() as u64);
+        let sum: u64 = second.iter().fold(0, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(window.sum, sum);
+        if !second.is_empty() {
+            for q in [0.50, 0.99] {
+                // Window min/max are bucket-resolution, so the estimate
+                // may also undershoot by up to one bucket width.
+                let est = window.quantile(q);
+                let exact = exact_quantile(&second, q);
+                let slack = exact / SUB;
+                prop_assert!(est.saturating_add(slack) >= exact);
+                prop_assert!(est.saturating_sub(exact) <= slack.max(1).saturating_add(slack));
+            }
+        }
+    }
+}
+
+/// Concurrent recording from 8 threads loses no counts: the bucket
+/// totals, sum, and extrema all match the sequential oracle.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // Distinct deterministic values per thread, spanning
+                // several orders of magnitude.
+                let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut sum = 0u64;
+                for _ in 0..PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let v = x >> (x % 40);
+                    hist.record(v);
+                    sum = sum.wrapping_add(v);
+                }
+                sum
+            })
+        })
+        .collect();
+    let expected_sum = handles
+        .into_iter()
+        .fold(0u64, |acc, h| acc.wrapping_add(h.join().unwrap()));
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.sum, expected_sum);
+}

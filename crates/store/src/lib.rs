@@ -51,6 +51,7 @@
 pub mod checksum;
 mod error;
 mod lifecycle;
+pub mod metrics;
 mod mvcc;
 pub mod pagefmt;
 mod router;

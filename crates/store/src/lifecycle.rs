@@ -92,6 +92,25 @@ pub struct LifecycleStats {
     pub wal_bytes_truncated: u64,
 }
 
+impl LifecycleStats {
+    /// Counter increments between `earlier` and `self`, where both were
+    /// read from the same store handle and `earlier` was taken first.
+    /// Same snapshot-vs-delta idiom as [`cpam::stats::OpCounts::delta`].
+    pub fn delta(&self, earlier: LifecycleStats) -> LifecycleStats {
+        LifecycleStats {
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            versions_dropped: self.versions_dropped - earlier.versions_dropped,
+            nodes_reclaimed: self.nodes_reclaimed - earlier.nodes_reclaimed,
+            full_saves: self.full_saves - earlier.full_saves,
+            incremental_saves: self.incremental_saves - earlier.incremental_saves,
+            compactions: self.compactions - earlier.compactions,
+            full_page_bytes: self.full_page_bytes - earlier.full_page_bytes,
+            incremental_page_bytes: self.incremental_page_bytes - earlier.incremental_page_bytes,
+            wal_bytes_truncated: self.wal_bytes_truncated - earlier.wal_bytes_truncated,
+        }
+    }
+}
+
 /// Tracks explicitly pinned versions. Pins are counted, so independent
 /// readers can pin the same version and each unpin releases one hold;
 /// the version stays GC-exempt until the count reaches zero.

@@ -1,0 +1,168 @@
+//! Write-path instrumentation: pre-resolved handles into the
+//! process-wide [`obs::global`] registry.
+//!
+//! Every store handle owns a `StoreMetrics`: the `Arc`'d counters and
+//! histograms are resolved **once at construction**, so hot paths pay
+//! only an `Instant::now()` pair and a relaxed `fetch_add` — the
+//! registry lock is never touched after setup (the zero-overhead policy
+//! of DESIGN.md §10, gated by the `obs_overhead` row in
+//! `BENCH_cpam.json`).
+//!
+//! # Metric naming
+//!
+//! All store series are prefixed `pacstore_`; latency histograms end in
+//! `_ns` (nanoseconds), monotone counters in `_total`. Per-shard series
+//! bake the shard index into the name as a label —
+//! `pacstore_wal_append_ns{shard="003"}` — which
+//! [`obs::Registry::render_text`] merges with quantile labels and
+//! [`obs::Registry::histogram_snapshot_prefixed`] can aggregate.
+//! A single-directory [`crate::PacStore`] is shard `"000"` of a
+//! one-shard layout, so dashboards see one schema for both store kinds.
+//!
+//! Both store kinds share the global registry: two stores in one
+//! process record into the same series. That is deliberate (the
+//! process, not the handle, is the unit a scrape observes); tests that
+//! need isolation take before/after [`obs::HistogramSnapshot::delta`]s.
+
+use std::sync::{Arc, Once, OnceLock};
+
+use obs::{Counter, Gauge, Histogram};
+
+/// Install the `cpam::stats` → registry bridge exactly once per
+/// process. Pull-based: the cpam counters keep their single relaxed
+/// `fetch_add` and are only read when something scrapes the registry.
+pub fn install_cpam_bridge() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| cpam::stats::register_with(obs::global()));
+}
+
+/// Process-global page-codec counters (pages and bytes through
+/// [`crate::pagefmt`] encode/decode). Global rather than per-store:
+/// the codec layer has no store handle in scope.
+pub(crate) struct PageCounters {
+    pub pages_written: Arc<Counter>,
+    pub page_bytes_written: Arc<Counter>,
+    pub pages_read: Arc<Counter>,
+    pub page_bytes_read: Arc<Counter>,
+}
+
+pub(crate) fn page_counters() -> &'static PageCounters {
+    static COUNTERS: OnceLock<PageCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = obs::global();
+        PageCounters {
+            pages_written: r.counter("pacstore_pages_written_total"),
+            page_bytes_written: r.counter("pacstore_page_bytes_written_total"),
+            pages_read: r.counter("pacstore_pages_read_total"),
+            page_bytes_read: r.counter("pacstore_page_bytes_read_total"),
+        }
+    })
+}
+
+/// Pre-resolved handles for every stage of the store write path.
+/// Created per store handle; all handles for a name share one atomic
+/// (the registry deduplicates by name).
+pub(crate) struct StoreMetrics {
+    /// End-to-end `commit()` latency: enqueue to acknowledged version.
+    pub commit: Arc<Histogram>,
+    /// Time a committer spends parked on the group-commit condvar
+    /// (followers waiting for their ticket; leaders-to-be waiting for
+    /// the previous leader). Recorded once per commit, 0 for an
+    /// uncontended leader.
+    pub ticket_wait: Arc<Histogram>,
+    /// Leader batch apply: the `apply_ops` tree update (parallel
+    /// fan-out included, for the sharded store).
+    pub apply: Arc<Histogram>,
+    /// WAL record write (`write_all` + `flush`), all shards merged.
+    pub wal_append: Arc<Histogram>,
+    /// WAL/manifest `sync_data`, recorded only when fsync ran.
+    pub wal_fsync: Arc<Histogram>,
+    /// Manifest commit-record write (sharded store only).
+    pub manifest_append: Arc<Histogram>,
+    /// `get()` point reads on the current version.
+    pub point_read: Arc<Histogram>,
+    /// Materializing range reads (`range_entries`).
+    pub range_read: Arc<Histogram>,
+    /// Full or incremental checkpoint page writes (`save*`).
+    pub save: Arc<Histogram>,
+    /// Whole `gc()` passes, including the off-lock history drop.
+    pub gc_pause: Arc<Histogram>,
+    /// Whole `compact()` cycles.
+    pub compact_pause: Arc<Histogram>,
+    /// Compaction phase 1: checkpoint pages written (off the commit
+    /// lock in the sharded store).
+    pub compact_pages: Arc<Histogram>,
+    /// Compaction phase 2: WAL/manifest truncation under the log lock —
+    /// the part concurrent commits actually wait behind.
+    pub compact_truncate: Arc<Histogram>,
+    /// Snapshots pinned (`snapshot` / `snapshot_at`).
+    pub snapshots: Arc<Counter>,
+    /// Explicit version pins / unpins.
+    pub pins: Arc<Counter>,
+    pub unpins: Arc<Counter>,
+    /// Cumulative GC outcomes.
+    pub gc_versions_dropped: Arc<Counter>,
+    pub gc_nodes_reclaimed: Arc<Counter>,
+    /// Per-shard WAL record write, `pacstore_wal_append_ns{shard=...}`.
+    pub shard_wal_append: Vec<Arc<Histogram>>,
+    /// Per-shard incremental-chain depth (links past the full page),
+    /// `pacstore_incr_chain_depth{shard=...}`.
+    pub incr_chain_depth: Vec<Arc<Gauge>>,
+}
+
+impl StoreMetrics {
+    /// Resolve all handles against [`obs::global`] for a store with
+    /// `shards` shards (1 for [`crate::PacStore`]) and install the cpam
+    /// bridge.
+    pub fn new(shards: usize) -> Arc<StoreMetrics> {
+        install_cpam_bridge();
+        let r = obs::global();
+        let shard_wal_append = (0..shards)
+            .map(|i| {
+                let label = format!("{i:03}");
+                r.histogram(&obs::labeled("pacstore_wal_append_ns", &[("shard", &label)]))
+            })
+            .collect();
+        let incr_chain_depth = (0..shards)
+            .map(|i| {
+                let label = format!("{i:03}");
+                r.gauge(&obs::labeled("pacstore_incr_chain_depth", &[("shard", &label)]))
+            })
+            .collect();
+        Arc::new(StoreMetrics {
+            commit: r.histogram("pacstore_commit_ns"),
+            ticket_wait: r.histogram("pacstore_commit_ticket_wait_ns"),
+            apply: r.histogram("pacstore_commit_apply_ns"),
+            wal_append: r.histogram("pacstore_wal_append_ns"),
+            wal_fsync: r.histogram("pacstore_wal_fsync_ns"),
+            manifest_append: r.histogram("pacstore_manifest_append_ns"),
+            point_read: r.histogram("pacstore_point_read_ns"),
+            range_read: r.histogram("pacstore_range_read_ns"),
+            save: r.histogram("pacstore_save_ns"),
+            gc_pause: r.histogram("pacstore_gc_ns"),
+            compact_pause: r.histogram("pacstore_compact_ns"),
+            compact_pages: r.histogram("pacstore_compact_pages_ns"),
+            compact_truncate: r.histogram("pacstore_compact_truncate_ns"),
+            snapshots: r.counter("pacstore_snapshots_total"),
+            pins: r.counter("pacstore_version_pins_total"),
+            unpins: r.counter("pacstore_version_unpins_total"),
+            gc_versions_dropped: r.counter("pacstore_gc_versions_dropped_total"),
+            gc_nodes_reclaimed: r.counter("pacstore_gc_nodes_reclaimed_total"),
+            shard_wal_append,
+            incr_chain_depth,
+        })
+    }
+
+    /// Record one WAL append's stage timings: per-shard and merged
+    /// series for the write, fsync only when it ran.
+    #[inline]
+    pub fn record_wal_append(&self, shard: usize, t: crate::wal::AppendTimings, fsync: bool) {
+        self.wal_append.record(t.write_ns);
+        if let Some(h) = self.shard_wal_append.get(shard) {
+            h.record(t.write_ns);
+        }
+        if fsync {
+            self.wal_fsync.record(t.sync_ns);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use codecs::{BlockIo, ByteEncode, Codec, RawCodec};
 use cpam::{Element, NoAug, PacMap, ScalarKey, DEFAULT_B};
@@ -28,6 +29,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::error::StoreError;
 use crate::lifecycle::{self, GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
+use crate::metrics::StoreMetrics;
 use crate::pagefmt;
 use crate::wal;
 
@@ -253,6 +255,9 @@ where
     /// Explicitly pinned (GC-exempt) versions.
     registry: VersionRegistry,
     lifecycle: Mutex<LifecycleStats>,
+    /// Pre-resolved observability handles (see [`crate::metrics`]); hot
+    /// paths record via relaxed atomics only.
+    metrics: Arc<StoreMetrics>,
 }
 
 /// A versioned, persistent key-value store whose state is a [`PacMap`].
@@ -383,6 +388,9 @@ where
                 checkpoint: Mutex::new(checkpoint),
                 registry: VersionRegistry::default(),
                 lifecycle: Mutex::new(LifecycleStats::default()),
+                // A single-directory store is shard "000" of a
+                // one-shard layout (see crate::metrics).
+                metrics: StoreMetrics::new(1),
             }),
         }
     }
@@ -529,16 +537,23 @@ where
     /// no version is published in that case.
     pub fn commit(&self, ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
         let inner = &self.inner;
+        let enqueued = Instant::now();
+        let mut wait_ns = 0u64;
         let mut q = inner.commit.lock();
         let ticket = q.next_ticket;
         q.next_ticket += 1;
         q.pending.push((ticket, ops));
         loop {
             if let Some(result) = q.results.remove(&ticket) {
+                drop(q);
+                inner.metrics.ticket_wait.record(wait_ns);
+                inner.metrics.commit.record_duration(enqueued.elapsed());
                 return result.map_err(StoreError::CommitFailed);
             }
             if q.leader_running {
+                let parked = Instant::now();
                 inner.commit_cv.wait(&mut q);
+                wait_ns += parked.elapsed().as_nanos() as u64;
                 continue;
             }
             // Become the leader for everything queued so far.
@@ -608,24 +623,29 @@ where
                 &all_ops,
             )
         });
+        let apply_start = Instant::now();
         let new_map = apply_ops(base_map, all_ops);
+        self.inner.metrics.apply.record_duration(apply_start.elapsed());
 
         // Durability before visibility: log the group (all-or-nothing,
         // so a failed group can never strand a record whose version the
         // next group reuses), then publish.
         if let (LogState::Active(file), Some(record)) = (&mut *log_guard, record) {
-            if let Err(fail) = wal::append_bytes(file, &record, self.inner.opts.fsync_commits)
-            {
-                if !fail.rolled_back {
-                    // A stranded partial record would swallow every
-                    // later append at replay: refuse them until save()
-                    // resets the log.
-                    let state = std::mem::replace(&mut *log_guard, LogState::None);
-                    if let LogState::Active(file) = state {
-                        *log_guard = LogState::Poisoned(file);
+            let fsync = self.inner.opts.fsync_commits;
+            match wal::append_bytes(file, &record, fsync) {
+                Ok(timings) => self.inner.metrics.record_wal_append(0, timings, fsync),
+                Err(fail) => {
+                    if !fail.rolled_back {
+                        // A stranded partial record would swallow every
+                        // later append at replay: refuse them until
+                        // save() resets the log.
+                        let state = std::mem::replace(&mut *log_guard, LogState::None);
+                        if let LogState::Active(file) = state {
+                            *log_guard = LogState::Poisoned(file);
+                        }
                     }
+                    return Err(fail.error.into());
                 }
-                return Err(fail.error.into());
             }
         }
 
@@ -647,6 +667,7 @@ where
     /// Pins the current version: O(1), never blocked by writers beyond
     /// a brief lock for the pointer copy.
     pub fn snapshot(&self) -> Snapshot<K, V, C> {
+        self.inner.metrics.snapshots.inc();
         let s = self.inner.state.lock();
         Snapshot {
             version: s.version,
@@ -685,7 +706,16 @@ where
 
     /// The value under `k` in the current version.
     pub fn get(&self, k: &K) -> Option<V> {
+        let _span = obs::span!(self.inner.metrics.point_read);
         self.snapshot().get(k)
+    }
+
+    /// All entries with keys in `[lo, hi]` at the current version,
+    /// ascending — a pinned-snapshot range read, timed into
+    /// `pacstore_range_read_ns`.
+    pub fn range_entries(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let _span = obs::span!(self.inner.metrics.range_read);
+        self.snapshot().map().range(lo, hi).to_vec()
     }
 
     /// Number of entries in the current version.
@@ -713,6 +743,7 @@ where
 
     fn save_full_locked(&self) -> Result<u64, StoreError> {
         let dir = self.inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _span = obs::span!(self.inner.metrics.save);
         let mut log_guard = self.inner.log.lock();
         let (map, version) = {
             let s = self.inner.state.lock();
@@ -730,6 +761,7 @@ where
             map,
             chain_len: 0,
         });
+        self.inner.metrics.incr_chain_depth[0].set(0);
         let mut stats = self.inner.lifecycle.lock();
         stats.full_saves += 1;
         stats.full_page_bytes += page.len() as u64;
@@ -761,6 +793,7 @@ where
 
     fn save_incremental_locked(&self, prev_version: u64) -> Result<u64, StoreError> {
         let dir = self.inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _span = obs::span!(self.inner.metrics.save);
         let mut log_guard = self.inner.log.lock();
         let (map, version) = {
             let s = self.inner.state.lock();
@@ -793,6 +826,7 @@ where
             map,
             chain_len,
         });
+        self.inner.metrics.incr_chain_depth[0].set(chain_len as i64);
         let mut stats = self.inner.lifecycle.lock();
         stats.incremental_saves += 1;
         stats.incremental_page_bytes += page.len() as u64;
@@ -811,6 +845,7 @@ where
     ///
     /// [`StoreError::Ephemeral`] for in-memory stores; I/O errors.
     pub fn compact(&self) -> Result<u64, StoreError> {
+        let span = obs::span!(self.inner.metrics.compact_pause);
         let _ckpt = self.inner.checkpoint_lock.lock();
         let base = self
             .inner
@@ -824,6 +859,7 @@ where
             None => self.save_full_locked()?,
         };
         self.inner.lifecycle.lock().compactions += 1;
+        drop(span);
         Ok(version)
     }
 
@@ -877,6 +913,7 @@ where
             return Err(StoreError::VersionNotFound(version));
         }
         self.inner.registry.pin(version);
+        self.inner.metrics.pins.inc();
         Ok(())
     }
 
@@ -888,6 +925,7 @@ where
     /// [`StoreError::NotPinned`] when `version` holds no pin.
     pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
         if self.inner.registry.unpin(version) {
+            self.inner.metrics.unpins.inc();
             Ok(())
         } else {
             Err(StoreError::NotPinned(version))
@@ -908,6 +946,7 @@ where
     /// `Arc` frees exactly its unshared nodes, counted in
     /// [`GcStats::nodes_reclaimed`].
     pub fn gc(&self, policy: RetentionPolicy) -> GcStats {
+        let _span = obs::span!(self.inner.metrics.gc_pause);
         let keep = policy.keep_last.max(1);
         let mut dropped_maps = Vec::new();
         let versions_retained;
@@ -930,12 +969,13 @@ where
         let versions_dropped = dropped_maps.len();
         let before = cpam::stats::read();
         drop(dropped_maps);
-        let nodes_reclaimed =
-            cpam::stats::delta(before, cpam::stats::read()).nodes_dropped;
+        let nodes_reclaimed = cpam::stats::read().delta(before).nodes_dropped;
         let mut stats = self.inner.lifecycle.lock();
         stats.gc_runs += 1;
         stats.versions_dropped += versions_dropped as u64;
         stats.nodes_reclaimed += nodes_reclaimed;
+        self.inner.metrics.gc_versions_dropped.add(versions_dropped as u64);
+        self.inner.metrics.gc_nodes_reclaimed.add(nodes_reclaimed);
         GcStats {
             versions_dropped,
             versions_retained,

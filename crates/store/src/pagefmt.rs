@@ -338,6 +338,9 @@ pub fn encode_snapshot<T: DiskTree>(tree: &T, version: u64) -> Vec<u8> {
     page.extend_from_slice(&nodes);
     let crc = crc32(&page);
     page.extend_from_slice(&crc.to_le_bytes());
+    let pc = crate::metrics::page_counters();
+    pc.pages_written.inc();
+    pc.page_bytes_written.add(page.len() as u64);
     page
 }
 
@@ -412,6 +415,9 @@ pub fn decode_snapshot<T: DiskTree>(bytes: &[u8]) -> Result<(T, u64), StoreError
             tree.disk_len()
         )));
     }
+    let pc = crate::metrics::page_counters();
+    pc.pages_read.inc();
+    pc.page_bytes_read.add(bytes.len() as u64);
     Ok((tree, version))
 }
 
@@ -490,6 +496,9 @@ pub fn encode_incremental<T: DiskTree>(
     page.extend_from_slice(&nodes);
     let crc = crc32(&page);
     page.extend_from_slice(&crc.to_le_bytes());
+    let pc = crate::metrics::page_counters();
+    pc.pages_written.inc();
+    pc.page_bytes_written.add(page.len() as u64);
     page
 }
 
@@ -574,6 +583,9 @@ pub fn decode_incremental<T: DiskTree>(
             tree.disk_len()
         )));
     }
+    let pc = crate::metrics::page_counters();
+    pc.pages_read.inc();
+    pc.page_bytes_read.add(bytes.len() as u64);
     Ok((tree, base_version, version))
 }
 

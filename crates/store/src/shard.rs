@@ -42,6 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use codecs::{bytecode, BlockIo, RawCodec};
 use cpam::{NoAug, PacMap};
@@ -49,6 +50,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::error::StoreError;
 use crate::lifecycle::{self, GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
+use crate::metrics::StoreMetrics;
 use crate::mvcc::{
     apply_ops, Op, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, MAX_INCR_CHAIN,
     SNAPSHOT_FILE,
@@ -443,6 +445,9 @@ where
     checkpoints: Mutex<Checkpoints<K, V, C>>,
     registry: VersionRegistry,
     lifecycle: Mutex<LifecycleStats>,
+    /// Pre-resolved observability handles (see [`crate::metrics`]); hot
+    /// paths record via relaxed atomics only.
+    metrics: Arc<StoreMetrics>,
 }
 
 /// A versioned, persistent key-value store partitioned into N
@@ -526,6 +531,7 @@ where
         state: ShardedState<K, V, C>,
         checkpoints: Checkpoints<K, V, C>,
     ) -> Self {
+        let metrics = StoreMetrics::new(router.shard_count());
         ShardedStore {
             inner: Arc::new(Inner {
                 opts,
@@ -545,6 +551,7 @@ where
                 checkpoints: Mutex::new(checkpoints),
                 registry: VersionRegistry::default(),
                 lifecycle: Mutex::new(LifecycleStats::default()),
+                metrics,
             }),
         }
     }
@@ -1053,16 +1060,23 @@ where
     /// manifest append failed; no version is published in that case.
     pub fn commit(&self, ops: Vec<Op<K, V>>) -> Result<u64, StoreError> {
         let inner = &self.inner;
+        let enqueued = Instant::now();
+        let mut wait_ns = 0u64;
         let mut q = inner.commit.lock();
         let ticket = q.next_ticket;
         q.next_ticket += 1;
         q.pending.push((ticket, ops));
         loop {
             if let Some(result) = q.results.remove(&ticket) {
+                drop(q);
+                inner.metrics.ticket_wait.record(wait_ns);
+                inner.metrics.commit.record_duration(enqueued.elapsed());
                 return result.map_err(StoreError::CommitFailed);
             }
             if q.leader_running {
+                let parked = Instant::now();
                 inner.commit_cv.wait(&mut q);
+                wait_ns += parked.elapsed().as_nanos() as u64;
                 continue;
             }
             q.leader_running = true;
@@ -1147,6 +1161,7 @@ where
             .enumerate()
             .filter(|(_, b)| !b.is_empty())
             .collect();
+        let apply_start = Instant::now();
         let results: Vec<ShardResult<PacMap<K, V, NoAug, C>>> = {
             let work = &work;
             let base_maps = &base_maps;
@@ -1168,6 +1183,7 @@ where
                 }
             })
         };
+        inner.metrics.apply.record_duration(apply_start.elapsed());
 
         // Durability before visibility: prepare every shard, then write
         // the manifest record (the commit point), rolling back every
@@ -1189,7 +1205,14 @@ where
                     r.record.as_deref().expect("durable record"),
                     inner.opts.fsync_commits,
                 ) {
-                    Ok(()) => appended.push((r.shard, prior)),
+                    Ok(timings) => {
+                        inner.metrics.record_wal_append(
+                            r.shard,
+                            timings,
+                            inner.opts.fsync_commits,
+                        );
+                        appended.push((r.shard, prior));
+                    }
                     Err(fail) => {
                         if !fail.rolled_back {
                             appended.push((r.shard, prior));
@@ -1210,14 +1233,20 @@ where
                     participants: participants.clone(),
                     locals,
                 });
-                if let Err(fail) =
-                    wal::append_bytes(manifest, &rec, inner.opts.fsync_commits)
-                {
-                    // A partial manifest record that could not be
-                    // truncated away would swallow every later record
-                    // at replay: poison below.
-                    stranded = !fail.rolled_back;
-                    failure = Some(fail.error);
+                match wal::append_bytes(manifest, &rec, inner.opts.fsync_commits) {
+                    Ok(timings) => {
+                        inner.metrics.manifest_append.record(timings.write_ns);
+                        if inner.opts.fsync_commits {
+                            inner.metrics.wal_fsync.record(timings.sync_ns);
+                        }
+                    }
+                    Err(fail) => {
+                        // A partial manifest record that could not be
+                        // truncated away would swallow every later
+                        // record at replay: poison below.
+                        stranded = !fail.rolled_back;
+                        failure = Some(fail.error);
+                    }
                 }
             }
             if let Some(error) = failure {
@@ -1268,6 +1297,7 @@ where
     /// Pins the current version vector: one `Arc` bump per shard under
     /// a briefly-held lock; never observes a half-published commit.
     pub fn snapshot(&self) -> ShardedSnapshot<K, V, C> {
+        self.inner.metrics.snapshots.inc();
         let s = self.inner.state.lock();
         ShardedSnapshot {
             global: s.global,
@@ -1285,6 +1315,7 @@ where
     /// [`StoreError::VersionNotFound`] if `global` is older than the
     /// retained history (or never existed).
     pub fn snapshot_at(&self, global: u64) -> Result<ShardedSnapshot<K, V, C>, StoreError> {
+        self.inner.metrics.snapshots.inc();
         let s = self.inner.state.lock();
         s.history
             .iter()
@@ -1319,9 +1350,19 @@ where
     /// map (one `Arc` bump under the state lock), so point reads don't
     /// pay the full version-vector copy.
     pub fn get(&self, k: &K) -> Option<V> {
+        let _span = obs::span!(self.inner.metrics.point_read);
         let shard = self.inner.router.shard_of(k);
         let map = self.inner.state.lock().maps[shard].clone();
         map.find(k)
+    }
+
+    /// The entries with keys in `[lo, hi]` in the current version, in
+    /// key order: pins the version vector and delegates to
+    /// [`ShardedSnapshot::range_entries`] (only overlapping shards are
+    /// scanned).
+    pub fn range_entries(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let _span = obs::span!(self.inner.metrics.range_read);
+        self.snapshot().range_entries(lo, hi)
     }
 
     /// Total number of entries in the current version.
@@ -1359,6 +1400,7 @@ where
     pub fn save(&self) -> Result<u64, StoreError> {
         let inner = &self.inner;
         let dir = inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _span = obs::span!(inner.metrics.save);
         let _ckpt = inner.checkpoint_lock.lock();
         let mut log_guard = inner.log.lock();
         let (maps, locals, global) = {
@@ -1394,6 +1436,7 @@ where
                     map: m.clone(),
                     chain_len: 0,
                 });
+                inner.metrics.incr_chain_depth[i].set(0);
             }
             ckpts.global = Some(global);
         }
@@ -1479,6 +1522,7 @@ where
     pub fn compact(&self) -> Result<u64, StoreError> {
         let inner = &self.inner;
         let dir = inner.dir.as_ref().ok_or(StoreError::Ephemeral)?;
+        let _span = obs::span!(inner.metrics.compact_pause);
         let _ckpt = inner.checkpoint_lock.lock();
 
         // Capture the committed state to checkpoint. Commits may land
@@ -1496,6 +1540,7 @@ where
             Full(usize),
         }
         let mut ckpts = inner.checkpoints.lock();
+        let pages_span = obs::span!(inner.metrics.compact_pages);
         let writes: Vec<Result<PageWrite, StoreError>> = {
             let maps = &maps;
             let locals = &locals;
@@ -1540,11 +1585,13 @@ where
                         let chain_len =
                             ckpts.shards[i].as_ref().map_or(1, |ck| ck.chain_len + 1);
                         ckpts.shards[i] = new_pin(chain_len);
+                        inner.metrics.incr_chain_depth[i].set(chain_len as i64);
                         stats.incremental_saves += 1;
                         stats.incremental_page_bytes += n as u64;
                     }
                     Ok(PageWrite::Full(n)) => {
                         ckpts.shards[i] = new_pin(0);
+                        inner.metrics.incr_chain_depth[i].set(0);
                         stats.full_saves += 1;
                         stats.full_page_bytes += n as u64;
                     }
@@ -1552,6 +1599,7 @@ where
                 }
             }
         }
+        drop(pages_span);
         if let Some(e) = first_err {
             return Err(e);
         }
@@ -1565,6 +1613,7 @@ where
         // against the pages themselves, so a commit's WAL records can
         // vanish the moment the pages reach its version vector, with
         // or without the manifest checkpoint record.
+        let truncate_span = obs::span!(inner.metrics.compact_truncate);
         let mut log_guard = inner.log.lock();
         let poisoned = matches!(&*log_guard, DurableState::Poisoned { .. });
         let poison = |log_guard: &mut DurableState| {
@@ -1656,6 +1705,7 @@ where
             }
         }
         drop(log_guard);
+        drop(truncate_span);
 
         let mut stats = inner.lifecycle.lock();
         stats.compactions += 1;
@@ -1706,6 +1756,7 @@ where
             return Err(StoreError::VersionNotFound(version));
         }
         self.inner.registry.pin(version);
+        self.inner.metrics.pins.inc();
         Ok(())
     }
 
@@ -1716,6 +1767,7 @@ where
     /// [`StoreError::NotPinned`] when `version` holds no pin.
     pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
         if self.inner.registry.unpin(version) {
+            self.inner.metrics.unpins.inc();
             Ok(())
         } else {
             Err(StoreError::NotPinned(version))
@@ -1734,6 +1786,7 @@ where
     /// every shard subtree no surviving version shares — see
     /// [`crate::PacStore::gc`].
     pub fn gc(&self, policy: RetentionPolicy) -> GcStats {
+        let _span = obs::span!(self.inner.metrics.gc_pause);
         let keep = policy.keep_last.max(1);
         let mut dropped = Vec::new();
         let versions_retained;
@@ -1756,7 +1809,9 @@ where
         let versions_dropped = dropped.len();
         let before = cpam::stats::read();
         drop(dropped);
-        let nodes_reclaimed = cpam::stats::delta(before, cpam::stats::read()).nodes_dropped;
+        let nodes_reclaimed = cpam::stats::read().delta(before).nodes_dropped;
+        self.inner.metrics.gc_versions_dropped.add(versions_dropped as u64);
+        self.inner.metrics.gc_nodes_reclaimed.add(nodes_reclaimed);
         let mut stats = self.inner.lifecycle.lock();
         stats.gc_runs += 1;
         stats.versions_dropped += versions_dropped as u64;

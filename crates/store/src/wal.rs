@@ -121,6 +121,18 @@ pub struct AppendError {
     pub rolled_back: bool,
 }
 
+/// Stage timings of a successful [`append_bytes`], in nanoseconds —
+/// the write-vs-fsync split the observability layer records into
+/// per-stage histograms (`pacstore_wal_append_ns` /
+/// `pacstore_wal_fsync_ns`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendTimings {
+    /// Time spent in `write_all` + `flush`.
+    pub write_ns: u64,
+    /// Time spent in `sync_data` (0 when `fsync` was not requested).
+    pub sync_ns: u64,
+}
+
 /// Appends one already-encoded record, all-or-nothing: on a failed or
 /// partial write — or a failed `fsync` when requested — the file is
 /// truncated back to its previous length. Without the rollback, a
@@ -128,21 +140,39 @@ pub struct AppendError {
 /// log, its version would be reused by the next successful group, and
 /// replay would apply the failed group and skip the acknowledged one.
 ///
+/// On success, returns the write/fsync stage timings.
+///
 /// # Errors
 ///
 /// [`AppendError`]; check its `rolled_back` flag before reusing the log.
-pub fn append_bytes(file: &mut File, record: &[u8], fsync: bool) -> Result<(), AppendError> {
+pub fn append_bytes(
+    file: &mut File,
+    record: &[u8],
+    fsync: bool,
+) -> Result<AppendTimings, AppendError> {
     let prev_len = match file.metadata() {
         Ok(m) => m.len(),
         // Nothing written yet: failing here leaves the log untouched.
         Err(error) => return Err(AppendError { error, rolled_back: true }),
     };
+    let mut timings = AppendTimings::default();
+    let write_start = std::time::Instant::now();
     let result = file
         .write_all(record)
         .and_then(|()| file.flush())
-        .and_then(|()| if fsync { file.sync_data() } else { Ok(()) });
+        .and_then(|()| {
+            timings.write_ns = write_start.elapsed().as_nanos() as u64;
+            if fsync {
+                let sync_start = std::time::Instant::now();
+                let r = file.sync_data();
+                timings.sync_ns = sync_start.elapsed().as_nanos() as u64;
+                r
+            } else {
+                Ok(())
+            }
+        });
     match result {
-        Ok(()) => Ok(()),
+        Ok(()) => Ok(timings),
         Err(error) => Err(AppendError {
             error,
             // Under fsync, the rollback truncation must itself be

@@ -1,0 +1,150 @@
+//! Integration tests for the write-path instrumentation: every stage of
+//! a commit/checkpoint/GC cycle shows up in the process-wide `obs`
+//! registry with the documented series names.
+//!
+//! The registry is process-global and other tests in this binary (and
+//! both store kinds) record into the same series, so every assertion is
+//! window-based — take a snapshot before the exercised calls, subtract
+//! after — and uses `>=` where concurrent tests could also contribute.
+
+use obs::HistogramSnapshot;
+use store::{Op, PacStore, RetentionPolicy, Router, ShardedStore, StoreOptions};
+
+fn window(name: &str, before: &HistogramSnapshot) -> HistogramSnapshot {
+    obs::global()
+        .histogram_snapshot(name)
+        .map(|now| now.delta(before))
+        .unwrap_or_default()
+}
+
+fn hist_before(name: &str) -> HistogramSnapshot {
+    obs::global().histogram_snapshot(name).unwrap_or_default()
+}
+
+fn counter(name: &str) -> u64 {
+    obs::global().counter_value(name).unwrap_or(0)
+}
+
+#[test]
+fn pacstore_write_path_records_every_stage() {
+    let dir = std::env::temp_dir().join(format!("metrics-pacstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions { fsync_commits: true, history_limit: 4, ..StoreOptions::default() };
+
+    let commit_before = hist_before("pacstore_commit_ns");
+    let wait_before = hist_before("pacstore_commit_ticket_wait_ns");
+    let apply_before = hist_before("pacstore_commit_apply_ns");
+    let wal_before = hist_before("pacstore_wal_append_ns");
+    let fsync_before = hist_before("pacstore_wal_fsync_ns");
+    let point_before = hist_before("pacstore_point_read_ns");
+    let range_before = hist_before("pacstore_range_read_ns");
+    let save_before = hist_before("pacstore_save_ns");
+    let gc_before = hist_before("pacstore_gc_ns");
+    let compact_before = hist_before("pacstore_compact_ns");
+    let snaps_before = counter("pacstore_snapshots_total");
+    let pins_before = counter("pacstore_version_pins_total");
+    let unpins_before = counter("pacstore_version_unpins_total");
+    let dropped_before = counter("pacstore_gc_versions_dropped_total");
+
+    let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts).unwrap();
+    const COMMITS: u64 = 5;
+    for i in 0..COMMITS {
+        store.commit(vec![Op::Put(i, i), Op::Put(i + 100, i)]).unwrap();
+    }
+    assert_eq!(store.get(&3), Some(3));
+    assert_eq!(store.range_entries(&0, &4).len(), 5);
+    let snap = store.snapshot();
+    assert_eq!(snap.get(&2), Some(2));
+    store.pin_version(2).unwrap();
+    store.unpin_version(2).unwrap();
+    store.gc(RetentionPolicy { keep_last: 1 });
+    store.save().unwrap();
+    store.commit(vec![Op::Put(999, 1)]).unwrap();
+    store.compact().unwrap();
+
+    // Histograms: each stage saw at least the calls made here.
+    let commits = window("pacstore_commit_ns", &commit_before).count();
+    assert!(commits > COMMITS, "commit window {commits}");
+    assert!(window("pacstore_commit_ticket_wait_ns", &wait_before).count() > COMMITS);
+    assert!(window("pacstore_commit_apply_ns", &apply_before).count() > COMMITS);
+    assert!(window("pacstore_wal_append_ns", &wal_before).count() > COMMITS);
+    assert!(window("pacstore_wal_fsync_ns", &fsync_before).count() > COMMITS);
+    assert!(window("pacstore_point_read_ns", &point_before).count() >= 1);
+    assert!(window("pacstore_range_read_ns", &range_before).count() >= 1);
+    assert!(window("pacstore_save_ns", &save_before).count() >= 1);
+    assert!(window("pacstore_gc_ns", &gc_before).count() >= 1);
+    assert!(window("pacstore_compact_ns", &compact_before).count() >= 1);
+
+    // A latency distribution is ordered and bounded by its extremes.
+    let w = window("pacstore_commit_ns", &commit_before);
+    assert!(w.min_value() <= w.p50() && w.p50() <= w.p99() && w.p99() <= w.max_value());
+
+    // Counters.
+    assert!(counter("pacstore_snapshots_total") > snaps_before);
+    assert!(counter("pacstore_version_pins_total") > pins_before);
+    assert!(counter("pacstore_version_unpins_total") > unpins_before);
+    assert!(counter("pacstore_gc_versions_dropped_total") > dropped_before);
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_store_labels_shards_and_times_compaction_phases() {
+    let dir = std::env::temp_dir().join(format!("metrics-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let shard1_before = hist_before("pacstore_wal_append_ns{shard=\"001\"}");
+    let manifest_before = hist_before("pacstore_manifest_append_ns");
+    let pages_before = hist_before("pacstore_compact_pages_ns");
+    let truncate_before = hist_before("pacstore_compact_truncate_ns");
+    let pages_written_before = counter("pacstore_pages_written_total");
+
+    let store: ShardedStore<u64, u64> = ShardedStore::open_or_create(
+        &dir,
+        Router::uniform_span(2, 1_000),
+        StoreOptions::default(),
+    )
+    .unwrap();
+    store.commit(vec![Op::Put(1, 1), Op::Put(900, 9)]).unwrap();
+    store.save().unwrap();
+    store.commit(vec![Op::Put(2, 2), Op::Put(901, 10)]).unwrap();
+    store.compact().unwrap();
+
+    // The upper shard's WAL append surfaced under its own label.
+    assert!(window("pacstore_wal_append_ns{shard=\"001\"}", &shard1_before).count() >= 2);
+    assert!(window("pacstore_manifest_append_ns", &manifest_before).count() >= 2);
+    // Both compaction phases were timed, and pages actually hit disk.
+    assert!(window("pacstore_compact_pages_ns", &pages_before).count() >= 1);
+    assert!(window("pacstore_compact_truncate_ns", &truncate_before).count() >= 1);
+    assert!(counter("pacstore_pages_written_total") > pages_written_before);
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn render_text_exposes_the_write_path_schema() {
+    // Make sure at least one store existed in this process.
+    let store: PacStore<u64, u64> = PacStore::in_memory();
+    store.commit(vec![Op::Put(1, 1)]).unwrap();
+
+    let text = obs::global().render_text();
+    for series in [
+        "pacstore_commit_ns",
+        "pacstore_commit_ticket_wait_ns",
+        "pacstore_commit_apply_ns",
+        "pacstore_wal_append_ns",
+        "pacstore_snapshots_total",
+        "cpam_node_allocs_total",
+    ] {
+        assert!(text.contains(series), "render_text missing {series}:\n{text}");
+    }
+    // Quantile labels render inside the name's label set.
+    assert!(text.contains("quantile=\"0.99\""));
+
+    let json = obs::global().snapshot_json();
+    for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "pacstore_commit_ns"] {
+        assert!(json.contains(key), "snapshot_json missing {key}");
+    }
+}

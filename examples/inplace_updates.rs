@@ -32,7 +32,7 @@ fn main() {
         // update path, so the whole spine is refcount-1.
         hot = hot.insert_owned(i * 31 % (4 * N), i);
     }
-    let owned = stats::delta(before, stats::read());
+    let owned = stats::read().delta(before);
     println!(
         "consuming loop:  {:>7} node rebuilds reused in place, {:>7} copied  ({:.1}% reuse)",
         owned.nodes_reused,
@@ -49,7 +49,7 @@ fn main() {
         let next = versions.last().unwrap().insert(i * 31 % (4 * N), i);
         versions.push(next);
     }
-    let persistent = stats::delta(before, stats::read());
+    let persistent = stats::read().delta(before);
     println!(
         "persistent loop: {:>7} node rebuilds reused in place, {:>7} copied  ({:.1}% reuse)",
         persistent.nodes_reused,

@@ -10,6 +10,7 @@ pub use cpam;
 pub use ctree;
 pub use graphs;
 pub use invidx;
+pub use obs;
 pub use pam;
 pub use parlay;
 pub use spatial;
