@@ -1,0 +1,283 @@
+//! pacserve throughput: concurrent clients driving a durable
+//! [`ShardedStore`] through the real framed transport.
+//!
+//! Not a paper figure — this tests the *serving* claim behind
+//! `crates/server` (EXPERIMENTS.md §pacserve): the connection-per-
+//! thread server funnels concurrent writers into the store's group
+//! commit, so wire throughput should scale with client count until the
+//! commit pipeline saturates, and read latency should stay flat because
+//! readers serve from per-request snapshots and never block writers.
+//!
+//! Two parts:
+//!
+//! 1. A client-count sweep ({1, 4, 16} clients, mixed ~50% get /
+//!    40% put_batch / 10% range) reporting ops/s plus per-op p50/p99
+//!    from the server's own `pacserve_request_ns{op=...}` histograms.
+//! 2. A pinned-snapshot consistency check: one reader pins a version
+//!    and re-reads it while 16 writer connections commit ≥1000 batches;
+//!    every pinned read must see the exact pinned-era value.
+//!
+//! Binds a TCP loopback socket when the environment allows it and
+//! falls back to the in-process pipe transport otherwise (same framed
+//! byte stream either way).
+//!
+//! Writes `BENCH_server.json` into the current directory.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use bench::{header, time, XorShift};
+use server::{serve_pipe, serve_tcp, Client, ClientOptions, PipeConnector, ServerOptions};
+use store::{Op, Router, ShardedStore, StoreOptions};
+
+const KEY_SPAN: u64 = 50_000;
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Where clients dial: a bound loopback socket or an in-process pipe.
+#[derive(Clone)]
+enum Endpoint {
+    Tcp(std::net::SocketAddr),
+    Pipe(PipeConnector),
+}
+
+impl Endpoint {
+    fn client(&self) -> Client<u64, u64> {
+        let opts = ClientOptions {
+            request_timeout: Duration::from_secs(30),
+            ..ClientOptions::default()
+        };
+        match self {
+            Endpoint::Tcp(addr) => Client::connect_tcp(*addr, opts),
+            Endpoint::Pipe(connector) => Client::connect_pipe(connector.clone(), opts),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Endpoint::Tcp(_) => "tcp",
+            Endpoint::Pipe(_) => "pipe",
+        }
+    }
+}
+
+struct Measurement {
+    clients: usize,
+    ops: usize,
+    ops_per_sec: f64,
+    get_ms_p50: f64,
+    get_ms_p99: f64,
+    put_ms_p50: f64,
+    put_ms_p99: f64,
+}
+
+fn op_hist(op: &str) -> String {
+    obs::labeled("pacserve_request_ns", &[("op", op)])
+}
+
+/// One sweep point: `clients` connections, each issuing `per_client`
+/// mixed requests (~50% get / 40% put_batch of 8 ops / 10% range).
+fn sweep_point(endpoint: &Endpoint, clients: usize, per_client: usize) -> Measurement {
+    let get_before = bench::hist_now(&op_hist("get"));
+    let put_before = bench::hist_now(&op_hist("put_batch"));
+    let (_, secs) = time(|| {
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let endpoint = endpoint.clone();
+                std::thread::spawn(move || {
+                    let mut client = endpoint.client();
+                    let mut rng = XorShift(0xC11E47 + w as u64);
+                    for _ in 0..per_client {
+                        let k = rng.next_u64() % KEY_SPAN;
+                        match rng.next_u64() % 10 {
+                            0..=4 => {
+                                client.get(k).expect("get");
+                            }
+                            5..=8 => {
+                                let ops: Vec<Op<u64, u64>> = (0..8)
+                                    .map(|i| Op::Put((k + i * 17) % KEY_SPAN, k))
+                                    .collect();
+                                client.put_batch(ops).expect("put_batch");
+                            }
+                            _ => {
+                                client.range(k, (k + 200).min(KEY_SPAN), 64, None).expect("range");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client worker");
+        }
+    });
+    let get_window = bench::hist_since(&op_hist("get"), &get_before);
+    let put_window = bench::hist_since(&op_hist("put_batch"), &put_before);
+    let (get_ms_p50, get_ms_p99, _) = bench::ns_window_ms(&get_window);
+    let (put_ms_p50, put_ms_p99, _) = bench::ns_window_ms(&put_window);
+    let ops = clients * per_client;
+    Measurement {
+        clients,
+        ops,
+        ops_per_sec: ops as f64 / secs,
+        get_ms_p50,
+        get_ms_p99,
+        put_ms_p50,
+        put_ms_p99,
+    }
+}
+
+/// One reader pins a version and re-reads it while 16 writer
+/// connections commit `write_batches` single-key batches over the
+/// pinned keys. Returns (probes made, probes that saw the pinned
+/// value) — anything but equality is an isolation bug.
+fn pinned_check(endpoint: &Endpoint, write_batches: usize) -> (usize, usize) {
+    let mut reader = endpoint.client();
+    let base = reader
+        .put_batch((0..256u64).map(|k| Op::Put(k, k + 1_000_000)).collect())
+        .expect("seed pinned keys");
+    reader.pin(base).expect("pin");
+
+    let writer_count = 16;
+    let per_writer = write_batches.div_ceil(writer_count);
+    let writers: Vec<_> = (0..writer_count)
+        .map(|w| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut client = endpoint.client();
+                for i in 0..per_writer as u64 {
+                    client
+                        .put_batch(vec![Op::Put((w as u64 * 37 + i) % 256, i)])
+                        .expect("writer batch");
+                }
+            })
+        })
+        .collect();
+
+    let mut probes = 0usize;
+    let mut consistent = 0usize;
+    let mut rng = XorShift(0x917);
+    // Probe the pinned view the whole time the writers run.
+    loop {
+        let done = writers.iter().all(|w| w.is_finished());
+        for _ in 0..8 {
+            let k = rng.next_u64() % 256;
+            probes += 1;
+            if reader.get_at(k, Some(base)).expect("pinned read") == Some(k + 1_000_000) {
+                consistent += 1;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    for w in writers {
+        w.join().expect("writer");
+    }
+    reader.unpin(base).expect("unpin");
+    (probes, consistent)
+}
+
+fn main() {
+    header("server_throughput", "framed wire throughput vs concurrent client count");
+    let per_client: usize = std::env::var("SERVER_BENCH_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    let write_batches: usize = std::env::var("SERVER_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_024)
+        .max(1_000);
+
+    let dir = std::env::temp_dir().join(format!("server-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store: ShardedStore<u64, u64> = ShardedStore::open_or_create(
+        &dir,
+        Router::uniform_span(4, KEY_SPAN),
+        StoreOptions { history_limit: 8, ..StoreOptions::default() },
+    )
+    .expect("open durable store");
+    // Preload so gets hit real data.
+    store
+        .commit((0..KEY_SPAN).step_by(2).map(|k| Op::Put(k, k)).collect())
+        .expect("preload");
+
+    // Prefer a real socket; sandboxed environments fall back to the
+    // in-process pipe (identical framed byte stream).
+    let (mut handle, endpoint) = match serve_tcp(store.clone(), "127.0.0.1:0", ServerOptions::default())
+    {
+        Ok(handle) => {
+            let addr = handle.addr().expect("tcp server has an address");
+            (handle, Endpoint::Tcp(addr))
+        }
+        Err(e) => {
+            println!("(tcp bind unavailable: {e}; using in-process pipe transport)");
+            let (handle, connector) = serve_pipe(store.clone(), ServerOptions::default());
+            (handle, Endpoint::Pipe(connector))
+        }
+    };
+    println!(
+        "transport = {}, {} mixed ops/client, durable store at {}\n",
+        endpoint.name(),
+        per_client,
+        dir.display()
+    );
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "clients", "ops", "ops/s", "get p50", "get p99", "put p50", "put p99"
+    );
+    let sweep: Vec<Measurement> = CLIENT_COUNTS
+        .iter()
+        .map(|&clients| {
+            let m = sweep_point(&endpoint, clients, per_client);
+            println!(
+                "{:>10} {:>10} {:>12.0} {:>9.3} ms {:>9.3} ms {:>9.3} ms {:>9.3} ms",
+                m.clients, m.ops, m.ops_per_sec, m.get_ms_p50, m.get_ms_p99, m.put_ms_p50,
+                m.put_ms_p99
+            );
+            m
+        })
+        .collect();
+    println!();
+
+    println!("--- pinned-snapshot isolation under {write_batches} concurrent write batches ---");
+    let (probes, consistent) = pinned_check(&endpoint, write_batches);
+    println!("pinned probes = {probes}, consistent = {consistent}");
+    assert_eq!(
+        probes, consistent,
+        "a pinned snapshot drifted while writers committed"
+    );
+    println!();
+
+    let rows: Vec<String> = sweep
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"clients\": {}, \"ops\": {}, \"ops_per_sec\": {:.0}, \
+                 \"get_ms_p50\": {:.3}, \"get_ms_p99\": {:.3}, \
+                 \"put_ms_p50\": {:.3}, \"put_ms_p99\": {:.3}}}",
+                m.clients, m.ops, m.ops_per_sec, m.get_ms_p50, m.get_ms_p99, m.put_ms_p50,
+                m.put_ms_p99
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"server_throughput\": {{\n    \"transport\": \"{}\",\n    \
+         \"threads\": {},\n    \"ops_per_client\": {},\n    \"sweep\": [{}],\n    \
+         \"pinned_check\": {{\"write_batches\": {}, \"probes\": {}, \"consistent\": {}}}\n  }}\n}}\n",
+        endpoint.name(),
+        parlay::num_threads(),
+        per_client,
+        rows.join(", "),
+        write_batches,
+        probes,
+        consistent,
+    );
+    let mut f = std::fs::File::create("BENCH_server.json").expect("create BENCH_server.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json (server_throughput section)");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -347,12 +347,20 @@ pub trait Delta: Sized {
 /// `read` assumes its input was produced by `write` and has passed an
 /// integrity check (the storage layers guard every payload with a
 /// CRC-32 and a type fingerprint before decoding); feeding it arbitrary
-/// bytes may panic, but never causes undefined behavior.
+/// bytes may panic, but never causes undefined behavior. Paths that
+/// parse bytes a checksum cannot vouch for (a CRC only proves the
+/// payload is what the *writer* wrote, not that the writer was honest —
+/// network peers, foreign files) must use [`ByteEncode::try_read`],
+/// which refuses malformed input instead of panicking.
 pub trait ByteEncode: Sized {
     /// Appends the encoded value.
     fn write(&self, out: &mut Vec<u8>);
     /// Reads a value written by [`ByteEncode::write`].
     fn read(buf: &[u8], pos: &mut usize) -> Self;
+    /// Fallible [`ByteEncode::read`]: `None` when the bytes at `*pos`
+    /// are not a valid encoding (truncated, overlong, or otherwise
+    /// malformed), leaving `*pos` unspecified. Never panics.
+    fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self>;
 }
 
 macro_rules! impl_byte_encode_uint {
@@ -363,6 +371,10 @@ macro_rules! impl_byte_encode_uint {
             }
             fn read(buf: &[u8], pos: &mut usize) -> Self {
                 bytecode::read_varint(buf, pos) as $t
+            }
+            fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                let v = bytecode::try_read_varint(buf, pos)?;
+                <$t>::try_from(v).ok()
             }
         }
     )*};
@@ -377,6 +389,10 @@ macro_rules! impl_byte_encode_int {
             }
             fn read(buf: &[u8], pos: &mut usize) -> Self {
                 bytecode::read_signed(buf, pos) as $t
+            }
+            fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                let v = bytecode::unzigzag(bytecode::try_read_varint(buf, pos)?);
+                <$t>::try_from(v).ok()
             }
         }
     )*};
@@ -393,11 +409,19 @@ impl<A: ByteEncode, B: ByteEncode> ByteEncode for (A, B) {
         let b = B::read(buf, pos);
         (a, b)
     }
+    fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let a = A::try_read(buf, pos)?;
+        let b = B::try_read(buf, pos)?;
+        Some((a, b))
+    }
 }
 
 impl ByteEncode for () {
     fn write(&self, _out: &mut Vec<u8>) {}
     fn read(_buf: &[u8], _pos: &mut usize) -> Self {}
+    fn try_read(_buf: &[u8], _pos: &mut usize) -> Option<Self> {
+        Some(())
+    }
 }
 
 impl ByteEncode for String {
@@ -416,6 +440,16 @@ impl ByteEncode for String {
         *pos = end;
         s
     }
+    fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        // The length is validated in the u64 domain before narrowing:
+        // a hostile 2^33 length must not truncate to something small
+        // on a 32-bit usize and slice the wrong bytes.
+        let len = usize::try_from(bytecode::try_read_varint(buf, pos)?).ok()?;
+        let end = pos.checked_add(len).filter(|&end| end <= buf.len())?;
+        let s = String::from_utf8(buf[*pos..end].to_vec()).ok()?;
+        *pos = end;
+        Some(s)
+    }
 }
 
 impl ByteEncode for f32 {
@@ -427,6 +461,11 @@ impl ByteEncode for f32 {
         *pos += 4;
         v
     }
+    fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let bytes = buf.get(*pos..pos.checked_add(4)?)?;
+        *pos += 4;
+        Some(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
 }
 
 impl ByteEncode for f64 {
@@ -437,6 +476,11 @@ impl ByteEncode for f64 {
         let v = f64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
         *pos += 8;
         v
+    }
+    fn try_read(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let bytes = buf.get(*pos..pos.checked_add(8)?)?;
+        *pos += 8;
+        Some(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 }
 
@@ -1187,6 +1231,69 @@ impl<E: GammaKey + Clone + Send + Sync + 'static> BlockIo<E> for GammaCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_read_roundtrips_every_impl() {
+        fn roundtrip<T: ByteEncode + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.write(&mut buf);
+            let mut pos = 0;
+            assert_eq!(T::try_read(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(i8::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip((7u64, -3i32));
+        roundtrip(());
+        roundtrip(String::from("påç-trees"));
+        roundtrip(1.5f32);
+        roundtrip(-2.25f64);
+    }
+
+    #[test]
+    fn try_read_rejects_what_read_would_panic_on() {
+        // Truncated varint.
+        let mut pos = 0;
+        assert_eq!(u64::try_read(&[0x80], &mut pos), None);
+        // Value outside the narrow type's domain (read would silently
+        // truncate `300 as u8`).
+        let mut buf = Vec::new();
+        bytecode::write_varint(300, &mut buf);
+        let mut pos = 0;
+        assert_eq!(u8::try_read(&buf, &mut pos), None);
+        // String whose length runs past the buffer, including a length
+        // crafted to wrap a 32-bit usize (1 << 33).
+        for len in [10u64, 1 << 33] {
+            let mut buf = Vec::new();
+            bytecode::write_varint(len, &mut buf);
+            buf.extend_from_slice(b"abc");
+            let mut pos = 0;
+            assert_eq!(String::try_read(&buf, &mut pos), None, "len {len}");
+        }
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        bytecode::write_varint(2, &mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut pos = 0;
+        assert_eq!(String::try_read(&buf, &mut pos), None);
+        // Truncated fixed-width floats.
+        let mut pos = 0;
+        assert_eq!(f32::try_read(&[0, 0, 0], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(f64::try_read(&[0; 7], &mut pos), None);
+        // Truncated second element of a pair.
+        let mut buf = Vec::new();
+        7u64.write(&mut buf);
+        let mut pos = 0;
+        assert_eq!(<(u64, f64)>::try_read(&buf, &mut pos), None);
+    }
 
     #[test]
     fn raw_codec_roundtrip() {

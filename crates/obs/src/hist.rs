@@ -231,18 +231,40 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Inclusive value bounds of the outermost non-empty buckets, or
+    /// `None` when every bucket is empty. The fallback extrema when the
+    /// tracked `min`/`max` can't be trusted.
+    fn bucket_extrema(&self) -> Option<(u64, u64)> {
+        let first = self.buckets.iter().position(|&c| c != 0)?;
+        let last = self.buckets.iter().rposition(|&c| c != 0).expect("first exists");
+        Some((bucket_bounds(first).0, bucket_bounds(last).1))
+    }
+
     /// Smallest recorded value, or 0 when empty.
+    ///
+    /// [`Histogram::record`] bumps the bucket count before updating the
+    /// tracked extrema, so a snapshot racing a histogram's first record
+    /// can carry `count > 0` with `min` still at its `u64::MAX` sentinel
+    /// (and `max` at 0). Rather than leak the sentinel into scrapes,
+    /// such a torn snapshot falls back to the first non-empty bucket's
+    /// lower bound — correct to bucket resolution.
     pub fn min_value(&self) -> u64 {
-        if self.count() == 0 {
-            0
-        } else {
-            self.min
+        match self.bucket_extrema() {
+            None => 0,
+            Some((lo, _)) if self.min == u64::MAX => lo,
+            _ => self.min,
         }
     }
 
-    /// Largest recorded value, or 0 when empty.
+    /// Largest recorded value, or 0 when empty. Falls back to the last
+    /// non-empty bucket's upper bound when the tracked `max` is stale
+    /// (see [`min_value`](Self::min_value) for the race).
     pub fn max_value(&self) -> u64 {
-        self.max
+        match self.bucket_extrema() {
+            None => 0,
+            Some((lo, hi)) if self.max < lo => hi,
+            _ => self.max,
+        }
     }
 
     /// Iterate the non-empty buckets as `(lo, hi, count)` with
@@ -275,7 +297,7 @@ impl HistogramSnapshot {
             seen += c;
             if seen >= rank {
                 let (_, hi) = bucket_bounds(i);
-                return hi.clamp(self.min_value(), self.max.max(self.min_value()));
+                return hi.clamp(self.min_value(), self.max_value().max(self.min_value()));
             }
         }
         self.max
@@ -441,6 +463,30 @@ mod tests {
         assert_eq!(s.max_value(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn torn_snapshot_never_reports_the_min_sentinel() {
+        // `record` bumps the bucket count before updating min/max, so a
+        // snapshot racing a histogram's first record can see count == 1
+        // with min still u64::MAX and max still 0. Scrape accessors
+        // must fall back to bucket bounds, never leak the sentinel.
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[bucket_index(100)] = 1;
+        let torn = HistogramSnapshot {
+            buckets,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        };
+        assert_eq!(torn.count(), 1);
+        let (lo, hi) = bucket_bounds(bucket_index(100));
+        assert_eq!(torn.min_value(), lo);
+        assert_eq!(torn.max_value(), hi);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let v = torn.quantile(q);
+            assert!(v >= lo && v <= hi, "q={q} leaked {v}");
+        }
     }
 
     #[test]

@@ -475,6 +475,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_scrapes_are_sentinel_free() {
+        // A registered-but-never-recorded histogram must scrape as
+        // zeros in both exposition formats — no u64::MAX sentinel.
+        let r = Registry::new();
+        r.histogram("idle_ns");
+        let text = r.render_text();
+        assert!(text.contains("idle_ns_count 0"), "{text}");
+        assert!(text.contains("idle_ns_min 0"), "{text}");
+        assert!(text.contains("idle_ns_max 0"), "{text}");
+        assert!(text.contains("idle_ns{quantile=\"0.99\"} 0"), "{text}");
+        assert!(!text.contains("18446744073709551615"), "{text}");
+        let json = r.snapshot_json();
+        assert!(
+            json.contains("\"idle_ns\": {\"count\": 0, \"sum\": 0, \"mean\": 0.0, \"min\": 0"),
+            "{json}"
+        );
+        assert!(!json.contains("18446744073709551615"), "{json}");
+    }
+
+    #[test]
     fn snapshot_json_shape() {
         let r = Registry::new();
         r.counter("c_total").add(7);

@@ -1,0 +1,67 @@
+//! pacserve: a framed network serving layer for the sharded pacstore.
+//!
+//! The store crate ends at a library boundary — every caller so far
+//! links the store into its own process. This crate puts a wire in
+//! front of it: a length-prefixed, CRC-framed request/response
+//! protocol served over TCP (or an in-process duplex pipe for tests
+//! and sandboxed CI), a connection-per-thread server that funnels
+//! writers into the store's MVCC group commit, and a client with
+//! per-request timeouts and bounded jittered retry.
+//!
+//! # Layers
+//!
+//! - [`frame`]: the WAL's `varint len ++ payload ++ crc32` framing
+//!   ([`store::wal::frame`]) read incrementally off a byte stream,
+//!   with every length bounds-checked *before* allocation and every
+//!   CRC verified *before* parse. Corrupt frames are typed
+//!   [`FrameError`]s, never panics.
+//! - [`proto`]: the messages inside frames — [`Request`] and
+//!   [`Response`] over any `StoreKey`/`StoreValue` pair, encoded with
+//!   the same fallible [`codecs::ByteEncode`] discipline as the WAL.
+//! - [`transport`]: [`Transport`] abstracts a real [`std::net::TcpStream`]
+//!   and the in-process [`PipeEnd`]; both carry the identical byte
+//!   stream, so CI exercises the full wire path without a socket.
+//! - [`server`]: [`serve_tcp`] / [`serve_pipe`] accept loops,
+//!   connection threads, graceful drain, and `pacserve_*` metrics in
+//!   the [`obs::global`] registry.
+//! - [`client`]: the synchronous [`Client`], which retries idempotent
+//!   reads with jittered backoff and fails writes fast once they may
+//!   have reached the server.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use server::{serve_pipe, Client, ClientOptions, ServerOptions};
+//! use store::{Op, Router, ShardedStore, StoreOptions};
+//!
+//! let store = ShardedStore::<u64, u64>::in_memory_with(
+//!     Router::uniform_span(4, 1 << 32),
+//!     StoreOptions::default(),
+//! )
+//! .unwrap();
+//! let (mut handle, connector) = serve_pipe(store, ServerOptions::default());
+//!
+//! let mut client = Client::<u64, u64>::connect_pipe(connector, ClientOptions::default());
+//! let v1 = client.put_batch(vec![Op::Put(7, 700)]).unwrap();
+//! assert_eq!(client.get(7).unwrap(), Some(700));
+//!
+//! // Pin the commit, overwrite, and read the old value back at the pin.
+//! client.pin(v1).unwrap();
+//! client.put_batch(vec![Op::Put(7, 701)]).unwrap();
+//! assert_eq!(client.get_at(7, Some(v1)).unwrap(), Some(700));
+//! client.unpin(v1).unwrap();
+//!
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod transport;
+
+pub use client::{Client, ClientError, ClientOptions, Dialer};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use proto::{ErrorCode, ProtoError, Request, Response, WIRE_FORMAT};
+pub use server::{serve_pipe, serve_tcp, ServerHandle, ServerOptions};
+pub use transport::{pipe_channel, PipeConnector, PipeEnd, PipeListener, Transport};

@@ -1,0 +1,559 @@
+//! Request/response message layer: what goes inside a wire frame.
+//!
+//! Every payload leads with [`WIRE_FORMAT`] (so a peer speaking a
+//! different protocol revision is a typed error, mirroring
+//! [`store::wal::LOG_FORMAT`]) and an opcode byte; fields follow in
+//! [`codecs::ByteEncode`] encoding. Decoding goes exclusively through
+//! the fallible `try_read` path — the frame CRC only proves the bytes
+//! are what the peer sent, not that the peer is honest, so every
+//! length is validated in the u64 domain before it becomes an
+//! allocation or a slice.
+
+use codecs::{bytecode, ByteEncode};
+use store::{Op, StoreError, StoreKey, StoreValue};
+
+/// Format byte of every message this build writes and reads (revision
+/// 1 of the pacserve wire protocol). Distinct from
+/// [`store::wal::LOG_FORMAT`] so a log image piped at a server (or
+/// vice versa) fails typed.
+pub const WIRE_FORMAT: u8 = 0xB3;
+
+const REQ_PUT_BATCH: u8 = 0x01;
+const REQ_GET: u8 = 0x02;
+const REQ_RANGE: u8 = 0x03;
+const REQ_SNAPSHOT: u8 = 0x04;
+const REQ_PIN: u8 = 0x05;
+const REQ_UNPIN: u8 = 0x06;
+const REQ_STATS: u8 = 0x07;
+
+const RESP_COMMITTED: u8 = 0x81;
+const RESP_VALUE: u8 = 0x82;
+const RESP_ENTRIES: u8 = 0x83;
+const RESP_SNAPSHOT: u8 = 0x84;
+const RESP_PINNED: u8 = 0x85;
+const RESP_UNPINNED: u8 = 0x86;
+const RESP_STATS: u8 = 0x87;
+const RESP_ERROR: u8 = 0xFF;
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+/// Why a message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The leading format byte is not [`WIRE_FORMAT`].
+    Format(u8),
+    /// Unknown opcode for this message direction.
+    Opcode(u8),
+    /// The payload ended inside the named field, or a count/length
+    /// described more elements than the payload could hold.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Format(b) => {
+                write!(f, "wire format {b:#04x}, this build speaks {WIRE_FORMAT:#04x}")
+            }
+            ProtoError::Opcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Stable error codes carried by [`Response::Error`], so clients can
+/// react without parsing the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The requested version is neither current nor retained.
+    VersionNotFound = 1,
+    /// Unpin of a version that holds no pin.
+    NotPinned = 2,
+    /// The commit (or its group) failed; nothing was published.
+    CommitFailed = 3,
+    /// The request decoded as a frame but not as a message.
+    MalformedRequest = 4,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown = 5,
+    /// Any other store-side failure; see the message text.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// The code for a store-side failure.
+    pub fn of(err: &StoreError) -> ErrorCode {
+        match err {
+            StoreError::VersionNotFound(_) => ErrorCode::VersionNotFound,
+            StoreError::NotPinned(_) => ErrorCode::NotPinned,
+            StoreError::CommitFailed(_) => ErrorCode::CommitFailed,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::VersionNotFound,
+            2 => ErrorCode::NotPinned,
+            3 => ErrorCode::CommitFailed,
+            4 => ErrorCode::MalformedRequest,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<K, V> {
+    /// Commit a batch through the store's group-commit pipeline.
+    PutBatch(Vec<Op<K, V>>),
+    /// Point read — against the current version, or against retained
+    /// version `at` (as pinned by [`Request::Pin`]).
+    Get {
+        /// Key to look up.
+        key: K,
+        /// Retained global commit id to read at; `None` = current.
+        at: Option<u64>,
+    },
+    /// Range read over `[lo, hi]`, at most `limit` entries (0 = all).
+    Range {
+        /// Inclusive lower bound.
+        lo: K,
+        /// Inclusive upper bound.
+        hi: K,
+        /// Entry cap; 0 means unlimited.
+        limit: u64,
+        /// Retained global commit id to read at; `None` = current.
+        at: Option<u64>,
+    },
+    /// The current consistent version vector.
+    Snapshot,
+    /// Pin a global commit id against eviction.
+    Pin(u64),
+    /// Release one pin.
+    Unpin(u64),
+    /// A metrics scrape of the server process.
+    Stats,
+}
+
+impl<K: StoreKey, V: StoreValue> Request<K, V> {
+    /// The operation label, used for metrics and logs.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::PutBatch(_) => "put_batch",
+            Request::Get { .. } => "get",
+            Request::Range { .. } => "range",
+            Request::Snapshot => "snapshot",
+            Request::Pin(_) => "pin",
+            Request::Unpin(_) => "unpin",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_FORMAT];
+        match self {
+            Request::PutBatch(ops) => {
+                out.push(REQ_PUT_BATCH);
+                bytecode::write_varint(ops.len() as u64, &mut out);
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => {
+                            out.push(OP_PUT);
+                            k.write(&mut out);
+                            v.write(&mut out);
+                        }
+                        Op::Delete(k) => {
+                            out.push(OP_DELETE);
+                            k.write(&mut out);
+                        }
+                    }
+                }
+            }
+            Request::Get { key, at } => {
+                out.push(REQ_GET);
+                key.write(&mut out);
+                write_opt_u64(&mut out, *at);
+            }
+            Request::Range { lo, hi, limit, at } => {
+                out.push(REQ_RANGE);
+                lo.write(&mut out);
+                hi.write(&mut out);
+                bytecode::write_varint(*limit, &mut out);
+                write_opt_u64(&mut out, *at);
+            }
+            Request::Snapshot => out.push(REQ_SNAPSHOT),
+            Request::Pin(v) => {
+                out.push(REQ_PIN);
+                bytecode::write_varint(*v, &mut out);
+            }
+            Request::Unpin(v) => {
+                out.push(REQ_UNPIN);
+                bytecode::write_varint(*v, &mut out);
+            }
+            Request::Stats => out.push(REQ_STATS),
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`]; hostile counts and truncated fields are
+    /// always typed, never panics.
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
+        let (opcode, body) = split_header(buf)?;
+        let mut pos = 0usize;
+        let req = match opcode {
+            REQ_PUT_BATCH => {
+                let count = read_count(body, &mut pos, "op count")?;
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let tag = *body.get(pos).ok_or(ProtoError::Malformed("op tag"))?;
+                    pos += 1;
+                    match tag {
+                        OP_PUT => {
+                            let k = K::try_read(body, &mut pos)
+                                .ok_or(ProtoError::Malformed("put key"))?;
+                            let v = V::try_read(body, &mut pos)
+                                .ok_or(ProtoError::Malformed("put value"))?;
+                            ops.push(Op::Put(k, v));
+                        }
+                        OP_DELETE => {
+                            let k = K::try_read(body, &mut pos)
+                                .ok_or(ProtoError::Malformed("delete key"))?;
+                            ops.push(Op::Delete(k));
+                        }
+                        _ => return Err(ProtoError::Malformed("op tag")),
+                    }
+                }
+                Request::PutBatch(ops)
+            }
+            REQ_GET => {
+                let key = K::try_read(body, &mut pos).ok_or(ProtoError::Malformed("get key"))?;
+                let at = read_opt_u64(body, &mut pos)?;
+                Request::Get { key, at }
+            }
+            REQ_RANGE => {
+                let lo = K::try_read(body, &mut pos).ok_or(ProtoError::Malformed("range lo"))?;
+                let hi = K::try_read(body, &mut pos).ok_or(ProtoError::Malformed("range hi"))?;
+                let limit = bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("range limit"))?;
+                let at = read_opt_u64(body, &mut pos)?;
+                Request::Range { lo, hi, limit, at }
+            }
+            REQ_SNAPSHOT => Request::Snapshot,
+            REQ_PIN => Request::Pin(
+                bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("pin version"))?,
+            ),
+            REQ_UNPIN => Request::Unpin(
+                bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("unpin version"))?,
+            ),
+            REQ_STATS => Request::Stats,
+            other => return Err(ProtoError::Opcode(other)),
+        };
+        ensure_consumed(body, pos)?;
+        Ok(req)
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response<K, V> {
+    /// The batch committed as this global commit id.
+    Committed(u64),
+    /// Point-read result.
+    Value(Option<V>),
+    /// Range-read result, in key order.
+    Entries(Vec<(K, V)>),
+    /// A consistent version vector: the global commit id and the
+    /// per-shard local versions it pins.
+    Snapshot {
+        /// Global commit id.
+        global: u64,
+        /// Per-shard local versions, in shard order.
+        locals: Vec<u64>,
+    },
+    /// Pin acknowledged for this version.
+    Pinned(u64),
+    /// Unpin acknowledged for this version.
+    Unpinned(u64),
+    /// Metrics scrape (Prometheus text exposition).
+    Stats(String),
+    /// The request failed server-side.
+    Error {
+        /// Stable error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl<K: StoreKey, V: StoreValue> Response<K, V> {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_FORMAT];
+        match self {
+            Response::Committed(v) => {
+                out.push(RESP_COMMITTED);
+                bytecode::write_varint(*v, &mut out);
+            }
+            Response::Value(v) => {
+                out.push(RESP_VALUE);
+                match v {
+                    Some(v) => {
+                        out.push(1);
+                        v.write(&mut out);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Entries(entries) => {
+                out.push(RESP_ENTRIES);
+                bytecode::write_varint(entries.len() as u64, &mut out);
+                for (k, v) in entries {
+                    k.write(&mut out);
+                    v.write(&mut out);
+                }
+            }
+            Response::Snapshot { global, locals } => {
+                out.push(RESP_SNAPSHOT);
+                bytecode::write_varint(*global, &mut out);
+                bytecode::write_varint(locals.len() as u64, &mut out);
+                for l in locals {
+                    bytecode::write_varint(*l, &mut out);
+                }
+            }
+            Response::Pinned(v) => {
+                out.push(RESP_PINNED);
+                bytecode::write_varint(*v, &mut out);
+            }
+            Response::Unpinned(v) => {
+                out.push(RESP_UNPINNED);
+                bytecode::write_varint(*v, &mut out);
+            }
+            Response::Stats(text) => {
+                out.push(RESP_STATS);
+                text.write(&mut out);
+            }
+            Response::Error { code, message } => {
+                out.push(RESP_ERROR);
+                out.push(*code as u8);
+                message.write(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
+        let (opcode, body) = split_header(buf)?;
+        let mut pos = 0usize;
+        let resp = match opcode {
+            RESP_COMMITTED => Response::Committed(
+                bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("committed version"))?,
+            ),
+            RESP_VALUE => {
+                let flag = *body.get(pos).ok_or(ProtoError::Malformed("value flag"))?;
+                pos += 1;
+                match flag {
+                    0 => Response::Value(None),
+                    1 => Response::Value(Some(
+                        V::try_read(body, &mut pos).ok_or(ProtoError::Malformed("value"))?,
+                    )),
+                    _ => return Err(ProtoError::Malformed("value flag")),
+                }
+            }
+            RESP_ENTRIES => {
+                let count = read_count(body, &mut pos, "entry count")?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k =
+                        K::try_read(body, &mut pos).ok_or(ProtoError::Malformed("entry key"))?;
+                    let v =
+                        V::try_read(body, &mut pos).ok_or(ProtoError::Malformed("entry value"))?;
+                    entries.push((k, v));
+                }
+                Response::Entries(entries)
+            }
+            RESP_SNAPSHOT => {
+                let global = bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("snapshot global"))?;
+                let count = read_count(body, &mut pos, "shard count")?;
+                let mut locals = Vec::with_capacity(count);
+                for _ in 0..count {
+                    locals.push(
+                        bytecode::try_read_varint(body, &mut pos)
+                            .ok_or(ProtoError::Malformed("shard version"))?,
+                    );
+                }
+                Response::Snapshot { global, locals }
+            }
+            RESP_PINNED => Response::Pinned(
+                bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("pinned version"))?,
+            ),
+            RESP_UNPINNED => Response::Unpinned(
+                bytecode::try_read_varint(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("unpinned version"))?,
+            ),
+            RESP_STATS => Response::Stats(
+                String::try_read(body, &mut pos).ok_or(ProtoError::Malformed("stats text"))?,
+            ),
+            RESP_ERROR => {
+                let code = *body.get(pos).ok_or(ProtoError::Malformed("error code"))?;
+                pos += 1;
+                let code = ErrorCode::from_u8(code).ok_or(ProtoError::Malformed("error code"))?;
+                let message = String::try_read(body, &mut pos)
+                    .ok_or(ProtoError::Malformed("error message"))?;
+                Response::Error { code, message }
+            }
+            other => return Err(ProtoError::Opcode(other)),
+        };
+        ensure_consumed(body, pos)?;
+        Ok(resp)
+    }
+}
+
+fn split_header(buf: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+    match buf {
+        [] => Err(ProtoError::Malformed("empty payload")),
+        [format, ..] if *format != WIRE_FORMAT => Err(ProtoError::Format(*format)),
+        [_] => Err(ProtoError::Malformed("missing opcode")),
+        [_, opcode, body @ ..] => Ok((*opcode, body)),
+    }
+}
+
+/// Reads an element count, validated in the u64 domain against the
+/// payload's byte budget before it sizes an allocation.
+fn read_count(body: &[u8], pos: &mut usize, what: &'static str) -> Result<usize, ProtoError> {
+    let count = bytecode::try_read_varint(body, pos).ok_or(ProtoError::Malformed(what))?;
+    if count > body.len() as u64 {
+        return Err(ProtoError::Malformed(what));
+    }
+    Ok(count as usize)
+}
+
+fn ensure_consumed(body: &[u8], pos: usize) -> Result<(), ProtoError> {
+    if pos == body.len() {
+        Ok(())
+    } else {
+        Err(ProtoError::Malformed("trailing bytes"))
+    }
+}
+
+fn write_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            bytecode::write_varint(v, out);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_u64(body: &[u8], pos: &mut usize) -> Result<Option<u64>, ProtoError> {
+    let flag = *body.get(*pos).ok_or(ProtoError::Malformed("option flag"))?;
+    *pos += 1;
+    match flag {
+        0 => Ok(None),
+        1 => Ok(Some(
+            bytecode::try_read_varint(body, pos).ok_or(ProtoError::Malformed("option value"))?,
+        )),
+        _ => Err(ProtoError::Malformed("option flag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request<u64, String>) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response<u64, String>) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip_req(Request::PutBatch(vec![
+            Op::Put(1, "one".into()),
+            Op::Delete(2),
+            Op::Put(u64::MAX, String::new()),
+        ]));
+        roundtrip_req(Request::Get { key: 7, at: None });
+        roundtrip_req(Request::Get { key: 7, at: Some(3) });
+        roundtrip_req(Request::Range { lo: 1, hi: 100, limit: 0, at: None });
+        roundtrip_req(Request::Range { lo: 0, hi: u64::MAX, limit: 10, at: Some(9) });
+        roundtrip_req(Request::Snapshot);
+        roundtrip_req(Request::Pin(42));
+        roundtrip_req(Request::Unpin(42));
+        roundtrip_req(Request::Stats);
+
+        roundtrip_resp(Response::Committed(17));
+        roundtrip_resp(Response::Value(None));
+        roundtrip_resp(Response::Value(Some("v".into())));
+        roundtrip_resp(Response::Entries(vec![(1, "a".into()), (2, "b".into())]));
+        roundtrip_resp(Response::Snapshot { global: 5, locals: vec![3, 1, 5] });
+        roundtrip_resp(Response::Pinned(5));
+        roundtrip_resp(Response::Unpinned(5));
+        roundtrip_resp(Response::Stats("pacserve_requests_total 9\n".into()));
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::VersionNotFound,
+            message: "version 3 not retained".into(),
+        });
+    }
+
+    #[test]
+    fn hostile_messages_are_typed_errors() {
+        // Wrong format byte (a WAL record aimed at the server).
+        assert_eq!(
+            Request::<u64, u64>::decode(&[store::wal::LOG_FORMAT, REQ_STATS]),
+            Err(ProtoError::Format(store::wal::LOG_FORMAT))
+        );
+        // Unknown opcodes, both directions.
+        assert_eq!(
+            Request::<u64, u64>::decode(&[WIRE_FORMAT, 0x7E]),
+            Err(ProtoError::Opcode(0x7E))
+        );
+        assert_eq!(
+            Response::<u64, u64>::decode(&[WIRE_FORMAT, 0x02]),
+            Err(ProtoError::Opcode(0x02))
+        );
+        // Hostile op count: claims 2^33 ops in a tiny payload.
+        let mut buf = vec![WIRE_FORMAT, REQ_PUT_BATCH];
+        bytecode::write_varint(1 << 33, &mut buf);
+        assert_eq!(
+            Request::<u64, u64>::decode(&buf),
+            Err(ProtoError::Malformed("op count"))
+        );
+        // Truncated mid-field.
+        let full = Request::<u64, u64>::PutBatch(vec![Op::Put(300, 400)]).encode();
+        for cut in 2..full.len() {
+            assert!(Request::<u64, u64>::decode(&full[..cut]).is_err());
+        }
+        // Trailing garbage after a complete message.
+        let mut padded = Request::<u64, u64>::Snapshot.encode();
+        padded.push(0xAB);
+        assert_eq!(
+            Request::<u64, u64>::decode(&padded),
+            Err(ProtoError::Malformed("trailing bytes"))
+        );
+    }
+}

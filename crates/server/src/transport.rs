@@ -1,0 +1,342 @@
+//! Connection transports: real TCP sockets and an in-process duplex
+//! pipe that speaks the exact same framed byte stream.
+//!
+//! The pipe exists so tests and CI can exercise the full wire path —
+//! framing, CRC verification, hostile-input handling, reconnects —
+//! without binding a socket (sandboxed runners may not allow it). It
+//! is not a shortcut around the protocol: bytes written into one end
+//! come out the other end as an opaque stream, so everything above
+//! [`std::io::Read`]/[`std::io::Write`] behaves identically on both
+//! transports.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One direction of a pipe: a byte queue with a closed flag.
+struct Half {
+    state: Mutex<HalfState>,
+    cv: Condvar,
+}
+
+struct HalfState {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Half {
+    fn new() -> Arc<Half> {
+        Arc::new(Half {
+            state: Mutex::new(HalfState { data: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of an in-process duplex byte pipe. Dropping an end closes
+/// both directions: the peer's reads return EOF once drained, and its
+/// writes fail with `BrokenPipe`.
+pub struct PipeEnd {
+    rx: Arc<Half>,
+    tx: Arc<Half>,
+    read_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for PipeEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeEnd")
+            .field("read_timeout", &self.read_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipeEnd {
+    /// A connected pair of ends.
+    pub fn pair() -> (PipeEnd, PipeEnd) {
+        let a = Half::new();
+        let b = Half::new();
+        (
+            PipeEnd { rx: Arc::clone(&a), tx: Arc::clone(&b), read_timeout: None },
+            PipeEnd { rx: b, tx: a, read_timeout: None },
+        )
+    }
+
+    /// Blocks reads for at most `timeout` (`None` = forever), matching
+    /// [`TcpStream::set_read_timeout`] semantics: a timed-out read
+    /// fails with [`std::io::ErrorKind::WouldBlock`].
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let mut state = self.rx.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.data.is_empty() {
+                let n = buf.len().min(state.data.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state.data.pop_front().expect("n <= len");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            state = match deadline {
+                None => self.rx.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "pipe read timed out",
+                        ));
+                    }
+                    let (state, _) = self
+                        .rx
+                        .cv
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state
+                }
+            };
+        }
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.tx.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe peer closed",
+            ));
+        }
+        state.data.extend(buf);
+        self.tx.cv.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+struct ListenerShared {
+    state: Mutex<ListenerState>,
+    cv: Condvar,
+}
+
+struct ListenerState {
+    pending: VecDeque<PipeEnd>,
+    closed: bool,
+}
+
+/// Server side of an in-process "address": accepts [`PipeEnd`]s that
+/// [`PipeConnector::connect`] dialed.
+pub struct PipeListener {
+    shared: Arc<ListenerShared>,
+}
+
+/// Client side of an in-process "address". Cloneable; hand one to
+/// every in-process client.
+#[derive(Clone)]
+pub struct PipeConnector {
+    shared: Arc<ListenerShared>,
+}
+
+/// A connected in-process listener/connector pair.
+pub fn pipe_channel() -> (PipeListener, PipeConnector) {
+    let shared = Arc::new(ListenerShared {
+        state: Mutex::new(ListenerState { pending: VecDeque::new(), closed: false }),
+        cv: Condvar::new(),
+    });
+    (PipeListener { shared: Arc::clone(&shared) }, PipeConnector { shared })
+}
+
+impl PipeListener {
+    /// Waits up to `timeout` for an incoming connection; `Ok(None)` on
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::ConnectionAborted`] once the listener is
+    /// closed.
+    pub fn accept(&self, timeout: Duration) -> std::io::Result<Option<PipeEnd>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(end) = state.pending.pop_front() {
+                return Ok(Some(end));
+            }
+            if state.closed {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "pipe listener closed",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (next, _) = self
+                .shared
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+}
+
+impl Drop for PipeListener {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl PipeConnector {
+    /// Dials the listener: returns the client end of a fresh pipe.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::ConnectionRefused`] once the listener is
+    /// gone.
+    pub fn connect(&self) -> std::io::Result<PipeEnd> {
+        let (client, server) = PipeEnd::pair();
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "pipe listener closed",
+            ));
+        }
+        state.pending.push_back(server);
+        self.shared.cv.notify_all();
+        Ok(client)
+    }
+}
+
+/// A connected byte stream: TCP or in-process pipe. Everything above
+/// this enum ([`crate::frame`], [`crate::Client`], the server
+/// connection loop) is transport-agnostic.
+pub enum Transport {
+    /// A real socket.
+    Tcp(TcpStream),
+    /// An in-process duplex pipe.
+    Pipe(PipeEnd),
+}
+
+impl Transport {
+    /// Bounds blocking reads, with [`TcpStream::set_read_timeout`]
+    /// semantics on both variants.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level error (the pipe variant is infallible).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.set_read_timeout(timeout),
+            Transport::Pipe(p) => {
+                p.set_read_timeout(timeout);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Pipe(p) => p.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Pipe(p) => p.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            Transport::Pipe(p) => p.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_moves_bytes_and_signals_eof() {
+        let (mut a, mut b) = PipeEnd::pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        drop(a);
+        // Peer closed: reads drain then EOF, writes break.
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+        assert_eq!(
+            b.write(b"x").unwrap_err().kind(),
+            std::io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn pipe_read_timeout_is_would_block() {
+        let (_a, mut b) = PipeEnd::pair();
+        b.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            b.read(&mut buf).unwrap_err().kind(),
+            std::io::ErrorKind::WouldBlock
+        );
+    }
+
+    #[test]
+    fn listener_hands_out_connected_pairs() {
+        let (listener, connector) = pipe_channel();
+        let mut client = connector.connect().unwrap();
+        let mut server = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        // No pending dial: accept times out cleanly.
+        assert!(listener.accept(Duration::from_millis(5)).unwrap().is_none());
+        drop(listener);
+        assert_eq!(
+            connector.connect().unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionRefused
+        );
+    }
+}

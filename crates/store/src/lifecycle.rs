@@ -26,8 +26,14 @@
 //! pinned snapshot's data out from under a reader.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
 
+use codecs::bytecode;
 use parking_lot::Mutex;
+
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use crate::pagefmt;
 
 /// Which retained versions GC may drop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +147,21 @@ impl std::fmt::Debug for VersionRegistry {
 }
 
 impl VersionRegistry {
+    /// A registry seeded with pins loaded from disk (see
+    /// [`load_pins`]).
+    pub(crate) fn from_pins(pins: HashMap<u64, usize>) -> Self {
+        VersionRegistry { pins: Mutex::new(pins) }
+    }
+
+    /// The full pin table `(version, count)`, ascending by version —
+    /// the payload [`persist_pins`] writes.
+    pub(crate) fn dump(&self) -> Vec<(u64, usize)> {
+        let mut out: Vec<(u64, usize)> =
+            self.pins.lock().iter().map(|(&v, &n)| (v, n)).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Adds one pin on `version`.
     pub fn pin(&self, version: u64) {
         *self.pins.lock().entry(version).or_insert(0) += 1;
@@ -200,6 +221,112 @@ pub(crate) fn evict_history<T>(
     }
 }
 
+// ----- Pin persistence ----------------------------------------------
+//
+// Pins promise retention, and retention is only meaningful if it
+// survives a restart: a reader that pinned version 7 before the
+// process died expects `snapshot_at(7)` to still work after reopen
+// (provided the WAL still reaches it). The pin table is therefore
+// written to `pins.pac` in the store directory on every pin/unpin,
+// atomically (temp + rename, like snapshot pages), and loaded *before*
+// WAL replay so replay-time history eviction honors it.
+
+/// File holding the durable pin table, at the root of a store (or
+/// sharded store) directory.
+pub(crate) const PINS_FILE: &str = "pins.pac";
+
+/// `pins.pac` layout: this magic, varint entry count, then per entry
+/// `varint version ++ varint pin-count`, then CRC-32 (LE) of all
+/// preceding bytes.
+const PINS_MAGIC: &[u8; 8] = b"PACPINS1";
+
+fn encode_pins(pins: &[(u64, usize)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PINS_MAGIC.len() + 4 + pins.len() * 10);
+    out.extend_from_slice(PINS_MAGIC);
+    bytecode::write_varint(pins.len() as u64, &mut out);
+    for &(version, count) in pins {
+        bytecode::write_varint(version, &mut out);
+        bytecode::write_varint(count as u64, &mut out);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_pins(bytes: &[u8]) -> Result<HashMap<u64, usize>, StoreError> {
+    let Some(rest) = bytes.strip_prefix(PINS_MAGIC) else {
+        return Err(StoreError::BadMagic);
+    };
+    if rest.len() < 4 {
+        return Err(StoreError::Truncated("pin table checksum"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    let body = &body[PINS_MAGIC.len()..];
+    let mut pos = 0usize;
+    let count = bytecode::try_read_varint(body, &mut pos)
+        .ok_or(StoreError::Truncated("pin table entry count"))?;
+    // An entry is at least two bytes; a count past that is hostile
+    // (same in-u64-domain check as the WAL op counts).
+    if count > body.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "pin table claims {count} entries in {} bytes",
+            body.len()
+        )));
+    }
+    let mut pins = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        let version = bytecode::try_read_varint(body, &mut pos)
+            .ok_or(StoreError::Truncated("pin table version"))?;
+        let n = bytecode::try_read_varint(body, &mut pos)
+            .ok_or(StoreError::Truncated("pin table count"))?;
+        let n = usize::try_from(n)
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| StoreError::Corrupt(format!("pin count {n} for version {version}")))?;
+        if pins.insert(version, n).is_some() {
+            return Err(StoreError::Corrupt(format!("duplicate pin entry for version {version}")));
+        }
+    }
+    if pos != body.len() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after pin table",
+            body.len() - pos
+        )));
+    }
+    Ok(pins)
+}
+
+/// Loads the pin table from `dir`, an empty table when no `pins.pac`
+/// exists yet.
+///
+/// # Errors
+///
+/// I/O errors; [`StoreError::BadMagic`] /
+/// [`StoreError::ChecksumMismatch`] / [`StoreError::Truncated`] /
+/// [`StoreError::Corrupt`] for a clobbered file.
+pub(crate) fn load_pins(dir: &Path) -> Result<HashMap<u64, usize>, StoreError> {
+    let path = dir.join(PINS_FILE);
+    if !path.exists() {
+        return Ok(HashMap::new());
+    }
+    decode_pins(&std::fs::read(&path)?)
+}
+
+/// Durably rewrites `dir`'s pin table from `registry`'s current state
+/// (atomic temp-then-rename; see [`pagefmt::write_file_atomic`]).
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub(crate) fn persist_pins(dir: &Path, registry: &VersionRegistry) -> Result<(), StoreError> {
+    pagefmt::write_file_atomic(&dir.join(PINS_FILE), &encode_pins(&registry.dump()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +360,47 @@ mod tests {
         let mut h: VecDeque<u64> = (1..=4).collect();
         evict_history(&mut h, 1, |&v| v, &r);
         assert_eq!(h, VecDeque::from(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn pin_table_roundtrips() {
+        let r = VersionRegistry::default();
+        r.pin(3);
+        r.pin(3);
+        r.pin(9);
+        let decoded = decode_pins(&encode_pins(&r.dump())).unwrap();
+        assert_eq!(decoded, HashMap::from([(3, 2), (9, 1)]));
+        // Empty table roundtrips too (the post-last-unpin state).
+        assert!(decode_pins(&encode_pins(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clobbered_pin_tables_are_typed_errors() {
+        let good = encode_pins(&[(5, 1), (7, 2)]);
+
+        assert!(matches!(decode_pins(b"NOTPINS!rest"), Err(StoreError::BadMagic)));
+        assert!(matches!(
+            decode_pins(&good[..good.len() - 2]),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        let mut flipped = good.clone();
+        flipped[10] ^= 0x40;
+        assert!(matches!(decode_pins(&flipped), Err(StoreError::ChecksumMismatch { .. })));
+
+        // CRC-valid but hostile: entry count far past the byte budget.
+        let mut hostile = Vec::from(*PINS_MAGIC);
+        bytecode::write_varint(1 << 33, &mut hostile);
+        let crc = crc32(&hostile);
+        hostile.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode_pins(&hostile), Err(StoreError::Corrupt(_))));
+
+        // CRC-valid zero pin count: structurally impossible.
+        let mut zero = Vec::from(*PINS_MAGIC);
+        bytecode::write_varint(1, &mut zero);
+        bytecode::write_varint(4, &mut zero);
+        bytecode::write_varint(0, &mut zero);
+        let crc = crc32(&zero);
+        zero.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode_pins(&zero), Err(StoreError::Corrupt(_))));
     }
 }

@@ -369,6 +369,7 @@ where
         map: PacMap<K, V, NoAug, C>,
         history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
         checkpoint: Option<Checkpoint<K, V, C>>,
+        registry: VersionRegistry,
     ) -> Self {
         PacStore {
             inner: Arc::new(Inner {
@@ -386,7 +387,7 @@ where
                 commit_cv: Condvar::new(),
                 checkpoint_lock: Mutex::new(()),
                 checkpoint: Mutex::new(checkpoint),
-                registry: VersionRegistry::default(),
+                registry,
                 lifecycle: Mutex::new(LifecycleStats::default()),
                 // A single-directory store is shard "000" of a
                 // one-shard layout (see crate::metrics).
@@ -405,7 +406,17 @@ where
         let map = PacMap::with_block_size(opts.block_size);
         let mut history = VecDeque::new();
         history.push_back((0, map.clone()));
-        Self::from_parts(opts, None, None, LogState::None, 0, map, history, None)
+        Self::from_parts(
+            opts,
+            None,
+            None,
+            LogState::None,
+            0,
+            map,
+            history,
+            None,
+            VersionRegistry::default(),
+        )
     }
 
     /// Opens (or creates) a durable store in `dir`: loads the snapshot
@@ -458,6 +469,11 @@ where
         let mut history = VecDeque::new();
         history.push_back((version, map.clone()));
 
+        // Pins persisted by a previous handle, loaded *before* replay:
+        // replay-time history eviction must honor them or a pinned
+        // version silently vanishes across a reopen.
+        let registry = VersionRegistry::from_pins(lifecycle::load_pins(&dir)?);
+
         let log_path = dir.join(LOG_FILE);
         if log_path.exists() {
             let bytes = std::fs::read(&log_path)?;
@@ -498,9 +514,15 @@ where
                 version = record.version;
                 map = apply_ops(map, record.ops);
                 history.push_back((version, map.clone()));
-                while history.len() > opts.history_limit.max(1) {
-                    history.pop_front();
-                }
+                // Same pin-aware eviction as the commit path
+                // (`apply_group`): a pinned version must survive the
+                // replay walk exactly as it survives live commits.
+                lifecycle::evict_history(
+                    &mut history,
+                    opts.history_limit,
+                    |(v, _)| *v,
+                    &registry,
+                );
             }
             if replay.torn {
                 // Drop the bad tail so future appends start at a clean
@@ -520,6 +542,7 @@ where
             map,
             history,
             checkpoint,
+            registry,
         ))
     }
 
@@ -898,38 +921,60 @@ where
 
     /// Pins `version` against history eviction and [`PacStore::gc`]:
     /// [`PacStore::snapshot_at`] keeps working for it until every pin
-    /// is released. Pins are counted per version.
+    /// is released. Pins are counted per version. For a durable store
+    /// the pin table is rewritten atomically, so the pin also survives
+    /// a reopen (as long as the WAL still reaches the version).
     ///
     /// # Errors
     ///
     /// [`StoreError::VersionNotFound`] when `version` is not currently
-    /// in history (an evicted version cannot be resurrected).
+    /// in history (an evicted version cannot be resurrected); I/O
+    /// errors persisting the pin table (the in-memory pin is rolled
+    /// back, so memory and disk never disagree).
     pub fn pin_version(&self, version: u64) -> Result<(), StoreError> {
         // Under the state lock so eviction (which consults the
         // registry under the same lock) cannot race the containment
-        // check.
+        // check; persistence rides under the same lock so concurrent
+        // pin/unpin cannot interleave stale table writes.
         let s = self.inner.state.lock();
         if !s.history.iter().any(|(v, _)| *v == version) {
             return Err(StoreError::VersionNotFound(version));
         }
         self.inner.registry.pin(version);
+        if let Some(dir) = &self.inner.dir {
+            if let Err(e) = lifecycle::persist_pins(dir, &self.inner.registry) {
+                self.inner.registry.unpin(version);
+                return Err(e);
+            }
+        }
+        drop(s);
         self.inner.metrics.pins.inc();
         Ok(())
     }
 
     /// Releases one pin on `version` (it becomes GC-eligible when the
-    /// count reaches zero and it leaves the retention window).
+    /// count reaches zero and it leaves the retention window). Durable
+    /// stores rewrite the pin table.
     ///
     /// # Errors
     ///
-    /// [`StoreError::NotPinned`] when `version` holds no pin.
+    /// [`StoreError::NotPinned`] when `version` holds no pin; I/O
+    /// errors persisting the pin table (the in-memory release is
+    /// rolled back).
     pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
-        if self.inner.registry.unpin(version) {
-            self.inner.metrics.unpins.inc();
-            Ok(())
-        } else {
-            Err(StoreError::NotPinned(version))
+        let s = self.inner.state.lock();
+        if !self.inner.registry.unpin(version) {
+            return Err(StoreError::NotPinned(version));
         }
+        if let Some(dir) = &self.inner.dir {
+            if let Err(e) = lifecycle::persist_pins(dir, &self.inner.registry) {
+                self.inner.registry.pin(version);
+                return Err(e);
+            }
+        }
+        drop(s);
+        self.inner.metrics.unpins.inc();
+        Ok(())
     }
 
     /// The currently pinned versions, ascending.

@@ -89,7 +89,17 @@ impl<K: ScalarKey> Router<K> {
     /// The inclusive range of shard *indices* whose key ranges overlap
     /// the query `[lo, hi]` — from `lo`'s owner through `hi`'s owner
     /// (ranges are contiguous, so every shard in between overlaps too).
+    ///
+    /// A reversed query (`lo > hi`) denotes the empty key range and
+    /// yields an empty shard range. Callers pass client-supplied bounds
+    /// straight in (the pacserve `range` handler does), and the naive
+    /// `shard_of(lo)..=shard_of(hi)` is *non-empty* whenever both
+    /// reversed bounds land in the same shard.
     pub fn shards_overlapping(&self, lo: &K, hi: &K) -> std::ops::RangeInclusive<usize> {
+        if lo > hi {
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
         self.shard_of(lo)..=self.shard_of(hi)
     }
 
@@ -156,16 +166,20 @@ impl<K: ScalarKey + ByteEncode> Router<K> {
             return Err(StoreError::SchemaMismatch { found, expected });
         }
         let count = bytecode::try_read_varint(body, &mut pos)
-            .ok_or(StoreError::Truncated("boundary count"))? as usize;
-        if count > body.len() {
+            .ok_or(StoreError::Truncated("boundary count"))?;
+        // Checked in the u64 domain (a boundary takes at least one
+        // byte) so a hostile count cannot truncate on a 32-bit usize.
+        if count > body.len() as u64 {
             return Err(StoreError::Corrupt("boundary count exceeds file size".into()));
         }
-        let mut boundaries = Vec::with_capacity(count);
+        let mut boundaries = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            if pos >= body.len() {
-                return Err(StoreError::Truncated("boundary key"));
-            }
-            boundaries.push(K::read(body, &mut pos));
+            // Fallible read: a CRC-valid but mistyped or truncated
+            // boundary is a typed error, not a panic — this file may
+            // come from a foreign or hostile writer.
+            boundaries.push(
+                K::try_read(body, &mut pos).ok_or(StoreError::Truncated("boundary key"))?,
+            );
         }
         if pos != body.len() {
             return Err(StoreError::Corrupt("trailing bytes after boundaries".into()));
@@ -286,6 +300,58 @@ mod tests {
         );
         assert_eq!(buckets[1], vec![Op::Put(15, 150)]);
         assert_eq!(buckets[2], vec![Op::Put(25, 250)]);
+    }
+
+    #[test]
+    fn shards_overlapping_forward_ranges() {
+        let r = Router::new(vec![10u64, 20]).unwrap();
+        assert_eq!(r.shards_overlapping(&0, &9), 0..=0);
+        assert_eq!(r.shards_overlapping(&5, &15), 0..=1);
+        assert_eq!(r.shards_overlapping(&0, &u64::MAX), 0..=2);
+        assert_eq!(r.shards_overlapping(&12, &12), 1..=1);
+    }
+
+    #[test]
+    fn shards_overlapping_reversed_bounds_is_empty() {
+        let r = Router::new(vec![10u64]).unwrap();
+        // Reversed bounds inside one shard: the naive owner-to-owner
+        // range is 1..=1 — a non-empty answer to an empty query.
+        assert_eq!(r.shards_overlapping(&15, &12).count(), 0);
+        // Reversed across shards, and on a single-shard router.
+        assert_eq!(r.shards_overlapping(&15, &5).count(), 0);
+        assert_eq!(Router::<u64>::single().shards_overlapping(&9, &3).count(), 0);
+        // Degenerate-but-forward single-point query stays non-empty.
+        assert_eq!(r.shards_overlapping(&12, &12).count(), 1);
+    }
+
+    #[test]
+    fn crc_valid_hostile_boundaries_are_typed_errors() {
+        // Rebuild a partition file whose CRC is valid but whose body
+        // lies: the claimed boundary is a truncated varint. Must be a
+        // typed error, not a panic.
+        let mut body = Vec::new();
+        body.extend_from_slice(&PARTITION_MAGIC);
+        body.extend_from_slice(&schema_id::<u64>().to_le_bytes());
+        bytecode::write_varint(1, &mut body); // one boundary...
+        body.push(0x80); // ...that never terminates
+        let mut bytes = body.clone();
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        assert!(matches!(
+            Router::<u64>::decode(&bytes).unwrap_err(),
+            StoreError::Truncated(_) | StoreError::Corrupt(_)
+        ));
+
+        // A boundary count crafted to wrap a 32-bit usize.
+        let mut body = Vec::new();
+        body.extend_from_slice(&PARTITION_MAGIC);
+        body.extend_from_slice(&schema_id::<u64>().to_le_bytes());
+        bytecode::write_varint(1 << 33, &mut body);
+        let mut bytes = body.clone();
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        assert!(matches!(
+            Router::<u64>::decode(&bytes).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
     }
 
     #[test]

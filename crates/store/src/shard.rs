@@ -525,13 +525,17 @@ where
     fn from_parts(
         opts: StoreOptions,
         router: Router<K>,
-        dir: Option<PathBuf>,
-        dir_lock: Option<File>,
+        durable_dir: Option<(PathBuf, File)>,
         log: DurableState,
         state: ShardedState<K, V, C>,
         checkpoints: Checkpoints<K, V, C>,
+        registry: VersionRegistry,
     ) -> Self {
         let metrics = StoreMetrics::new(router.shard_count());
+        let (dir, dir_lock) = match durable_dir {
+            Some((dir, lock)) => (Some(dir), Some(lock)),
+            None => (None, None),
+        };
         ShardedStore {
             inner: Arc::new(Inner {
                 opts,
@@ -549,7 +553,7 @@ where
                 }),
                 commit_cv: Condvar::new(),
                 checkpoints: Mutex::new(checkpoints),
-                registry: VersionRegistry::default(),
+                registry,
                 lifecycle: Mutex::new(LifecycleStats::default()),
                 metrics,
             }),
@@ -588,10 +592,10 @@ where
             opts,
             router,
             None,
-            None,
             DurableState::None,
             state,
             Checkpoints::empty(shards),
+            VersionRegistry::default(),
         ))
     }
 
@@ -724,6 +728,11 @@ where
                 cl.map(|chain_len| ShardCheckpoint { version: v, map: m.clone(), chain_len })
             })
             .collect();
+
+        // Pins persisted by a previous handle, loaded *before* the
+        // recovery walk: its history eviction must honor them or a
+        // pinned global commit silently vanishes across a reopen.
+        let registry = VersionRegistry::from_pins(lifecycle::load_pins(dir)?);
 
         // Replay the manifest and every shard WAL.
         let manifest_path = dir.join(MANIFEST_FILE);
@@ -950,9 +959,15 @@ where
                     });
                 }
                 history.push_back((global, locals.clone(), maps.clone()));
-                while history.len() > opts.history_limit.max(1) {
-                    history.pop_front();
-                }
+                // Same pin-aware eviction as the commit path: a pinned
+                // commit must survive the recovery walk exactly as it
+                // survives live commits.
+                lifecycle::evict_history(
+                    &mut history,
+                    opts.history_limit,
+                    |(g, _, _)| *g,
+                    &registry,
+                );
             }
         }
         // The back of the history must always be the current state
@@ -961,9 +976,7 @@ where
         // when a manifest was deleted out from under the store).
         if history.back().is_none_or(|(g, l, _)| *g != global || *l != locals) {
             history.push_back((global, locals.clone(), maps.clone()));
-            while history.len() > opts.history_limit.max(1) {
-                history.pop_front();
-            }
+            lifecycle::evict_history(&mut history, opts.history_limit, |(g, _, _)| *g, &registry);
         }
 
         if (cut.is_some() || !healed.is_empty()) && opts.strict_log {
@@ -1037,11 +1050,11 @@ where
         Ok(Self::from_parts(
             opts,
             router,
-            Some(dir.to_path_buf()),
-            Some(dir_lock),
+            Some((dir.to_path_buf(), dir_lock)),
             DurableState::Active { shard_logs, manifest: manifest_file },
             state,
             checkpoints,
+            registry,
         ))
     }
 
@@ -1745,33 +1758,55 @@ where
     /// Pins global commit `version` against history eviction and
     /// [`ShardedStore::gc`]: [`ShardedStore::snapshot_at`] keeps
     /// working for it until every pin is released. Pins are counted.
+    /// For a durable store the pin table is rewritten atomically, so
+    /// the pin also survives a reopen (as long as the shard WALs still
+    /// reach the commit).
     ///
     /// # Errors
     ///
     /// [`StoreError::VersionNotFound`] when `version` is not currently
-    /// in history (an evicted version cannot be resurrected).
+    /// in history (an evicted version cannot be resurrected); I/O
+    /// errors persisting the pin table (the in-memory pin is rolled
+    /// back, so memory and disk never disagree).
     pub fn pin_version(&self, version: u64) -> Result<(), StoreError> {
         let s = self.inner.state.lock();
         if !s.history.iter().any(|(g, _, _)| *g == version) {
             return Err(StoreError::VersionNotFound(version));
         }
         self.inner.registry.pin(version);
+        if let Some(dir) = &self.inner.dir {
+            if let Err(e) = lifecycle::persist_pins(dir, &self.inner.registry) {
+                self.inner.registry.unpin(version);
+                return Err(e);
+            }
+        }
+        drop(s);
         self.inner.metrics.pins.inc();
         Ok(())
     }
 
-    /// Releases one pin on global commit `version`.
+    /// Releases one pin on global commit `version`. Durable stores
+    /// rewrite the pin table.
     ///
     /// # Errors
     ///
-    /// [`StoreError::NotPinned`] when `version` holds no pin.
+    /// [`StoreError::NotPinned`] when `version` holds no pin; I/O
+    /// errors persisting the pin table (the in-memory release is
+    /// rolled back).
     pub fn unpin_version(&self, version: u64) -> Result<(), StoreError> {
-        if self.inner.registry.unpin(version) {
-            self.inner.metrics.unpins.inc();
-            Ok(())
-        } else {
-            Err(StoreError::NotPinned(version))
+        let s = self.inner.state.lock();
+        if !self.inner.registry.unpin(version) {
+            return Err(StoreError::NotPinned(version));
         }
+        if let Some(dir) = &self.inner.dir {
+            if let Err(e) = lifecycle::persist_pins(dir, &self.inner.registry) {
+                self.inner.registry.pin(version);
+                return Err(e);
+            }
+        }
+        drop(s);
+        self.inner.metrics.unpins.inc();
+        Ok(())
     }
 
     /// The currently pinned global commit ids, ascending.

@@ -186,15 +186,19 @@ pub fn append_bytes(
 }
 
 /// A reader over the length-prefixed, CRC-trailed frame stream shared
-/// by WAL and manifest records: `varint len ++ payload ++ crc32 (LE)`.
+/// by WAL, manifest, and pacserve wire records:
+/// `varint len ++ payload ++ crc32 (LE)`.
 /// `pos` always sits on a frame boundary, so when [`Frames::next`]
 /// returns `None` it is the byte length of the valid prefix.
-pub(crate) struct Frames<'a> {
+pub struct Frames<'a> {
     bytes: &'a [u8],
+    /// Current frame-boundary offset; writable so a replayer can roll
+    /// back to the start of a rejected frame.
     pub pos: usize,
 }
 
 impl<'a> Frames<'a> {
+    /// A reader positioned at the first frame of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
         Frames { bytes, pos: 0 }
     }
@@ -208,7 +212,10 @@ impl<'a> Frames<'a> {
             return None;
         }
         let mut at = self.pos;
-        let len = bytecode::try_read_varint(self.bytes, &mut at)? as usize;
+        // The length is validated in the u64 domain before narrowing to
+        // usize: a hostile 2^33 length must fail here, not truncate to
+        // something small on a 32-bit target and slice the wrong bytes.
+        let len = usize::try_from(bytecode::try_read_varint(self.bytes, &mut at)?).ok()?;
         let end = at.checked_add(len)?;
         if end.checked_add(4)? > self.bytes.len() {
             return None;
@@ -224,7 +231,7 @@ impl<'a> Frames<'a> {
 }
 
 /// Frames `payload` for appending: `varint len ++ payload ++ crc32`.
-pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+pub fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 8);
     bytecode::write_varint(payload.len() as u64, &mut out);
     out.extend_from_slice(payload);
@@ -316,6 +323,12 @@ enum Parse<K, V> {
 
 /// Parses one checksum-verified record payload; [`Parse::Bad`] when it
 /// is malformed.
+///
+/// Every field read is fallible ([`bytecode::try_read_varint`] /
+/// [`ByteEncode::try_read`]): a CRC-valid frame only proves the payload
+/// is what its writer framed, not that the writer was honest, so a
+/// crafted record whose op bytes are truncated or mistyped must land in
+/// [`Parse::Bad`] — never a panic.
 fn parse_payload<K: ByteEncode, V: ByteEncode>(payload: &[u8], expected_schema: u32) -> Parse<K, V> {
     let parse = || -> Option<Parse<K, V>> {
         let mut at = 0;
@@ -335,29 +348,32 @@ fn parse_payload<K: ByteEncode, V: ByteEncode>(payload: &[u8], expected_schema: 
             return Some(Parse::SchemaMismatch { found });
         }
         let global = bytecode::try_read_varint(payload, &mut at)?;
-        let pcount = bytecode::try_read_varint(payload, &mut at)? as usize;
-        if pcount > payload.len() {
-            return None; // each participant takes at least one byte
+        // Counts are checked in the u64 domain (each item takes at
+        // least one byte) so a hostile count can neither truncate on
+        // narrowing nor pre-allocate an absurd Vec.
+        let pcount = bytecode::try_read_varint(payload, &mut at)?;
+        if pcount > payload.len() as u64 {
+            return None;
         }
-        let mut participants = Vec::with_capacity(pcount);
+        let mut participants = Vec::with_capacity(pcount as usize);
         for _ in 0..pcount {
             participants.push(u32::try_from(bytecode::try_read_varint(payload, &mut at)?).ok()?);
         }
-        let count = bytecode::try_read_varint(payload, &mut at)? as usize;
-        if count > payload.len() {
-            return None; // each op takes at least one byte
+        let count = bytecode::try_read_varint(payload, &mut at)?;
+        if count > payload.len() as u64 {
+            return None;
         }
-        let mut ops = Vec::with_capacity(count);
+        let mut ops = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let tag = *payload.get(at)?;
             at += 1;
             match tag {
                 OP_PUT => {
-                    let k = K::read(payload, &mut at);
-                    let v = V::read(payload, &mut at);
+                    let k = K::try_read(payload, &mut at)?;
+                    let v = V::try_read(payload, &mut at)?;
                     ops.push(Op::Put(k, v));
                 }
-                OP_DELETE => ops.push(Op::Delete(K::read(payload, &mut at))),
+                OP_DELETE => ops.push(Op::Delete(K::try_read(payload, &mut at)?)),
                 _ => return None,
             }
         }
@@ -488,6 +504,106 @@ mod tests {
         assert!(!r.torn);
         assert_eq!(r.records.len(), 0);
         assert_eq!(r.valid_len, 0);
+    }
+
+    /// Reframe `payload` with a fresh (valid) CRC trailer — the shape
+    /// of a record from a hostile writer: framing intact, content lies.
+    fn hostile_frame(payload: &[u8]) -> Vec<u8> {
+        frame(payload)
+    }
+
+    #[test]
+    fn crc_valid_truncated_ops_are_bad_not_panic() {
+        // A CRC-valid record that *claims* one put but ends mid-key:
+        // the checksum vouches for the writer's bytes, not the writer.
+        // Pre-hardening this panicked inside the infallible
+        // `ByteEncode::read`; it must be a typed torn stop.
+        let mut payload = vec![LOG_FORMAT];
+        bytecode::write_varint(1, &mut payload); // version
+        payload.extend_from_slice(&SCHEMA.to_le_bytes());
+        bytecode::write_varint(1, &mut payload); // global
+        bytecode::write_varint(0, &mut payload); // participants
+        bytecode::write_varint(1, &mut payload); // one op...
+        payload.push(super::OP_PUT);
+        payload.push(0x80); // ...whose key varint never terminates
+        let log = hostile_frame(&payload);
+        let r = replay::<u64, u64>(&log, SCHEMA);
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 0);
+        assert_eq!(r.valid_len, 0);
+    }
+
+    #[test]
+    fn crc_valid_hostile_counts_are_bad_not_panic() {
+        // Op/participant counts far beyond the payload (including ones
+        // that would truncate on a 32-bit usize) must be rejected in
+        // the u64 domain, without pre-allocating.
+        for count in [1u64 << 20, 1 << 33, u64::MAX] {
+            let mut payload = vec![LOG_FORMAT];
+            bytecode::write_varint(1, &mut payload);
+            payload.extend_from_slice(&SCHEMA.to_le_bytes());
+            bytecode::write_varint(1, &mut payload);
+            bytecode::write_varint(0, &mut payload);
+            bytecode::write_varint(count, &mut payload);
+            let r = replay::<u64, u64>(&hostile_frame(&payload), SCHEMA);
+            assert!(r.torn, "count {count}");
+            assert_eq!(r.records.len(), 0, "count {count}");
+        }
+    }
+
+    #[test]
+    fn hostile_frame_length_is_torn_not_panic() {
+        // A frame whose length varint claims 2^33 bytes: rejected by
+        // the u64-domain bounds check (on any pointer width), leaving
+        // the valid prefix intact.
+        let mut log = sample();
+        let clean = log.len();
+        bytecode::write_varint(1 << 33, &mut log);
+        log.extend_from_slice(&[0xAB; 64]);
+        let r = replay::<u64, u64>(&log, SCHEMA);
+        assert!(r.torn);
+        assert_eq!(r.valid_len, clean);
+        assert_eq!(r.records.len(), 3);
+    }
+
+    #[test]
+    fn fuzz_mutated_frames_never_panic() {
+        // Random single- and multi-byte mutations over a valid log:
+        // every outcome must be a normal `Replay` (possibly torn, or a
+        // typed schema/format signal) — never a panic. CRC catches most
+        // mutations; the interesting survivors are mutations that CRC
+        // can't see (length byte rewrites) and re-CRC'd payload edits.
+        let log = sample();
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..2000 {
+            let mut m = log.clone();
+            for _ in 0..=(next() % 3) {
+                let i = (next() % m.len() as u64) as usize;
+                m[i] ^= (next() % 255 + 1) as u8;
+            }
+            let r = replay::<u64, u64>(&m, SCHEMA);
+            assert!(r.valid_len <= m.len());
+        }
+        // Same, but with the trailer CRC refreshed so the mutated
+        // payload *passes* the checksum and reaches the parser.
+        for _ in 0..2000 {
+            let mut payload = Vec::new();
+            let mut frames = Frames::new(&log);
+            payload.extend_from_slice(frames.next().expect("first record"));
+            let i = (next() % payload.len() as u64) as usize;
+            payload[i] ^= (next() % 255 + 1) as u8;
+            if next() % 2 == 0 {
+                payload.truncate(1 + (next() % payload.len() as u64) as usize);
+            }
+            let r = replay::<u64, u64>(&hostile_frame(&payload), SCHEMA);
+            assert!(r.records.len() <= 1);
+        }
     }
 
     #[test]

@@ -308,3 +308,91 @@ fn pinned_snapshots_stay_readable_through_gc_and_compaction() {
     drop(store);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Pins survive a reopen
+// ---------------------------------------------------------------------
+//
+// Regression: the replay loop in `open` used to evict history with a
+// bare `history.pop_front()` loop that ignored the pin registry — and
+// pins were never persisted at all — so any pin silently vanished
+// across a restart. Both paths now go through
+// `lifecycle::evict_history` with the pin table loaded from
+// `pins.pac` before replay.
+
+#[test]
+fn pin_survives_reopen_for_pacstore() {
+    let dir = scratch("pin-reopen");
+    let opts = StoreOptions { history_limit: 3, ..StoreOptions::default() };
+    {
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts.clone()).unwrap();
+        store.commit(vec![Op::Put(1, 10)]).unwrap();
+        store.pin_version(1).unwrap();
+        assert!(dir.join("pins.pac").exists(), "pin was not persisted");
+        // Push v1 far outside the retention window.
+        for i in 2..=10u64 {
+            store.commit(vec![Op::Put(i, i * 10)]).unwrap();
+        }
+        assert_eq!(store.snapshot_at(1).unwrap().get(&1), Some(10));
+    }
+    {
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts.clone()).unwrap();
+        assert_eq!(store.pinned_versions(), vec![1], "pin lost across reopen");
+        let pinned = store.snapshot_at(1).unwrap();
+        assert_eq!(pinned.get(&1), Some(10));
+        assert_eq!(pinned.get(&2), None);
+        // Unpinned history outside the window did get evicted.
+        assert!(matches!(store.snapshot_at(5), Err(StoreError::VersionNotFound(5))));
+        store.unpin_version(1).unwrap();
+    }
+    // The release is durable too.
+    let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts).unwrap();
+    assert!(store.pinned_versions().is_empty());
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pin_survives_reopen_for_sharded_store() {
+    let dir = scratch("pin-reopen-sharded");
+    let opts = StoreOptions { history_limit: 3, ..StoreOptions::default() };
+    let router = Router::uniform_span(2, 2_000);
+    {
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::open_or_create(&dir, router.clone(), opts.clone()).unwrap();
+        store.commit(vec![Op::Put(1, 10), Op::Put(1_001, 10)]).unwrap();
+        store.pin_version(1).unwrap();
+        for i in 2..=10u64 {
+            store.commit(vec![Op::Put(i, i), Op::Put(1_000 + i, i)]).unwrap();
+        }
+    }
+    {
+        let store: ShardedStore<u64, u64> = ShardedStore::open(&dir).unwrap();
+        assert_eq!(store.pinned_versions(), vec![1], "pin lost across reopen");
+        let snap = store.snapshot_at(1).unwrap();
+        assert_eq!(snap.get(&1), Some(10));
+        assert_eq!(snap.get(&1_001), Some(10));
+        assert_eq!(snap.get(&2), None);
+        store.unpin_version(1).unwrap();
+    }
+    let store: ShardedStore<u64, u64> = ShardedStore::open(&dir).unwrap();
+    assert!(store.pinned_versions().is_empty());
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn clobbered_pin_table_fails_open_typed() {
+    let dir = scratch("pin-clobbered");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(1, 1)]).unwrap();
+        store.pin_version(1).unwrap();
+    }
+    std::fs::write(dir.join("pins.pac"), b"not a pin table").unwrap();
+    assert!(matches!(
+        PacStore::<u64, u64>::open(&dir).unwrap_err(),
+        StoreError::BadMagic
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

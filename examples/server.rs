@@ -1,0 +1,76 @@
+//! pacserve tour: serving a durable sharded store over the framed wire
+//! protocol — commits, snapshot reads, pins, retries, and a graceful
+//! shutdown.
+//!
+//! Tries a real TCP loopback socket first and falls back to the
+//! in-process pipe transport (identical framed byte stream) when the
+//! environment forbids sockets, so the example runs anywhere CI does.
+//!
+//! Run with: `cargo run --release --example server`
+
+use server::{serve_pipe, serve_tcp, Client, ClientOptions, ServerOptions};
+use store::{Op, Router, ShardedStore, StoreOptions};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("server-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- A durable sharded store behind a server ---------------------
+    let db: ShardedStore<u64, u64> = ShardedStore::open_or_create(
+        &dir,
+        Router::uniform_span(4, 1_000_000),
+        StoreOptions::default(),
+    )
+    .expect("open");
+
+    // Port 0 = ephemeral; sandboxes without sockets use the pipe.
+    let (mut handle, mut client): (_, Client<u64, u64>) =
+        match serve_tcp(db.clone(), "127.0.0.1:0", ServerOptions::default()) {
+            Ok(handle) => {
+                let addr = handle.addr().expect("bound address");
+                println!("serving over tcp on {addr}");
+                (handle, Client::connect_tcp(addr, ClientOptions::default()))
+            }
+            Err(e) => {
+                println!("serving over in-process pipe (tcp unavailable: {e})");
+                let (handle, connector) = serve_pipe(db.clone(), ServerOptions::default());
+                (handle, Client::connect_pipe(connector, ClientOptions::default()))
+            }
+        };
+
+    // --- Writes funnel into the store's group commit ------------------
+    let v1 = client
+        .put_batch((0..10_000u64).map(|k| Op::Put(k, k * 2)).collect())
+        .expect("bulk put");
+    println!("bulk put -> global version {v1}");
+
+    // --- Reads pin a consistent snapshot per request ------------------
+    assert_eq!(client.get(21).expect("get"), Some(42));
+    let window = client.range(4_998, 5_002, 0, None).expect("range");
+    println!("range [4998, 5002] over the wire: {window:?}");
+
+    let (global, locals) = client.snapshot().expect("snapshot");
+    println!("version vector: global v{global}, locals {locals:?}");
+
+    // --- Pins survive on the server across later commits --------------
+    client.pin(v1).expect("pin");
+    client.put_batch(vec![Op::Put(21, 0)]).expect("overwrite");
+    assert_eq!(client.get(21).expect("live read"), Some(0));
+    assert_eq!(client.get_at(21, Some(v1)).expect("pinned read"), Some(42));
+    println!("pinned v{v1} still reads the old value while the live head moved on");
+    client.unpin(v1).expect("unpin");
+
+    // --- The server watches itself ------------------------------------
+    let stats = client.stats().expect("stats");
+    let served = stats
+        .lines()
+        .find(|l| l.starts_with("pacserve_requests_total"))
+        .expect("request counter");
+    println!("server-side metric: {served}");
+
+    // --- Graceful shutdown drains in-flight requests -------------------
+    handle.shutdown();
+    println!("server drained and stopped");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

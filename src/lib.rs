@@ -13,5 +13,6 @@ pub use invidx;
 pub use obs;
 pub use pam;
 pub use parlay;
+pub use server;
 pub use spatial;
 pub use store;
