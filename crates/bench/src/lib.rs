@@ -89,6 +89,21 @@ pub fn extract_obj<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
+/// Reads the numeric value following `"key":` in a JSON fragment (the
+/// counterpart of [`extract_obj`] for scalar fields). Same caveats: a
+/// substring scan, adequate only for the JSON these binaries themselves
+/// write and read back.
+pub fn field_f64(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// The window of a global-registry latency histogram since `before`:
 /// the current snapshot of `name` minus the earlier one. Empty if the
 /// series does not exist (nothing recorded yet).

@@ -18,10 +18,7 @@ use crate::node::{size, Node, Tree};
 use crate::scratch::with_scratch;
 use crate::stats;
 
-#[inline]
-fn par_cutoff(b: usize) -> usize {
-    (4 * b).max(1024)
-}
+use crate::grain::{par_grain, walk_grain};
 
 /// Looks up the entry with key `k`. `O(log n + B)` work, allocation-free
 /// (the flat base case is a sampled in-block search, not a decode).
@@ -564,6 +561,17 @@ where
     C: Codec<E>,
     F: Fn(&E) -> bool + Sync,
 {
+    let grain = par_grain(b, crate::node::size(&t));
+    filter_rec(b, grain, t, pred)
+}
+
+fn filter_rec<E, A, C, F>(b: usize, grain: usize, t: Tree<E, A, C>, pred: &F) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E) -> bool + Sync,
+{
     let node = t?;
     if node.is_flat() {
         stats::count_cursor_op();
@@ -583,10 +591,16 @@ where
     }
     let sz = node.size();
     let (left, entry, right, husk) = expose_owned(Some(node));
-    let (tl, tr) = if sz > par_cutoff(b) {
-        parlay::join(|| filter(b, left, pred), || filter(b, right, pred))
+    let (tl, tr) = if sz > grain {
+        parlay::join(
+            || filter_rec(b, grain, left, pred),
+            || filter_rec(b, grain, right, pred),
+        )
     } else {
-        (filter(b, left, pred), filter(b, right, pred))
+        (
+            filter_rec(b, grain, left, pred),
+            filter_rec(b, grain, right, pred),
+        )
     };
     if pred(&entry) {
         join(b, husk, tl, entry, tr)
@@ -601,6 +615,24 @@ where
 /// For keyed trees `f` must preserve the relative key order (the typical
 /// use is mapping values only).
 pub(crate) fn map_entries<E, A, C, E2, A2, C2, F>(t: &Tree<E, A, C>, f: &F) -> Tree<E2, A2, C2>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    E2: Element,
+    A2: Augmentation<E2>,
+    C2: Codec<E2>,
+    F: Fn(&E) -> E2 + Sync,
+{
+    let grain = walk_grain(crate::node::size(t));
+    map_entries_rec(grain, t, f)
+}
+
+fn map_entries_rec<E, A, C, E2, A2, C2, F>(
+    grain: usize,
+    t: &Tree<E, A, C>,
+    f: &F,
+) -> Tree<E2, A2, C2>
 where
     E: Element,
     A: Augmentation<E>,
@@ -626,10 +658,16 @@ where
             size: sz,
             ..
         } => {
-            let (tl, tr) = if *sz > 2048 {
-                parlay::join(|| map_entries(left, f), || map_entries(right, f))
+            let (tl, tr) = if *sz > grain {
+                parlay::join(
+                    || map_entries_rec(grain, left, f),
+                    || map_entries_rec(grain, right, f),
+                )
             } else {
-                (map_entries(left, f), map_entries(right, f))
+                (
+                    map_entries_rec(grain, left, f),
+                    map_entries_rec(grain, right, f),
+                )
             };
             crate::node::make_regular(tl, f(entry), tr)
         }
@@ -639,6 +677,25 @@ where
 /// Parallel map-reduce over all entries (Fig. 8's `reduce`).
 /// `O(n)` work, `O(log n)` span.
 pub(crate) fn map_reduce<E, A, C, R, M, Op>(t: &Tree<E, A, C>, m: &M, op: &Op, id: R) -> R
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    R: Send + Sync + Clone,
+    M: Fn(&E) -> R + Sync,
+    Op: Fn(R, R) -> R + Sync,
+{
+    let grain = walk_grain(crate::node::size(t));
+    map_reduce_rec(grain, t, m, op, id)
+}
+
+fn map_reduce_rec<E, A, C, R, M, Op>(
+    grain: usize,
+    t: &Tree<E, A, C>,
+    m: &M,
+    op: &Op,
+    id: R,
+) -> R
 where
     E: Element,
     A: Augmentation<E>,
@@ -663,15 +720,15 @@ where
             size: sz,
             ..
         } => {
-            let (a, c) = if *sz > 2048 {
+            let (a, c) = if *sz > grain {
                 parlay::join(
-                    || map_reduce(left, m, op, id.clone()),
-                    || map_reduce(right, m, op, id.clone()),
+                    || map_reduce_rec(grain, left, m, op, id.clone()),
+                    || map_reduce_rec(grain, right, m, op, id.clone()),
                 )
             } else {
                 (
-                    map_reduce(left, m, op, id.clone()),
-                    map_reduce(right, m, op, id.clone()),
+                    map_reduce_rec(grain, left, m, op, id.clone()),
+                    map_reduce_rec(grain, right, m, op, id.clone()),
                 )
             };
             op(op(a, m(entry)), c)

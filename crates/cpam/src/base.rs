@@ -9,19 +9,27 @@ use parlay::SendPtr;
 
 use crate::aug::Augmentation;
 use crate::entry::Element;
+use crate::grain::walk_grain;
 use crate::node::{make_flat, make_regular, reuse_flat, reuse_regular, size, Node, Tree};
 use crate::stats;
-
-/// Parallelism cutoff for construction/flattening.
-pub(crate) const BUILD_GRAIN: usize = 4096;
 
 /// Builds a PaC-tree from entries already in collection order.
 ///
 /// Maintains Definition 4.1 deterministically: midpoint splitting keeps
 /// every leaf block within `[b, 2b]` once the tree has at least `b`
 /// entries (smaller trees are one undersized block). `O(n)` work,
-/// `O(log n)` span.
+/// `O(log n)` span; the fork cutoff adapts to the pool size
+/// ([`walk_grain`]).
 pub(crate) fn from_sorted<E, A, C>(b: usize, entries: &[E]) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    from_sorted_rec(b, walk_grain(entries.len()), entries)
+}
+
+fn from_sorted_rec<E, A, C>(b: usize, grain: usize, entries: &[E]) -> Tree<E, A, C>
 where
     E: Element,
     A: Augmentation<E>,
@@ -40,15 +48,15 @@ where
         return make_flat(entries);
     }
     let mid = n / 2;
-    let (l, r) = if n > BUILD_GRAIN {
+    let (l, r) = if n > grain {
         parlay::join(
-            || from_sorted(b, &entries[..mid]),
-            || from_sorted(b, &entries[mid + 1..]),
+            || from_sorted_rec(b, grain, &entries[..mid]),
+            || from_sorted_rec(b, grain, &entries[mid + 1..]),
         )
     } else {
         (
-            from_sorted(b, &entries[..mid]),
-            from_sorted(b, &entries[mid + 1..]),
+            from_sorted_rec(b, grain, &entries[..mid]),
+            from_sorted_rec(b, grain, &entries[mid + 1..]),
         )
     };
     make_regular(l, entries[mid].clone(), r)
@@ -115,13 +123,13 @@ where
     let n = size(t);
     let mut out: Vec<E> = Vec::with_capacity(n);
     let ptr = SendPtr(out.as_mut_ptr());
-    write_tree(t, ptr, 0);
+    write_tree(t, ptr, 0, walk_grain(n));
     // SAFETY: write_tree initializes exactly `size(t)` consecutive slots.
     unsafe { out.set_len(n) };
     out
 }
 
-fn write_tree<E, A, C>(t: &Tree<E, A, C>, out: SendPtr<E>, offset: usize)
+fn write_tree<E, A, C>(t: &Tree<E, A, C>, out: SendPtr<E>, offset: usize, grain: usize)
 where
     E: Element,
     A: Augmentation<E>,
@@ -140,14 +148,14 @@ where
             // SAFETY: disjoint slots, within the capacity reserved by the
             // caller (to_vec).
             unsafe { out.0.add(offset + lsize).write(entry.clone()) };
-            if *sz > BUILD_GRAIN {
+            if *sz > grain {
                 parlay::join(
-                    || write_tree(left, out, offset),
-                    || write_tree(right, out, offset + lsize + 1),
+                    || write_tree(left, out, offset, grain),
+                    || write_tree(right, out, offset + lsize + 1, grain),
                 );
             } else {
-                write_tree(left, out, offset);
-                write_tree(right, out, offset + lsize + 1);
+                write_tree(left, out, offset, grain);
+                write_tree(right, out, offset + lsize + 1, grain);
             }
         }
         Node::Flat { block, .. } => {

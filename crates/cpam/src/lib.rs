@@ -51,6 +51,7 @@
 mod algos;
 mod base;
 mod entry;
+mod grain;
 mod iter;
 mod join;
 mod node;

@@ -158,7 +158,12 @@ where
     }
     match (l, r) {
         (Some(a), Some(b)) => {
-            parlay::join(|| one(Some(a)), || one(Some(b)));
+            if crate::grain::pool_is_parallel() {
+                parlay::join(|| one(Some(a)), || one(Some(b)));
+            } else {
+                one(Some(a));
+                one(Some(b));
+            }
         }
         (a, b) => {
             one(a);

@@ -13,18 +13,13 @@ use codecs::Codec;
 use crate::aug::Augmentation;
 use crate::base::{from_sorted, push_all, rebuild_leaf, to_vec};
 use crate::entry::Entry;
+use crate::grain::par_grain;
 use crate::join::{expose_owned, join, join2, split};
 use crate::node::{size, Tree};
 use crate::scratch::with_scratch;
 
 /// κ = `KAPPA_BLOCKS * b`: the base-case granularity (paper uses 8B).
 pub(crate) const KAPPA_BLOCKS: usize = 8;
-
-/// Sizes above which the two recursive calls fork.
-#[inline]
-fn par_cutoff(b: usize) -> usize {
-    (4 * b).max(1024)
-}
 
 /// Re-folds a small tree whose root is an (invariant-violating) regular
 /// node back into a flat leaf. [`expose`] unfolds flat nodes into their
@@ -163,6 +158,23 @@ where
     C: Codec<E>,
     F: Fn(&E, &E) -> E + Sync,
 {
+    let grain = par_grain(b, size(&t1) + size(&t2));
+    union_rec(b, grain, t1, t2, f)
+}
+
+fn union_rec<E, A, C, F>(
+    b: usize,
+    grain: usize,
+    t1: Tree<E, A, C>,
+    t2: Tree<E, A, C>,
+    f: &F,
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E, &E) -> E + Sync,
+{
     let (Some(n1), Some(n2)) = (&t1, &t2) else {
         // One side may be an expose-expanded subtree: re-fold it.
         return refold(b, t1.or(t2));
@@ -178,13 +190,16 @@ where
         Some(e1) => f(&e1, &k2),
         None => k2,
     };
-    let (tl, tr) = if s1 + s2 > par_cutoff(b) {
+    let (tl, tr) = if s1 + s2 > grain {
         parlay::join(
-            || union_with(b, l1, l2, f),
-            || union_with(b, r1, r2, f),
+            || union_rec(b, grain, l1, l2, f),
+            || union_rec(b, grain, r1, r2, f),
         )
     } else {
-        (union_with(b, l1, l2, f), union_with(b, r1, r2, f))
+        (
+            union_rec(b, grain, l1, l2, f),
+            union_rec(b, grain, r1, r2, f),
+        )
     };
     join(b, husk, tl, entry, tr)
 }
@@ -193,6 +208,23 @@ where
 /// Section 8 ablation benchmark.
 pub(crate) fn union_naive<E, A, C, F>(
     b: usize,
+    t1: Tree<E, A, C>,
+    t2: Tree<E, A, C>,
+    f: &F,
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E, &E) -> E + Sync,
+{
+    let grain = par_grain(b, size(&t1) + size(&t2));
+    union_naive_rec(b, grain, t1, t2, f)
+}
+
+fn union_naive_rec<E, A, C, F>(
+    b: usize,
+    grain: usize,
     t1: Tree<E, A, C>,
     t2: Tree<E, A, C>,
     f: &F,
@@ -214,13 +246,16 @@ where
         Some(e1) => f(&e1, &k2),
         None => k2,
     };
-    let (tl, tr) = if total > par_cutoff(b) {
+    let (tl, tr) = if total > grain {
         parlay::join(
-            || union_naive(b, l1, l2, f),
-            || union_naive(b, r1, r2, f),
+            || union_naive_rec(b, grain, l1, l2, f),
+            || union_naive_rec(b, grain, r1, r2, f),
         )
     } else {
-        (union_naive(b, l1, l2, f), union_naive(b, r1, r2, f))
+        (
+            union_naive_rec(b, grain, l1, l2, f),
+            union_naive_rec(b, grain, r1, r2, f),
+        )
     };
     join(b, husk, tl, entry, tr)
 }
@@ -228,6 +263,23 @@ where
 /// Intersection with a combiner for the retained entries.
 pub(crate) fn intersect_with<E, A, C, F>(
     b: usize,
+    t1: Tree<E, A, C>,
+    t2: Tree<E, A, C>,
+    f: &F,
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E, &E) -> E + Sync,
+{
+    let grain = par_grain(b, size(&t1) + size(&t2));
+    intersect_rec(b, grain, t1, t2, f)
+}
+
+fn intersect_rec<E, A, C, F>(
+    b: usize,
+    grain: usize,
     t1: Tree<E, A, C>,
     t2: Tree<E, A, C>,
     f: &F,
@@ -247,13 +299,16 @@ where
     }
     let (l2, k2, r2, husk) = expose_owned(t2);
     let (l1, m, r1) = split(b, t1, k2.key());
-    let (tl, tr) = if s1 + s2 > par_cutoff(b) {
+    let (tl, tr) = if s1 + s2 > grain {
         parlay::join(
-            || intersect_with(b, l1, l2, f),
-            || intersect_with(b, r1, r2, f),
+            || intersect_rec(b, grain, l1, l2, f),
+            || intersect_rec(b, grain, r1, r2, f),
         )
     } else {
-        (intersect_with(b, l1, l2, f), intersect_with(b, r1, r2, f))
+        (
+            intersect_rec(b, grain, l1, l2, f),
+            intersect_rec(b, grain, r1, r2, f),
+        )
     };
     match m {
         Some(e1) => join(b, husk, tl, f(&e1, &k2), tr),
@@ -268,6 +323,21 @@ where
     A: Augmentation<E>,
     C: Codec<E>,
 {
+    let grain = par_grain(b, size(&t1) + size(&t2));
+    difference_rec(b, grain, t1, t2)
+}
+
+fn difference_rec<E, A, C>(
+    b: usize,
+    grain: usize,
+    t1: Tree<E, A, C>,
+    t2: Tree<E, A, C>,
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
     let (Some(n1), Some(n2)) = (&t1, &t2) else {
         return t1;
     };
@@ -277,10 +347,16 @@ where
     }
     let (l2, k2, r2, husk) = expose_owned(t2);
     let (l1, _m, r1) = split(b, t1, k2.key());
-    let (tl, tr) = if s1 + s2 > par_cutoff(b) {
-        parlay::join(|| difference(b, l1, l2), || difference(b, r1, r2))
+    let (tl, tr) = if s1 + s2 > grain {
+        parlay::join(
+            || difference_rec(b, grain, l1, l2),
+            || difference_rec(b, grain, r1, r2),
+        )
     } else {
-        (difference(b, l1, l2), difference(b, r1, r2))
+        (
+            difference_rec(b, grain, l1, l2),
+            difference_rec(b, grain, r1, r2),
+        )
     };
     join2(b, husk, tl, tr)
 }
@@ -300,6 +376,23 @@ where
     F: Fn(&E, &E) -> E + Sync,
 {
     debug_assert!(batch.windows(2).all(|w| w[0].key() < w[1].key()));
+    let grain = par_grain(b, size(&t) + batch.len());
+    multi_insert_rec(b, grain, t, batch, f)
+}
+
+fn multi_insert_rec<E, A, C, F>(
+    b: usize,
+    grain: usize,
+    t: Tree<E, A, C>,
+    batch: &[E],
+    f: &F,
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    F: Fn(&E, &E) -> E + Sync,
+{
     if batch.is_empty() {
         return t;
     }
@@ -329,15 +422,15 @@ where
         None => e,
     };
     let (left_batch, right_batch) = (&batch[..pos], &batch[rest_at..]);
-    let (tl, tr) = if s + batch.len() > par_cutoff(b) {
+    let (tl, tr) = if s + batch.len() > grain {
         parlay::join(
-            || multi_insert(b, l, left_batch, f),
-            || multi_insert(b, r, right_batch, f),
+            || multi_insert_rec(b, grain, l, left_batch, f),
+            || multi_insert_rec(b, grain, r, right_batch, f),
         )
     } else {
         (
-            multi_insert(b, l, left_batch, f),
-            multi_insert(b, r, right_batch, f),
+            multi_insert_rec(b, grain, l, left_batch, f),
+            multi_insert_rec(b, grain, r, right_batch, f),
         )
     };
     join(b, husk, tl, entry, tr)
@@ -352,6 +445,21 @@ where
     C: Codec<E>,
 {
     debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    let grain = par_grain(b, size(&t));
+    multi_delete_rec(b, grain, t, keys)
+}
+
+fn multi_delete_rec<E, A, C>(
+    b: usize,
+    grain: usize,
+    t: Tree<E, A, C>,
+    keys: &[E::Key],
+) -> Tree<E, A, C>
+where
+    E: Entry,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
     if keys.is_empty() {
         return t;
     }
@@ -374,15 +482,15 @@ where
         (false, pos)
     };
     let (left_keys, right_keys) = (&keys[..pos], &keys[rest_at..]);
-    let (tl, tr) = if s > par_cutoff(b) {
+    let (tl, tr) = if s > grain {
         parlay::join(
-            || multi_delete(b, l, left_keys),
-            || multi_delete(b, r, right_keys),
+            || multi_delete_rec(b, grain, l, left_keys),
+            || multi_delete_rec(b, grain, r, right_keys),
         )
     } else {
         (
-            multi_delete(b, l, left_keys),
-            multi_delete(b, r, right_keys),
+            multi_delete_rec(b, grain, l, left_keys),
+            multi_delete_rec(b, grain, r, right_keys),
         )
     };
     if hit {

@@ -1,0 +1,188 @@
+//! Differential tests for the adaptive fork-granularity policy
+//! (`cpam::grain`): every bulk operation must produce bit-identical
+//! results at problem sizes just below, at, and just above each fork
+//! cutoff, whatever the pool size. The CI thread matrix runs this same
+//! binary under `PARLAY_NUM_THREADS ∈ {1, 2, 4, 8}`, which is what turns
+//! "same result at every cutoff" into "same result at every thread
+//! count" — at 1 thread the policy degrades to pure-sequential code, so
+//! any divergence between the sequential and forked paths shows up as a
+//! cross-leg difference in CI.
+//!
+//! Replayable like the other differential suites: failures panic with
+//! the reproducing seed; `PROPTEST_SEED=<n>` replays one sequence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cpam::{PacMap, PacSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The static cutoff floors of `cpam::grain`: `max(4b, 1024)` for the
+/// set operations and `4096` for builds/walks. Testing one element
+/// below, at, and above each boundary pins the sequential/forked
+/// hand-off exactly where the code switches.
+const BOUNDARIES: [usize; 6] = [1023, 1024, 1025, 4095, 4096, 4097];
+
+fn cases() -> u64 {
+    std::env::var("DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+fn env_seed() -> Option<u64> {
+    std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok())
+}
+
+/// One randomized scenario: sets of `n` and `n/2` keys around one
+/// boundary size, every bulk op checked against the `BTreeSet` oracle.
+fn run_set_one(seed: u64, b: usize, n: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (4 * n as u64).max(16);
+    let keys_a: BTreeSet<u64> = (0..n).map(|_| rng.gen_range(0..span)).collect();
+    let keys_b: BTreeSet<u64> = (0..n / 2).map(|_| rng.gen_range(0..span)).collect();
+
+    let sa = PacSet::<u64>::from_keys_with(b, keys_a.iter().copied().collect());
+    let sb = PacSet::<u64>::from_keys_with(b, keys_b.iter().copied().collect());
+    sa.check_invariants().map_err(|e| format!("invariants a: {e}"))?;
+
+    let check = |name: &str, got: PacSet<u64>, want: BTreeSet<u64>| -> Result<(), String> {
+        got.check_invariants()
+            .map_err(|e| format!("{name} invariants: {e}"))?;
+        let got_v = got.to_vec();
+        let want_v: Vec<u64> = want.into_iter().collect();
+        if got_v != want_v {
+            return Err(format!(
+                "{name} diverges: got {} entries, want {}",
+                got_v.len(),
+                want_v.len()
+            ));
+        }
+        Ok(())
+    };
+
+    check("union", sa.union(&sb), keys_a.union(&keys_b).copied().collect())?;
+    check(
+        "intersect",
+        sa.intersect(&sb),
+        keys_a.intersection(&keys_b).copied().collect(),
+    )?;
+    check(
+        "difference",
+        sa.difference(&sb),
+        keys_a.difference(&keys_b).copied().collect(),
+    )?;
+    check(
+        "union_naive",
+        sa.union_naive(&sb),
+        keys_a.union(&keys_b).copied().collect(),
+    )?;
+
+    let batch: Vec<u64> = (0..n / 2).map(|_| rng.gen_range(0..span)).collect();
+    let mut want_ins = keys_a.clone();
+    want_ins.extend(batch.iter().copied());
+    check("multi_insert", sa.multi_insert(batch.clone()), want_ins)?;
+
+    let mut want_del = keys_a.clone();
+    for k in &batch {
+        want_del.remove(k);
+    }
+    check("multi_delete", sa.multi_delete(batch), want_del)?;
+
+    check(
+        "filter",
+        sa.filter(|k| k % 3 != 0),
+        keys_a.iter().copied().filter(|k| k % 3 != 0).collect(),
+    )?;
+    Ok(())
+}
+
+/// Map flavour: union_with / multi_insert_with have a combiner whose
+/// application order must not depend on where the forks land.
+fn run_map_one(seed: u64, b: usize, n: usize) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (4 * n as u64).max(16);
+    let pairs_a: BTreeMap<u64, u64> = (0..n)
+        .map(|_| (rng.gen_range(0..span), rng.gen_range(0..1000)))
+        .collect();
+    let pairs_b: BTreeMap<u64, u64> = (0..n / 2)
+        .map(|_| (rng.gen_range(0..span), rng.gen_range(0..1000)))
+        .collect();
+
+    let ma: PacMap<u64, u64> =
+        PacMap::from_sorted_pairs(b, &pairs_a.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+    let mb: PacMap<u64, u64> =
+        PacMap::from_sorted_pairs(b, &pairs_b.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+
+    let union = ma.union_with(&mb, |x, y| x.wrapping_add(*y));
+    union
+        .check_invariants()
+        .map_err(|e| format!("union_with invariants: {e}"))?;
+    let mut want = pairs_a.clone();
+    for (&k, &v) in &pairs_b {
+        want.entry(k).and_modify(|x| *x = x.wrapping_add(v)).or_insert(v);
+    }
+    let want_v: Vec<(u64, u64)> = want.iter().map(|(&k, &v)| (k, v)).collect();
+    if union.to_vec() != want_v {
+        return Err("union_with diverges from oracle".into());
+    }
+
+    let mapped = ma.map_values(|_, v| v * 2 + 1);
+    let want_mapped: Vec<(u64, u64)> = pairs_a.iter().map(|(&k, &v)| (k, v * 2 + 1)).collect();
+    if mapped.to_vec() != want_mapped {
+        return Err("map_values diverges from oracle".into());
+    }
+
+    let total: u64 = ma.map_reduce(|_, v| *v, |a, c| a.wrapping_add(c), 0u64);
+    let want_total: u64 = pairs_a.values().fold(0u64, |acc, v| acc.wrapping_add(*v));
+    if total != want_total {
+        return Err(format!("map_reduce {total} != {want_total}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn bulk_ops_identical_at_grain_boundaries() {
+    let threads = parlay::num_threads();
+    for b in [8usize, 32] {
+        for &n in &BOUNDARIES {
+            let seeds: Vec<u64> = match env_seed() {
+                Some(s) => vec![s],
+                None => (0..cases()).map(|i| 0xC0FFEE + i * 7919).collect(),
+            };
+            for seed in seeds {
+                if let Err(e) = run_set_one(seed, b, n) {
+                    panic!(
+                        "set ops diverge (b={b}, n={n}, threads={threads}): {e}\n\
+                         replay with PROPTEST_SEED={seed}"
+                    );
+                }
+                if let Err(e) = run_map_one(seed, b, n) {
+                    panic!(
+                        "map ops diverge (b={b}, n={n}, threads={threads}): {e}\n\
+                         replay with PROPTEST_SEED={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The κ base case (`8b` combined entries) is the third regime change;
+/// exercise sizes that straddle it for a large block size, where the
+/// base case covers the whole tree and no fork can ever fire.
+#[test]
+fn bulk_ops_identical_at_kappa_boundary() {
+    let threads = parlay::num_threads();
+    for b in [32usize, 128] {
+        for n in [8 * b - 1, 8 * b, 8 * b + 1] {
+            let seed = env_seed().unwrap_or(0xBADCAB);
+            if let Err(e) = run_set_one(seed, b, n) {
+                panic!(
+                    "set ops diverge at kappa (b={b}, n={n}, threads={threads}): {e}\n\
+                     replay with PROPTEST_SEED={seed}"
+                );
+            }
+        }
+    }
+}

@@ -34,7 +34,9 @@ pub use ops::{
     blocked, filter, for_each_index, map, map_indexed, reduce, scan_inplace, sum, tabulate,
     SendPtr,
 };
-pub use registry::{num_threads, set_num_threads};
+pub use registry::{
+    num_threads, register_stats_with, scheduler_stats, set_num_threads, SchedulerStats,
+};
 pub use sort::{merge_by, par_sort, par_sort_by, par_sort_by_key};
 
 use job::{ExternalJob, StackJob};
@@ -89,6 +91,14 @@ where
     // SAFETY: `worker` is the current thread's own WorkerThread, valid for
     // the duration of this call.
     let worker = unsafe { &*worker };
+
+    if worker.is_solo() {
+        // No thieves exist, so `b` could never run anywhere but here.
+        // Skip the StackJob push/pop and catch_unwind entirely; panic
+        // semantics match the outside-pool single-thread path (a panic in
+        // `a` skips `b`).
+        return (a(), b());
+    }
 
     let job_b = StackJob::new(b);
     // SAFETY: `job_b` lives on this stack frame and we do not leave the

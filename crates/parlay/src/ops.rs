@@ -37,8 +37,25 @@ impl<T> SendPtr<T> {
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
+/// Fork cutoff adapted to the pool: forks stop once a range is below
+/// `max(grain, n / (8 * num_threads))`. With `8T` leaves per thread the
+/// scheduler has slack to balance load, without flooding the deques when
+/// `n` is huge; on a single-threaded pool no range is ever worth forking.
+fn effective_grain(n: usize, grain: usize) -> usize {
+    let threads = crate::num_threads();
+    if threads <= 1 {
+        return usize::MAX;
+    }
+    grain.max(n / (8 * threads))
+}
+
 /// Applies `body(lo, hi)` over disjoint subranges of `[lo, hi)` in
 /// parallel, splitting until ranges have at most `grain` elements.
+///
+/// Forking stops early when the pool cannot use more parallel slack
+/// (the fork cutoff scales as `n / (8 · threads)` and becomes infinite
+/// on a 1-thread pool); below the cutoff, `body` is still invoked on
+/// chunks of at most `grain` elements, sequentially.
 ///
 /// # Examples
 ///
@@ -58,13 +75,25 @@ where
     if hi <= lo {
         return;
     }
-    if hi - lo <= grain {
-        body(lo, hi);
+    blocked_rec(lo, hi, grain, effective_grain(hi - lo, grain), body);
+}
+
+fn blocked_rec<F>(lo: usize, hi: usize, grain: usize, fork_below: usize, body: &F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if hi - lo <= fork_below {
+        let mut at = lo;
+        while at < hi {
+            let end = at.saturating_add(grain).min(hi);
+            body(at, end);
+            at = end;
+        }
     } else {
         let mid = lo + (hi - lo) / 2;
         join(
-            || blocked(lo, mid, grain, body),
-            || blocked(mid, hi, grain, body),
+            || blocked_rec(lo, mid, grain, fork_below, body),
+            || blocked_rec(mid, hi, grain, fork_below, body),
         );
     }
 }
@@ -152,22 +181,27 @@ where
     M: Fn(&T) -> R + Sync,
     Op: Fn(R, R) -> R + Sync,
 {
-    fn go<T, R, M, Op>(xs: &[T], id: &R, m: &M, op: &Op) -> R
+    fn go<T, R, M, Op>(xs: &[T], id: &R, m: &M, op: &Op, fork_below: usize) -> R
     where
         T: Sync,
         R: Send + Sync + Clone,
         M: Fn(&T) -> R + Sync,
         Op: Fn(R, R) -> R + Sync,
     {
-        if xs.len() <= DEFAULT_GRAIN {
+        if xs.len() <= fork_below {
             xs.iter().fold(id.clone(), |acc, x| op(acc, m(x)))
         } else {
             let (l, r) = xs.split_at(xs.len() / 2);
-            let (a, b) = join(|| go(l, id, m, op), || go(r, id, m, op));
+            let (a, b) = join(
+                || go(l, id, m, op, fork_below),
+                || go(r, id, m, op, fork_below),
+            );
             op(a, b)
         }
     }
-    go(xs, &id, &m, &op)
+    // The reduction tree's shape depends on the worker count, so `op`
+    // must be associative for the result to be deterministic.
+    go(xs, &id, &m, &op, effective_grain(xs.len(), DEFAULT_GRAIN))
 }
 
 /// Parallel sum of a slice of unsigned integers.

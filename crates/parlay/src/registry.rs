@@ -2,11 +2,45 @@
 //!
 //! A fixed set of worker threads each own a LIFO [`Worker`] deque. `join`
 //! pushes the second closure onto the local deque and runs the first; idle
-//! workers steal from the FIFO end of other deques or from a global
-//! [`Injector`] that receives jobs from threads outside the pool.
+//! workers steal batches from the FIFO end of other deques or from a
+//! global [`Injector`] that receives jobs from threads outside the pool.
+//!
+//! # Wake protocol
+//!
+//! Pushing a job must wake an idle worker, but the push path is the hot
+//! path of every `join`, so it cannot afford a mutex or a `notify_all`
+//! stampede. The protocol (after Rayon's sleep module, simplified):
+//!
+//! - **Pusher fast path:** a relaxed load of the `sleepers` count. When no
+//!   worker is parked — the common case under load — pushing costs one
+//!   uncontended atomic read and nothing else.
+//! - **Pusher slow path:** bump the `wake_epoch` counter, take the sleep
+//!   mutex, `notify_one`. Exactly one parked worker wakes per push instead
+//!   of all of them.
+//! - **Sleeper:** capture `wake_epoch`, advertise itself in `sleepers`,
+//!   re-scan the queues (closing the race against a pusher that loaded
+//!   `sleepers` before the increment), then re-check `wake_epoch` under
+//!   the sleep mutex and only park if no wake happened in between. Parks
+//!   always use a bounded timeout, so the residual window left by the
+//!   relaxed fast-path load (pusher reads a stale zero while the sleeper
+//!   registers) costs at most one timeout instead of a lost wakeup.
+//!
+//! Workers that complete a stolen job also run the pusher slow path: a
+//! `join` caller may be parked waiting on exactly that job's `done` flag,
+//! and nothing else would wake it before its timeout.
+//!
+//! # Steal policy
+//!
+//! Steals move a *batch* (half the victim's queue, capped) into the
+//! thief's own deque and return one job to run, amortizing the
+//! synchronization per steal. `Steal::Retry` — a lost race with another
+//! thief — is bounded everywhere: a few retries on the injector, a few
+//! per victim before moving on. An unbounded retry loop can livelock when
+//! every attempt loses the race (observed as a real risk under
+//! oversubscription; see `tests/stress.rs`).
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -15,14 +49,49 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::job::JobRef;
 
+/// Bounded `Steal::Retry` attempts against the global injector per scan.
+const INJECTOR_RETRIES: usize = 4;
+/// Bounded `Steal::Retry` attempts per victim before moving to the next.
+const VICTIM_RETRIES: usize = 3;
+/// Backoff rounds spent in `spin_loop` bursts (2^round iterations each).
+const SPIN_ROUNDS: u32 = 6;
+/// Backoff rounds spent in `yield_now` after spinning, before parking.
+const YIELD_ROUNDS: u32 = 4;
+/// Park timeout for a `join` caller waiting on its forked job. Short: the
+/// completion wake usually arrives first, the timeout only bounds races.
+const JOIN_PARK_TIMEOUT: Duration = Duration::from_micros(100);
+/// Park timeout for an idle worker with no pending obligations.
+const IDLE_PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Per-worker counters, padded to a cache line so relaxed increments on
+/// the hot path never false-share with a neighbour's.
+#[repr(align(64))]
+#[derive(Default)]
+struct WorkerCounters {
+    steals: AtomicU64,
+    exec_local: AtomicU64,
+    exec_stolen: AtomicU64,
+    retries_abandoned: AtomicU64,
+    parks: AtomicU64,
+}
+
 /// Shared state of the pool.
 pub(crate) struct Registry {
     injector: Injector<JobRef>,
     stealers: Vec<Stealer<JobRef>>,
+    /// Number of workers currently advertising themselves as parked (or
+    /// about to park). Pushers read this relaxed as the wake fast path.
     sleepers: AtomicUsize,
+    /// Monotonic wake counter. Bumped by every slow-path wake; sleepers
+    /// re-check it under the mutex to detect a wake that raced their
+    /// registration and skip the park entirely.
+    wake_epoch: AtomicU64,
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
     num_threads: usize,
+    injected: AtomicU64,
+    wakeups: AtomicU64,
+    counters: Vec<WorkerCounters>,
 }
 
 static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
@@ -68,9 +137,13 @@ pub(crate) fn global() -> &'static Arc<Registry> {
             injector: Injector::new(),
             stealers,
             sleepers: AtomicUsize::new(0),
+            wake_epoch: AtomicU64::new(0),
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
             num_threads,
+            injected: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            counters: (0..num_threads).map(|_| WorkerCounters::default()).collect(),
         });
         for (index, worker) in workers.into_iter().enumerate() {
             let registry = Arc::clone(&registry);
@@ -90,46 +163,33 @@ impl Registry {
     /// The job must stay alive until executed.
     pub(crate) unsafe fn inject(&self, job: JobRef) {
         self.injector.push(job);
-        self.notify_sleepers();
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.notify_one();
     }
 
-    fn notify_sleepers(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep_mutex.lock();
-            self.sleep_cond.notify_all();
+    /// Wakes one parked worker, if any. See the module docs for the full
+    /// protocol; the fast path is a single relaxed load.
+    fn notify_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
         }
+        self.wake_epoch.fetch_add(1, Ordering::Release);
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_one();
     }
 
-    /// One full attempt at finding work from the injector or a victim deque.
-    fn steal_work(&self, self_index: usize, rng: &Cell<u64>) -> Option<JobRef> {
-        // Try the global injector first.
-        loop {
-            match self.injector.steal() {
-                Steal::Success(job) => return Some(job),
-                Steal::Retry => continue,
-                Steal::Empty => break,
-            }
+    /// Whether any queue currently holds a job this worker could take.
+    /// Used as the last look before parking; a false positive costs one
+    /// extra scan, a false negative costs at most one park timeout.
+    fn has_pending_work(&self, self_index: usize) -> bool {
+        if !self.injector.is_empty() {
+            return true;
         }
-        // Then sweep the other workers, starting from a random victim.
-        let n = self.stealers.len();
-        if n <= 1 {
-            return None;
-        }
-        let start = (next_rand(rng) as usize) % n;
-        for offset in 0..n {
-            let victim = (start + offset) % n;
-            if victim == self_index {
-                continue;
-            }
-            loop {
-                match self.stealers[victim].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
-                }
-            }
-        }
-        None
+        self.stealers
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != self_index && !s.is_empty())
     }
 }
 
@@ -161,32 +221,156 @@ impl WorkerThread {
         WORKER_THREAD.with(Cell::get)
     }
 
+    /// Whether this worker is alone in the pool (no thieves exist).
+    pub(crate) fn is_solo(&self) -> bool {
+        self.registry.num_threads <= 1
+    }
+
+    fn counters(&self) -> &WorkerCounters {
+        &self.registry.counters[self.index]
+    }
+
     pub(crate) fn push(&self, job: JobRef) {
         self.worker.push(job);
-        self.registry.notify_sleepers();
+        self.registry.notify_one();
     }
 
     pub(crate) fn pop(&self) -> Option<JobRef> {
         self.worker.pop()
     }
 
+    /// One full attempt at finding work: the global injector first, then
+    /// the other workers starting from a random victim. Batch-steals into
+    /// this worker's own deque; all `Steal::Retry` loops are bounded.
+    fn steal_work(&self) -> Option<JobRef> {
+        let registry = &*self.registry;
+        let mut retries = 0;
+        loop {
+            match registry.injector.steal_batch_and_pop(&self.worker) {
+                Steal::Success(job) => {
+                    self.counters().steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Empty => break,
+                Steal::Retry => {
+                    retries += 1;
+                    if retries >= INJECTOR_RETRIES {
+                        self.counters()
+                            .retries_abandoned
+                            .fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+        let n = registry.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (next_rand(&self.rng) as usize) % n;
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == self.index {
+                continue;
+            }
+            let mut retries = 0;
+            loop {
+                match registry.stealers[victim].steal_batch_and_pop(&self.worker) {
+                    Steal::Success(job) => {
+                        self.counters().steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {
+                        retries += 1;
+                        if retries >= VICTIM_RETRIES {
+                            // Lost the race repeatedly; the next victim is
+                            // more promising than another spin here.
+                            self.counters()
+                                .retries_abandoned
+                                .fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs a stolen or injected job and then wakes one sleeper: the
+    /// job's completion may be exactly what a parked `join` caller is
+    /// waiting on, and nothing else would signal it.
+    ///
+    /// # Safety
+    /// As for [`JobRef::execute`]: `job` must point at live storage and be
+    /// executed exactly once.
+    unsafe fn execute_stolen(&self, job: JobRef) {
+        // Count before executing: an external job's `execute` releases the
+        // submitting thread, which may snapshot the stats immediately — the
+        // window delta must already include this job.
+        self.counters().exec_stolen.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { job.execute() };
+        self.registry.notify_one();
+    }
+
+    /// Parks this worker for at most `timeout`, unless a wake or new work
+    /// races in first. `abort` is re-checked after registration so a
+    /// `join` waiter never sleeps past its job's completion.
+    fn park(&self, timeout: Duration, abort: &dyn Fn() -> bool) {
+        let registry = &*self.registry;
+        let epoch = registry.wake_epoch.load(Ordering::Acquire);
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Re-scan after advertising ourselves: a pusher that loaded
+        // `sleepers` before our increment will not wake us, but its job
+        // is already visible in some queue by now (or will be caught by
+        // the timeout in the worst-case interleaving).
+        if abort() || !self.worker.is_empty() || registry.has_pending_work(self.index) {
+            registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        {
+            let mut guard = registry.sleep_mutex.lock();
+            if registry.wake_epoch.load(Ordering::Acquire) == epoch {
+                registry.sleep_cond.wait_for(&mut guard, timeout);
+            }
+        }
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.counters().parks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Executes local, stolen, or injected jobs until `done()` is true.
     ///
     /// This is the heart of `join`: while the second closure may have been
     /// stolen, the waiting worker keeps itself busy with other work rather
-    /// than blocking.
+    /// than blocking. When no work is available it backs off in stages —
+    /// spin bursts, then yields, then short parks — instead of burning a
+    /// core in a bare `yield_now` loop.
     pub(crate) fn wait_until<F: Fn() -> bool>(&self, done: F) {
+        let mut idle_rounds = 0u32;
         while !done() {
             if let Some(job) = self.pop() {
+                self.counters().exec_local.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: every JobRef in a deque points at live storage and
                 // is executed exactly once. If this was our own pushed job it
                 // runs inline here and `done()` turns true.
                 unsafe { job.execute() };
-            } else if let Some(job) = self.registry.steal_work(self.index, &self.rng) {
+                idle_rounds = 0;
+            } else if let Some(job) = self.steal_work() {
                 // SAFETY: as above.
-                unsafe { job.execute() };
-            } else {
+                unsafe { self.execute_stolen(job) };
+                idle_rounds = 0;
+            } else if idle_rounds < SPIN_ROUNDS {
+                for _ in 0..(1u32 << idle_rounds) {
+                    std::hint::spin_loop();
+                }
+                idle_rounds += 1;
+            } else if idle_rounds < SPIN_ROUNDS + YIELD_ROUNDS {
                 std::thread::yield_now();
+                idle_rounds += 1;
+            } else {
+                self.park(JOIN_PARK_TIMEOUT, &|| done());
             }
         }
     }
@@ -203,29 +387,129 @@ fn worker_main(registry: Arc<Registry>, worker: Worker<JobRef>, index: usize) {
 
     let mut idle_rounds = 0u32;
     loop {
-        let job = me.pop().or_else(|| registry.steal_work(index, &me.rng));
-        match job {
-            Some(job) => {
-                idle_rounds = 0;
-                // SAFETY: jobs in deques are live and executed exactly once.
-                unsafe { job.execute() };
+        if let Some(job) = me.pop() {
+            idle_rounds = 0;
+            me.counters().exec_local.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: jobs in deques are live and executed exactly once.
+            unsafe { job.execute() };
+            continue;
+        }
+        if let Some(job) = me.steal_work() {
+            idle_rounds = 0;
+            // SAFETY: as above.
+            unsafe { me.execute_stolen(job) };
+            continue;
+        }
+        idle_rounds += 1;
+        if idle_rounds < SPIN_ROUNDS {
+            for _ in 0..(1u32 << idle_rounds) {
+                std::hint::spin_loop();
             }
-            None => {
-                idle_rounds += 1;
-                if idle_rounds < 64 {
-                    std::thread::yield_now();
-                } else {
-                    // Register as a sleeper and park briefly. The timeout
-                    // bounds the cost of any lost-wakeup race.
-                    registry.sleepers.fetch_add(1, Ordering::SeqCst);
-                    let mut guard = registry.sleep_mutex.lock();
-                    registry
-                        .sleep_cond
-                        .wait_for(&mut guard, Duration::from_millis(1));
-                    drop(guard);
-                    registry.sleepers.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
+        } else if idle_rounds < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            me.park(IDLE_PARK_TIMEOUT, &|| false);
         }
     }
+}
+
+/// A snapshot of the scheduler's introspection counters.
+///
+/// All counters are cumulative since pool start and monotonically
+/// non-decreasing; to attribute activity to a window of work, snapshot
+/// before and after and subtract (see [`SchedulerStats::delta`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs injected from threads outside the pool (`parlay::run`).
+    pub injected: u64,
+    /// Slow-path wakes: a pusher or completing thief found at least one
+    /// parked worker and signalled it.
+    pub wakeups: u64,
+    /// Successful steal operations (each may move a whole batch).
+    pub steals: u64,
+    /// Jobs a worker popped from its own deque.
+    pub exec_local: u64,
+    /// Stolen or injected jobs a worker executed.
+    pub exec_stolen: u64,
+    /// Steal attempts abandoned after the bounded `Retry` budget.
+    pub retries_abandoned: u64,
+    /// Times a worker parked on the sleep condvar.
+    pub parks: u64,
+    /// `(exec_local, exec_stolen)` broken out per worker thread.
+    pub per_worker: Vec<(u64, u64)>,
+}
+
+impl SchedulerStats {
+    /// Counter increments between `earlier` and `self`, where `earlier`
+    /// was snapshotted first. The `per_worker` breakdown is subtracted
+    /// index-wise.
+    pub fn delta(&self, earlier: &SchedulerStats) -> SchedulerStats {
+        SchedulerStats {
+            injected: self.injected - earlier.injected,
+            wakeups: self.wakeups - earlier.wakeups,
+            steals: self.steals - earlier.steals,
+            exec_local: self.exec_local - earlier.exec_local,
+            exec_stolen: self.exec_stolen - earlier.exec_stolen,
+            retries_abandoned: self.retries_abandoned - earlier.retries_abandoned,
+            parks: self.parks - earlier.parks,
+            per_worker: self
+                .per_worker
+                .iter()
+                .zip(&earlier.per_worker)
+                .map(|((l, s), (el, es))| (l - el, s - es))
+                .collect(),
+        }
+    }
+}
+
+/// Reads the scheduler counters.
+///
+/// Starts the pool if it is not yet running (counters are a property of
+/// the running scheduler).
+pub fn scheduler_stats() -> SchedulerStats {
+    let registry = global();
+    let mut stats = SchedulerStats {
+        injected: registry.injected.load(Ordering::Relaxed),
+        wakeups: registry.wakeups.load(Ordering::Relaxed),
+        ..SchedulerStats::default()
+    };
+    for c in &registry.counters {
+        let local = c.exec_local.load(Ordering::Relaxed);
+        let stolen = c.exec_stolen.load(Ordering::Relaxed);
+        stats.steals += c.steals.load(Ordering::Relaxed);
+        stats.exec_local += local;
+        stats.exec_stolen += stolen;
+        stats.retries_abandoned += c.retries_abandoned.load(Ordering::Relaxed);
+        stats.parks += c.parks.load(Ordering::Relaxed);
+        stats.per_worker.push((local, stolen));
+    }
+    stats
+}
+
+/// Bridges the scheduler counters into an `obs` registry as pull-style
+/// callbacks (`parlay_steals_total`, `parlay_wakeups_total`, ...), the
+/// same pattern as `cpam::stats::register_with`: the hot paths keep their
+/// single relaxed `fetch_add` and pay nothing until something scrapes the
+/// registry. Idempotent: re-registering a name is a no-op.
+pub fn register_stats_with(registry: &obs::Registry) {
+    fn total(read: impl Fn(&WorkerCounters) -> &AtomicU64) -> u64 {
+        global()
+            .counters
+            .iter()
+            .map(|c| read(c).load(Ordering::Relaxed))
+            .sum()
+    }
+    registry.register_callback("parlay_injected_total", || {
+        global().injected.load(Ordering::Relaxed)
+    });
+    registry.register_callback("parlay_wakeups_total", || {
+        global().wakeups.load(Ordering::Relaxed)
+    });
+    registry.register_callback("parlay_steals_total", || total(|c| &c.steals));
+    registry.register_callback("parlay_exec_local_total", || total(|c| &c.exec_local));
+    registry.register_callback("parlay_exec_stolen_total", || total(|c| &c.exec_stolen));
+    registry.register_callback("parlay_steal_retries_abandoned_total", || {
+        total(|c| &c.retries_abandoned)
+    });
+    registry.register_callback("parlay_parks_total", || total(|c| &c.parks));
 }

@@ -1,0 +1,67 @@
+//! Many external threads funnelling through the one global `Injector`
+//! at a tiny pool size — the scenario where a lost wakeup deadlocks:
+//! every worker parks, an external `run` injects, and nobody wakes.
+//!
+//! Lives in its own integration-test file so the process gets a
+//! dedicated pool: `set_num_threads(2)` must run before anything else
+//! touches the scheduler (thread count is fixed at first use).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn nested(depth: usize) -> usize {
+    if depth == 0 {
+        1
+    } else {
+        let (a, b) = parlay::join(|| nested(depth - 1), || nested(depth - 1));
+        a + b
+    }
+}
+
+/// 16 external injector threads × repeated runs of nested joins on a
+/// 2-worker pool. Every run must complete (no lost wakeup leaves an
+/// external latch waiting forever) and the whole test is time-bounded
+/// by a watchdog rather than relying on the harness timeout.
+#[test]
+fn sixteen_external_injectors_on_two_workers() {
+    parlay::set_num_threads(2);
+    assert_eq!(parlay::num_threads(), 2);
+
+    const EXTERNAL_THREADS: usize = 16;
+    const RUNS_PER_THREAD: usize = 40;
+    const DEPTH: usize = 8;
+
+    let completed = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..EXTERNAL_THREADS {
+            scope.spawn(|| {
+                for _ in 0..RUNS_PER_THREAD {
+                    let leaves = parlay::run(|| nested(DEPTH));
+                    assert_eq!(leaves, 1 << DEPTH);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Watchdog: if a wakeup is lost the scoped threads never join and
+        // the whole suite would hang until the CI timeout. Panicking here
+        // converts that hang into a diagnosable failure.
+        scope.spawn(|| {
+            let deadline = Duration::from_secs(120);
+            while completed.load(Ordering::Relaxed) < EXTERNAL_THREADS * RUNS_PER_THREAD {
+                assert!(
+                    start.elapsed() < deadline,
+                    "stalled: {}/{} runs completed after {:?} — lost wakeup or deadlock",
+                    completed.load(Ordering::Relaxed),
+                    EXTERNAL_THREADS * RUNS_PER_THREAD,
+                    deadline
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    });
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        EXTERNAL_THREADS * RUNS_PER_THREAD
+    );
+}

@@ -5,16 +5,24 @@
 //! module the `parlay` scheduler uses — implemented with locked
 //! `VecDeque`s instead of the lock-free Chase–Lev deque. Semantics
 //! match the original ([`deque::Worker`] pops LIFO, [`deque::Stealer`]
-//! and [`deque::Injector`] steal FIFO); throughput under contention is lower,
-//! which is an accepted trade-off until a lock-free deque lands (see
-//! DESIGN.md §Substitutions).
+//! and [`deque::Injector`] steal FIFO, and — like the lock-free
+//! original — steal attempts that lose a race report [`deque::Steal::Retry`]
+//! instead of blocking: a contended steal `try_lock`s and bails, so the
+//! scheduler's bounded-retry policy is exercised for real. Throughput
+//! under contention is lower than the Chase–Lev deque, which is an
+//! accepted trade-off until a lock-free deque lands (see DESIGN.md
+//! §Substitutions).
 
 pub mod deque {
     //! Work-stealing deques: a per-worker LIFO [`Worker`] end, FIFO
     //! [`Stealer`] handles, and a shared FIFO [`Injector`].
 
     use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex, PoisonError};
+    use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
+
+    /// Largest number of tasks moved by one `steal_batch_and_pop`
+    /// (mirrors crossbeam's `MAX_BATCH`).
+    const MAX_BATCH: usize = 32;
 
     /// Outcome of a steal attempt.
     pub enum Steal<T> {
@@ -24,8 +32,11 @@ pub mod deque {
         Success(T),
         /// The operation lost a race and should be retried.
         ///
-        /// The locked implementation never loses races, but callers
-        /// written against crossbeam match on this variant.
+        /// The locked implementation returns this when the queue lock is
+        /// held by another thread at the moment of the attempt — the
+        /// moral equivalent of losing a CAS race in the lock-free
+        /// original. Callers must bound their retries (an unbounded
+        /// retry loop can livelock under contention).
         Retry,
     }
 
@@ -39,8 +50,35 @@ pub mod deque {
         }
     }
 
-    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
         queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking acquire: `None` means the lock is contended and the
+    /// caller should report [`Steal::Retry`].
+    fn try_lock<T>(queue: &Mutex<VecDeque<T>>) -> Option<MutexGuard<'_, VecDeque<T>>> {
+        match queue.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Steals up to `MAX_BATCH` (32) tasks (at most half the queue, always
+    /// at least one) from the front of `src`, moving all but the first
+    /// into `dest` and returning the first.
+    fn drain_batch<T>(src: &mut VecDeque<T>, dest: &Worker<T>) -> Steal<T> {
+        let Some(first) = src.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = (src.len().div_ceil(2)).min(MAX_BATCH - 1);
+        if extra > 0 {
+            let mut dest_queue = lock(&dest.queue);
+            for task in src.drain(..extra) {
+                dest_queue.push_back(task);
+            }
+        }
+        Steal::Success(first)
     }
 
     /// The owner end of a work-stealing deque.
@@ -87,9 +125,26 @@ pub mod deque {
     impl<T> Stealer<T> {
         /// Steals the oldest task from the deque.
         pub fn steal(&self) -> Steal<T> {
-            match lock(&self.queue).pop_front() {
-                Some(task) => Steal::Success(task),
-                None => Steal::Empty,
+            match try_lock(&self.queue) {
+                Some(mut queue) => match queue.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                None => Steal::Retry,
+            }
+        }
+
+        /// Steals a batch of tasks from the front of the deque, moves
+        /// all but the first into `dest`, and returns the first.
+        ///
+        /// Batching amortizes the per-steal synchronization: an idle
+        /// worker grabs up to half the victim's queue (capped at
+        /// `MAX_BATCH`) in one acquisition instead of coming back for
+        /// every job.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            match try_lock(&self.queue) {
+                Some(mut queue) => drain_batch(&mut queue, dest),
+                None => Steal::Retry,
             }
         }
 
@@ -127,9 +182,22 @@ pub mod deque {
 
         /// Steals the oldest injected task.
         pub fn steal(&self) -> Steal<T> {
-            match lock(&self.queue).pop_front() {
-                Some(task) => Steal::Success(task),
-                None => Steal::Empty,
+            match try_lock(&self.queue) {
+                Some(mut queue) => match queue.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                None => Steal::Retry,
+            }
+        }
+
+        /// Steals a batch of injected tasks, moves all but the first
+        /// into `dest`, and returns the first. See
+        /// [`Stealer::steal_batch_and_pop`].
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            match try_lock(&self.queue) {
+                Some(mut queue) => drain_batch(&mut queue, dest),
+                None => Steal::Retry,
             }
         }
 
@@ -173,6 +241,60 @@ pub mod deque {
         }
 
         #[test]
+        fn steal_batch_moves_half_and_pops_first() {
+            let victim = Worker::new_lifo();
+            let thief = Worker::new_lifo();
+            for i in 0..10 {
+                victim.push(i);
+            }
+            let s = victim.stealer();
+            // First batch: pops 0, moves ceil(9/2) = 5 (1..=5) to thief.
+            assert!(matches!(s.steal_batch_and_pop(&thief), Steal::Success(0)));
+            assert_eq!(thief.pop(), Some(5));
+            assert_eq!(thief.pop(), Some(4));
+            assert_eq!(thief.pop(), Some(3));
+            assert_eq!(thief.pop(), Some(2));
+            assert_eq!(thief.pop(), Some(1));
+            assert_eq!(thief.pop(), None);
+            // Victim still holds 6..=9 (LIFO end untouched).
+            assert_eq!(victim.pop(), Some(9));
+        }
+
+        #[test]
+        fn steal_batch_caps_at_max_batch() {
+            let victim = Worker::new_lifo();
+            let thief = Worker::new_lifo();
+            for i in 0..200 {
+                victim.push(i);
+            }
+            let s = victim.stealer();
+            assert!(matches!(s.steal_batch_and_pop(&thief), Steal::Success(0)));
+            let mut moved = 0;
+            while thief.pop().is_some() {
+                moved += 1;
+            }
+            assert_eq!(moved, MAX_BATCH - 1);
+        }
+
+        #[test]
+        fn injector_batch_steal() {
+            let inj = Injector::new();
+            let thief = Worker::new_lifo();
+            for i in 0..6 {
+                inj.push(i);
+            }
+            assert!(matches!(inj.steal_batch_and_pop(&thief), Steal::Success(0)));
+            // ceil(5/2) = 3 moved (1, 2, 3), FIFO order preserved under pop
+            // from the thief's LIFO end reversed — drain pushed 1 first.
+            let mut moved = Vec::new();
+            while let Some(v) = thief.pop() {
+                moved.push(v);
+            }
+            assert_eq!(moved, vec![3, 2, 1]);
+            assert!(matches!(inj.steal(), Steal::Success(4)));
+        }
+
+        #[test]
         fn concurrent_steals_see_each_task_once() {
             let w = Worker::new_lifo();
             for i in 0..10_000u64 {
@@ -192,7 +314,46 @@ pub mod deque {
                                 count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             }
                             Steal::Empty => break,
-                            Steal::Retry => continue,
+                            Steal::Retry => std::thread::yield_now(),
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.into_inner(), 10_000);
+            assert_eq!(total.into_inner(), 10_000 * 9_999 / 2);
+        }
+
+        #[test]
+        fn concurrent_batch_steals_see_each_task_once() {
+            let w = Worker::new_lifo();
+            for i in 0..10_000u64 {
+                w.push(i);
+            }
+            let total = std::sync::atomic::AtomicU64::new(0);
+            let count = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let s = w.stealer();
+                    let total = &total;
+                    let count = &count;
+                    scope.spawn(move || {
+                        let local = Worker::new_lifo();
+                        loop {
+                            let task = match local.pop() {
+                                Some(v) => Some(v),
+                                None => match s.steal_batch_and_pop(&local) {
+                                    Steal::Success(v) => Some(v),
+                                    Steal::Empty => break,
+                                    Steal::Retry => {
+                                        std::thread::yield_now();
+                                        continue;
+                                    }
+                                },
+                            };
+                            if let Some(v) = task {
+                                total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
                         }
                     });
                 }
