@@ -12,7 +12,6 @@
 //! Writes `BENCH_store.json` (machine-readable sweep results) into the
 //! current directory.
 
-use std::io::Write as _;
 
 use bench::{header, time, XorShift};
 use store::{Op, Router, ShardedStore, StoreOptions};
@@ -175,20 +174,10 @@ fn main() {
         json_rows(&durable),
         ratio(&durable),
     );
-    // `BENCH_store.json` holds one section per store bench binary; this
-    // run rewrites `shard_throughput` and preserves `store_lifecycle`
-    // (the distinctive-key filter skips stale pre-section layouts).
-    let previous = std::fs::read_to_string("BENCH_store.json").unwrap_or_default();
-    let lifecycle = bench::extract_obj(&previous, "store_lifecycle")
-        .filter(|o| o.contains("compact_pause_ms_mean"))
-        .map(str::to_string);
-    let json = match lifecycle {
-        Some(lc) => format!(
-            "{{\n  \"shard_throughput\": {section},\n  \"store_lifecycle\": {lc}\n}}\n"
-        ),
-        None => format!("{{\n  \"shard_throughput\": {section}\n}}\n"),
-    };
-    let mut f = std::fs::File::create("BENCH_store.json").expect("create BENCH_store.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_store.json");
-    println!("wrote BENCH_store.json (shard_throughput section)");
+    bench::write_merged_section(
+        "BENCH_store.json",
+        "shard_throughput",
+        &section,
+        &["store_lifecycle", "store_paging"],
+    );
 }

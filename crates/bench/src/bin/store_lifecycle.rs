@@ -28,7 +28,6 @@
 //! `store_lifecycle` section of `BENCH_store.json`, preserving the
 //! `shard_throughput` section.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use bench::{header, hist_now, hist_since, mib, ms, ns_window_ms, time, XorShift};
@@ -195,19 +194,12 @@ fn main() {
         stats.wal_bytes_truncated,
     );
     // Rewrite only this binary's section of the merged results file.
-    let previous = std::fs::read_to_string("BENCH_store.json").unwrap_or_default();
-    let throughput = bench::extract_obj(&previous, "shard_throughput")
-        .filter(|o| o.contains("memory_sweep"))
-        .map(str::to_string);
-    let json = match throughput {
-        Some(tp) => {
-            format!("{{\n  \"shard_throughput\": {tp},\n  \"store_lifecycle\": {section}\n}}\n")
-        }
-        None => format!("{{\n  \"store_lifecycle\": {section}\n}}\n"),
-    };
-    let mut f = std::fs::File::create("BENCH_store.json").expect("create BENCH_store.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_store.json");
-    println!("wrote BENCH_store.json (store_lifecycle section)");
+    bench::write_merged_section(
+        "BENCH_store.json",
+        "store_lifecycle",
+        &section,
+        &["shard_throughput", "store_paging"],
+    );
 
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);

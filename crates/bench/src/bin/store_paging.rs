@@ -1,0 +1,209 @@
+//! Out-of-core paged storage: the same store contents behind the
+//! classic fully-resident snapshot and the paged format with a buffer
+//! pool far smaller than the data, measuring the numbers the paging
+//! subsystem exists to change (DESIGN.md §13):
+//!
+//! * **cold-open latency** — a paged open reads structure only, so it
+//!   must stay near-constant while the classic open decodes every leaf
+//!   block (O(data));
+//! * **cold point reads** — a get on a freshly-opened lazy tree faults
+//!   in O(1) pages (the spine is structure; only the target leaf pages
+//!   in), measured as pool misses per cold get;
+//! * **warm-vs-cold hit rate** — re-reading a working set that fits the
+//!   pool faults zero pages the second time around;
+//! * **bounded residency** — a full scan through a pool holding a small
+//!   fraction of the leaves completes with resident pages ≤ budget
+//!   throughout (sampled between scan chunks), evictions making up the
+//!   difference;
+//! * **ops/s vs fully resident** — uniform random gets thrashing the
+//!   tiny pool against the same workload on the classic in-RAM tree:
+//!   the price of demand paging when the working set exceeds the
+//!   budget.
+//!
+//! Not a paper figure — this tracks the system claim behind
+//! `StoreOptions::pool_pages` (EXPERIMENTS.md §pacstore). Rewrites the
+//! `store_paging` section of `BENCH_store.json`, preserving the other
+//! binaries' sections.
+
+use bench::{header, time, XorShift};
+use store::{Op, PacStore, StoreOptions};
+
+/// Frame budget for the out-of-core side: small enough that even the
+/// smoke-scale store (`REPRO_N=50000` → ~200 leaves) is many times the
+/// pool.
+const POOL_PAGES: usize = 8;
+
+fn pooled() -> StoreOptions {
+    StoreOptions { pool_pages: Some(POOL_PAGES), ..StoreOptions::default() }
+}
+
+fn classic() -> StoreOptions {
+    StoreOptions { pool_pages: None, ..StoreOptions::default() }
+}
+
+/// Builds a store of `total` keys under `opts` and drops the handle.
+fn build(dir: &std::path::Path, total: u64, opts: StoreOptions) {
+    let _ = std::fs::remove_dir_all(dir);
+    let store: PacStore<u64, u64> = PacStore::open_with(dir, opts).expect("build store");
+    for chunk in (0..total).collect::<Vec<_>>().chunks(100_000) {
+        store
+            .commit(chunk.iter().map(|&k| Op::Put(k, k * 3)).collect())
+            .expect("preload");
+    }
+    store.save().expect("save");
+}
+
+fn main() {
+    header("store_paging", "paged snapshots + buffer pool vs the fully-resident format");
+    let total = bench::base_n().max(20_000) as u64;
+    println!("keys = {total}, pool budget = {POOL_PAGES} pages\n");
+
+    let paged_dir = std::env::temp_dir().join(format!("store-paging-p-{}", std::process::id()));
+    let classic_dir = std::env::temp_dir().join(format!("store-paging-c-{}", std::process::id()));
+    build(&paged_dir, total, pooled());
+    build(&classic_dir, total, classic());
+
+    // --- Cold-open latency: O(structure) vs O(data). Both files were
+    // just written, so the OS cache is warm for both and the gap is
+    // decode work, not disk.
+    let (paged, open_paged_s) =
+        time(|| PacStore::<u64, u64>::open_with(&paged_dir, pooled()).expect("open paged"));
+    let (resident, open_classic_s) =
+        time(|| PacStore::<u64, u64>::open_with(&classic_dir, classic()).expect("open classic"));
+    let open_misses = paged.pool_stats().expect("pooled stats").misses;
+    assert_eq!(open_misses, 0, "a paged open must not touch data pages");
+    println!(
+        "cold open: paged = {:.3} ms ({open_misses} data pages), classic = {:.3} ms ({:.1}x)",
+        open_paged_s * 1e3,
+        open_classic_s * 1e3,
+        open_classic_s / open_paged_s.max(1e-9),
+    );
+
+    // --- Cold point reads: misses per get on the fresh lazy tree.
+    const COLD_GETS: u64 = 100;
+    let misses_before = paged.pool_stats().unwrap().misses;
+    let mut rng = XorShift(0x9A6E_5EED);
+    let (_, cold_secs) = time(|| {
+        for _ in 0..COLD_GETS {
+            let k = rng.next_u64() % total;
+            assert_eq!(paged.get(&k), Some(k * 3));
+        }
+    });
+    let cold_get_pages =
+        (paged.pool_stats().unwrap().misses - misses_before) as f64 / COLD_GETS as f64;
+    println!(
+        "cold point reads: {:.2} pages faulted per get, {:.1} µs per get",
+        cold_get_pages,
+        cold_secs / COLD_GETS as f64 * 1e6,
+    );
+
+    // --- Warm vs cold: a working set that fits the pool. A leaf holds
+    // ≥ the configured block size, so half the budget's worth of
+    // consecutive blocks is comfortably under POOL_PAGES leaves.
+    let span = (POOL_PAGES as u64 / 2) * 128;
+    let warm_base = total / 2;
+    let pass = |_: u64| {
+        let before = paged.pool_stats().unwrap().misses;
+        for k in warm_base..warm_base + span {
+            assert_eq!(paged.get(&k), Some(k * 3));
+        }
+        paged.pool_stats().unwrap().misses - before
+    };
+    let cold_pass_misses = pass(0);
+    // Admission is scan-resistant (pages enter with the reference bit
+    // clear), so the first pass may evict its own early pages; the
+    // second pass re-references everything, after which the set is
+    // clock-protected and the third pass must fault nothing.
+    pass(1);
+    let warm_pass_misses = pass(2);
+    assert_eq!(warm_pass_misses, 0, "a pool-sized working set must stay resident");
+    println!(
+        "working set ≤ budget: first pass faulted {cold_pass_misses} pages, second pass {warm_pass_misses}"
+    );
+
+    // --- Bounded residency under a full scan, sampled between chunks
+    // so eviction has to keep the clock hand moving the whole way.
+    let chunk = (total / 64).max(1);
+    let mut peak_pages = 0usize;
+    let mut peak_bytes = 0usize;
+    let mut scanned = 0usize;
+    let scan_before = paged.pool_stats().unwrap();
+    let (_, scan_secs) = time(|| {
+        let mut lo = 0u64;
+        while lo < total {
+            let hi = (lo + chunk).min(total);
+            scanned += paged.range_entries(&lo, &(hi - 1)).len();
+            let s = paged.pool_stats().unwrap();
+            peak_pages = peak_pages.max(s.resident_pages);
+            peak_bytes = peak_bytes.max(s.resident_bytes);
+            lo = hi;
+        }
+    });
+    assert_eq!(scanned, total as usize);
+    let s = paged.pool_stats().unwrap();
+    let scan_misses = s.misses - scan_before.misses;
+    let scan_evictions = s.evictions - scan_before.evictions;
+    assert!(
+        peak_pages <= POOL_PAGES,
+        "scan residency {peak_pages} pages exceeded the {POOL_PAGES}-page budget"
+    );
+    assert!(scan_evictions > 0, "an out-of-core scan must evict");
+    println!(
+        "full scan: {scanned} entries in {:.1} ms through {scan_misses} page reads, \
+         {scan_evictions} evictions, peak residency {peak_pages} pages / {peak_bytes} bytes",
+        scan_secs * 1e3,
+    );
+
+    // --- Random gets: out-of-core (pool thrash) vs fully resident.
+    let gets = (total / 4).clamp(5_000, 200_000);
+    let mut rng = XorShift(0xD15C_9A6E_5EED_0001);
+    let keys: Vec<u64> = (0..gets).map(|_| rng.next_u64() % total).collect();
+    let (_, ooc_secs) = time(|| {
+        for k in &keys {
+            std::hint::black_box(paged.get(k));
+        }
+    });
+    let (_, res_secs) = time(|| {
+        for k in &keys {
+            std::hint::black_box(resident.get(k));
+        }
+    });
+    let ooc_per_sec = gets as f64 / ooc_secs;
+    let res_per_sec = gets as f64 / res_secs;
+    println!(
+        "random gets: out-of-core = {ooc_per_sec:.0}/s vs resident = {res_per_sec:.0}/s \
+         ({:.1}x demand-paging cost at a {POOL_PAGES}-page budget)",
+        res_per_sec / ooc_per_sec,
+    );
+
+    let section = format!(
+        "{{\n    \"threads\": {},\n    \"total_keys\": {total},\n    \
+         \"pool_pages\": {POOL_PAGES},\n    \"open_ms_paged\": {:.3},\n    \
+         \"open_ms_classic\": {:.3},\n    \"open_speedup\": {:.1},\n    \
+         \"open_data_pages\": {open_misses},\n    \"cold_get_pages\": {cold_get_pages:.2},\n    \
+         \"cold_get_us\": {:.1},\n    \"cold_pass_misses\": {cold_pass_misses},\n    \
+         \"warm_pass_misses\": {warm_pass_misses},\n    \"scan_page_reads\": {scan_misses},\n    \
+         \"scan_evictions\": {scan_evictions},\n    \"resident_peak_pages\": {peak_pages},\n    \
+         \"resident_peak_bytes\": {peak_bytes},\n    \
+         \"gets_per_sec_out_of_core\": {ooc_per_sec:.0},\n    \
+         \"gets_per_sec_resident\": {res_per_sec:.0},\n    \
+         \"resident_over_out_of_core\": {:.2}\n  }}",
+        parlay::num_threads(),
+        open_paged_s * 1e3,
+        open_classic_s * 1e3,
+        open_classic_s / open_paged_s.max(1e-9),
+        cold_secs / COLD_GETS as f64 * 1e6,
+        res_per_sec / ooc_per_sec,
+    );
+    bench::write_merged_section(
+        "BENCH_store.json",
+        "store_paging",
+        &section,
+        &["shard_throughput", "store_lifecycle"],
+    );
+
+    drop(paged);
+    drop(resident);
+    let _ = std::fs::remove_dir_all(&paged_dir);
+    let _ = std::fs::remove_dir_all(&classic_dir);
+}

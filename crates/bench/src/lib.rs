@@ -89,6 +89,24 @@ pub fn extract_obj<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
+/// Rewrites `path` as a merged JSON object: `own_key` maps to `section`
+/// and every key in `preserve` keeps the object it had in the existing
+/// file (missing or stale sections are simply dropped). The store bench
+/// binaries share one results file (`BENCH_store.json`, one section per
+/// binary); each run rewrites only its own section via this helper, so
+/// the CI smoke steps can run the binaries in any order.
+pub fn write_merged_section(path: &str, own_key: &str, section: &str, preserve: &[&str]) {
+    let previous = std::fs::read_to_string(path).unwrap_or_default();
+    let mut parts: Vec<String> = preserve
+        .iter()
+        .filter_map(|key| extract_obj(&previous, key).map(|o| format!("  \"{key}\": {o}")))
+        .collect();
+    parts.push(format!("  \"{own_key}\": {section}"));
+    let json = format!("{{\n{}\n}}\n", parts.join(",\n"));
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({own_key} section)");
+}
+
 /// Reads the numeric value following `"key":` in a JSON fragment (the
 /// counterpart of [`extract_obj`] for scalar fields). Same caveats: a
 /// substring scan, adequate only for the JSON these binaries themselves

@@ -32,10 +32,6 @@ where
     loop {
         let node = cur.as_ref()?;
         match &**node {
-            Node::Flat { block, .. } => {
-                stats::count_cursor_op();
-                return C::search_by(block, |e| e.key().cmp(k)).ok().map(|(_, e)| e);
-            }
             Node::Regular {
                 left, entry, right, ..
             } => match k.cmp(entry.key()) {
@@ -43,6 +39,11 @@ where
                 std::cmp::Ordering::Less => cur = left,
                 std::cmp::Ordering::Greater => cur = right,
             },
+            leaf => {
+                stats::count_cursor_op();
+                let block = leaf.leaf_block();
+                return C::search_by(&block, |e| e.key().cmp(k)).ok().map(|(_, e)| e);
+            }
         }
     }
 }
@@ -70,10 +71,8 @@ where
         stats::count_cursor_op();
         return with_scratch(node.size() + 1, |out: &mut Vec<E>| {
             {
-                let Node::Flat { block, .. } = &*node else {
-                    unreachable!("is_flat")
-                };
-                let mut cur = C::cursor(block);
+                let block = node.leaf_block();
+                let mut cur = C::cursor(&block);
                 let mut pending = Some(e);
                 while let Some(x) = cur.peek() {
                     if let Some(new) = pending.take() {
@@ -121,10 +120,8 @@ where
     if node.is_flat() {
         stats::count_cursor_op();
         let hit = {
-            let Node::Flat { block, .. } = &*node else {
-                unreachable!("is_flat")
-            };
-            match C::search_by(block, |x| x.key().cmp(k)) {
+            let block = node.leaf_block();
+            match C::search_by(&block, |x| x.key().cmp(k)) {
                 Ok((hit, _)) => hit,
                 // Miss: nothing to rebuild, keep the node as-is.
                 Err(_) => return Some(node),
@@ -132,10 +129,8 @@ where
         };
         return with_scratch(node.size(), |out: &mut Vec<E>| {
             {
-                let Node::Flat { block, .. } = &*node else {
-                    unreachable!("is_flat")
-                };
-                let mut cur = C::cursor(block);
+                let block = node.leaf_block();
+                let mut cur = C::cursor(&block);
                 let mut i = 0;
                 while let Some(x) = cur.peek() {
                     if i != hit {
@@ -168,15 +163,6 @@ where
     loop {
         let Some(node) = cur else { return acc };
         match &**node {
-            Node::Flat { block, .. } => {
-                stats::count_cursor_op();
-                // Both outcomes of the sampled search give the number of
-                // keys strictly below `k` (keys are unique).
-                return acc
-                    + match C::search_by(block, |e| e.key().cmp(k)) {
-                        Ok((i, _)) | Err(i) => i,
-                    };
-            }
             Node::Regular {
                 left, entry, right, ..
             } => match k.cmp(entry.key()) {
@@ -186,6 +172,16 @@ where
                     cur = right;
                 }
             },
+            leaf => {
+                stats::count_cursor_op();
+                // Both outcomes of the sampled search give the number of
+                // keys strictly below `k` (keys are unique).
+                let block = leaf.leaf_block();
+                return acc
+                    + match C::search_by(&block, |e| e.key().cmp(k)) {
+                        Ok((i, _)) | Err(i) => i,
+                    };
+            }
         }
     }
 }
@@ -206,10 +202,6 @@ where
             return None;
         }
         match &**node {
-            Node::Flat { block, .. } => {
-                stats::count_cursor_op();
-                return Some(C::get(block, i));
-            }
             Node::Regular {
                 left, entry, right, ..
             } => {
@@ -222,6 +214,11 @@ where
                         cur = right;
                     }
                 }
+            }
+            leaf => {
+                stats::count_cursor_op();
+                let block = leaf.leaf_block();
+                return Some(C::get(&block, i));
             }
         }
     }
@@ -239,17 +236,6 @@ where
     loop {
         let Some(node) = cur else { return best };
         match &**node {
-            Node::Flat { block, .. } => {
-                stats::count_cursor_op();
-                return match C::search_by(block, |e| e.key().cmp(k)) {
-                    Ok((_, e)) => Some(e),
-                    Err(i) if i < C::len(block) => {
-                        stats::count_cursor_op();
-                        Some(C::get(block, i))
-                    }
-                    Err(_) => best,
-                };
-            }
             Node::Regular {
                 left, entry, right, ..
             } => {
@@ -259,6 +245,18 @@ where
                 } else {
                     cur = right;
                 }
+            }
+            leaf => {
+                stats::count_cursor_op();
+                let block = leaf.leaf_block();
+                return match C::search_by(&block, |e| e.key().cmp(k)) {
+                    Ok((_, e)) => Some(e),
+                    Err(i) if i < C::len(&block) => {
+                        stats::count_cursor_op();
+                        Some(C::get(&block, i))
+                    }
+                    Err(_) => best,
+                };
             }
         }
     }
@@ -276,17 +274,6 @@ where
     loop {
         let Some(node) = cur else { return best };
         match &**node {
-            Node::Flat { block, .. } => {
-                stats::count_cursor_op();
-                return match C::search_by(block, |e| e.key().cmp(k)) {
-                    Ok((_, e)) => Some(e),
-                    Err(i) if i > 0 => {
-                        stats::count_cursor_op();
-                        Some(C::get(block, i - 1))
-                    }
-                    Err(_) => best,
-                };
-            }
             Node::Regular {
                 left, entry, right, ..
             } => {
@@ -296,6 +283,18 @@ where
                 } else {
                     cur = left;
                 }
+            }
+            leaf => {
+                stats::count_cursor_op();
+                let block = leaf.leaf_block();
+                return match C::search_by(&block, |e| e.key().cmp(k)) {
+                    Ok((_, e)) => Some(e),
+                    Err(i) if i > 0 => {
+                        stats::count_cursor_op();
+                        Some(C::get(&block, i - 1))
+                    }
+                    Err(_) => best,
+                };
             }
         }
     }
@@ -352,29 +351,6 @@ pub(crate) fn range_decompose<E, A, C>(
     // Invariant: only called on subtrees that may intersect [lo, hi].
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, block, .. } => {
-            // Whole-block containment check via the first/last entries
-            // (both O(RESTART_INTERVAL) point gets, no decode).
-            stats::count_cursor_op();
-            let first = C::get(block, 0);
-            let last = C::get(block, C::len(block) - 1);
-            if first.key() >= lo && last.key() <= hi {
-                f(Part::Aug(aug));
-            } else {
-                // Seek to the first in-range entry, stream until past hi.
-                let start = match C::search_by(block, |e| e.key().cmp(lo)) {
-                    Ok((i, _)) | Err(i) => i,
-                };
-                let mut cur = C::cursor_at(block, start);
-                while let Some(e) = cur.peek() {
-                    if e.key() > hi {
-                        break;
-                    }
-                    f(Part::Entry(e));
-                    cur.advance();
-                }
-            }
-        }
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -387,6 +363,30 @@ pub(crate) fn range_decompose<E, A, C>(
                 descend_ge(left, lo, f);
                 f(Part::Entry(entry));
                 descend_le(right, hi, f);
+            }
+        }
+        leaf => {
+            // Whole-block containment check via the first/last entries
+            // (both O(RESTART_INTERVAL) point gets, no decode).
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            let first = C::get(&block, 0);
+            let last = C::get(&block, C::len(&block) - 1);
+            if first.key() >= lo && last.key() <= hi {
+                f(Part::Aug(leaf.aug()));
+            } else {
+                // Seek to the first in-range entry, stream until past hi.
+                let start = match C::search_by(&block, |e| e.key().cmp(lo)) {
+                    Ok((i, _)) | Err(i) => i,
+                };
+                let mut cur = C::cursor_at(&block, start);
+                while let Some(e) = cur.peek() {
+                    if e.key() > hi {
+                        break;
+                    }
+                    f(Part::Entry(e));
+                    cur.advance();
+                }
             }
         }
     }
@@ -404,21 +404,6 @@ fn descend_ge<E, A, C>(
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, block, .. } => {
-            stats::count_cursor_op();
-            if C::get(block, 0).key() >= lo {
-                f(Part::Aug(aug));
-            } else {
-                let start = match C::search_by(block, |e| e.key().cmp(lo)) {
-                    Ok((i, _)) | Err(i) => i,
-                };
-                let mut cur = C::cursor_at(block, start);
-                while let Some(e) = cur.peek() {
-                    f(Part::Entry(e));
-                    cur.advance();
-                }
-            }
-        }
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -428,6 +413,22 @@ fn descend_ge<E, A, C>(
                 descend_ge(left, lo, f);
             } else {
                 descend_ge(right, lo, f);
+            }
+        }
+        leaf => {
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            if C::get(&block, 0).key() >= lo {
+                f(Part::Aug(leaf.aug()));
+            } else {
+                let start = match C::search_by(&block, |e| e.key().cmp(lo)) {
+                    Ok((i, _)) | Err(i) => i,
+                };
+                let mut cur = C::cursor_at(&block, start);
+                while let Some(e) = cur.peek() {
+                    f(Part::Entry(e));
+                    cur.advance();
+                }
             }
         }
     }
@@ -445,21 +446,6 @@ fn descend_le<E, A, C>(
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { aug, block, .. } => {
-            stats::count_cursor_op();
-            if C::get(block, C::len(block) - 1).key() <= hi {
-                f(Part::Aug(aug));
-            } else {
-                let mut cur = C::cursor(block);
-                while let Some(e) = cur.peek() {
-                    if e.key() > hi {
-                        break;
-                    }
-                    f(Part::Entry(e));
-                    cur.advance();
-                }
-            }
-        }
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -469,6 +455,22 @@ fn descend_le<E, A, C>(
                 descend_le(right, hi, f);
             } else {
                 descend_le(left, hi, f);
+            }
+        }
+        leaf => {
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            if C::get(&block, C::len(&block) - 1).key() <= hi {
+                f(Part::Aug(leaf.aug()));
+            } else {
+                let mut cur = C::cursor(&block);
+                while let Some(e) = cur.peek() {
+                    if e.key() > hi {
+                        break;
+                    }
+                    f(Part::Entry(e));
+                    cur.advance();
+                }
             }
         }
     }
@@ -524,19 +526,6 @@ pub(crate) fn prune_search<E, A, C>(
         return;
     }
     match &**node {
-        Node::Flat { block, .. } => {
-            stats::count_cursor_op();
-            let mut cur = C::cursor(block);
-            while let Some(e) = cur.peek() {
-                if e.key() > kmax {
-                    break;
-                }
-                if pred(e) {
-                    out.push(e.clone());
-                }
-                cur.advance();
-            }
-        }
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -546,6 +535,20 @@ pub(crate) fn prune_search<E, A, C>(
                     out.push(entry.clone());
                 }
                 prune_search(right, kmax, enter, pred, out);
+            }
+        }
+        leaf => {
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            let mut cur = C::cursor(&block);
+            while let Some(e) = cur.peek() {
+                if e.key() > kmax {
+                    break;
+                }
+                if pred(e) {
+                    out.push(e.clone());
+                }
+                cur.advance();
             }
         }
     }
@@ -577,10 +580,8 @@ where
         stats::count_cursor_op();
         return with_scratch(node.size(), |kept: &mut Vec<E>| {
             {
-                let Node::Flat { block, .. } = &*node else {
-                    unreachable!("is_flat")
-                };
-                C::for_each(block, &mut |e| {
+                let block = node.leaf_block();
+                C::for_each(&block, &mut |e| {
                     if pred(e) {
                         kept.push(e.clone());
                     }
@@ -644,13 +645,6 @@ where
 {
     let Some(node) = t else { return None };
     match &**node {
-        Node::Flat { block, .. } => {
-            stats::count_cursor_op();
-            with_scratch(node.size(), |mapped: &mut Vec<E2>| {
-                C::for_each(block, &mut |e| mapped.push(f(e)));
-                crate::node::make_flat(mapped)
-            })
-        }
         Node::Regular {
             left,
             entry,
@@ -670,6 +664,14 @@ where
                 )
             };
             crate::node::make_regular(tl, f(entry), tr)
+        }
+        leaf => {
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            with_scratch(node.size(), |mapped: &mut Vec<E2>| {
+                C::for_each(&block, &mut |e| mapped.push(f(e)));
+                crate::node::make_flat(mapped)
+            })
         }
     }
 }
@@ -706,13 +708,6 @@ where
 {
     let Some(node) = t else { return id };
     match &**node {
-        Node::Flat { block, .. } => {
-            let mut acc = id;
-            C::for_each(block, &mut |e| {
-                acc = op(acc.clone(), m(e));
-            });
-            acc
-        }
         Node::Regular {
             left,
             entry,
@@ -732,6 +727,14 @@ where
                 )
             };
             op(op(a, m(entry)), c)
+        }
+        leaf => {
+            let block = leaf.leaf_block();
+            let mut acc = id;
+            C::for_each(&block, &mut |e| {
+                acc = op(acc.clone(), m(e));
+            });
+            acc
         }
     }
 }
@@ -756,20 +759,6 @@ where
 {
     let Some(node) = t else { return };
     match &**node {
-        Node::Flat { block, .. } => {
-            stats::count_cursor_op();
-            let from = match C::search_by(block, |e| e.key().cmp(lo)) {
-                Ok((i, _)) | Err(i) => i,
-            };
-            let mut cur = C::cursor_at(block, from);
-            while let Some(e) = cur.peek() {
-                if e.key() > hi {
-                    break;
-                }
-                out.push(e.clone());
-                cur.advance();
-            }
-        }
         Node::Regular {
             left, entry, right, ..
         } => {
@@ -782,6 +771,21 @@ where
             }
             if k <= hi {
                 collect_range(right, lo, hi, out);
+            }
+        }
+        leaf => {
+            stats::count_cursor_op();
+            let block = leaf.leaf_block();
+            let from = match C::search_by(&block, |e| e.key().cmp(lo)) {
+                Ok((i, _)) | Err(i) => i,
+            };
+            let mut cur = C::cursor_at(&block, from);
+            while let Some(e) = cur.peek() {
+                if e.key() > hi {
+                    break;
+                }
+                out.push(e.clone());
+                cur.advance();
             }
         }
     }
@@ -797,7 +801,6 @@ where
 {
     let Some(node) = t else { return acc };
     match &**node {
-        Node::Flat { aug, .. } => f(acc, aug),
         Node::Regular {
             left, right, aug, ..
         } => {
@@ -805,6 +808,7 @@ where
             let acc = fold_augs(left, acc, f);
             fold_augs(right, acc, f)
         }
+        leaf => f(acc, leaf.aug()),
     }
 }
 

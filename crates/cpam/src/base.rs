@@ -158,10 +158,11 @@ where
                 write_tree(right, out, offset + lsize + 1, grain);
             }
         }
-        Node::Flat { block, .. } => {
+        leaf => {
             crate::stats::count_block_decode();
+            let block = leaf.leaf_block();
             let mut at = offset;
-            C::for_each(block, &mut |e| {
+            C::for_each(&block, &mut |e| {
                 // SAFETY: as above; blocks own a disjoint range.
                 unsafe { out.0.add(at).write(e.clone()) };
                 at += 1;
@@ -204,9 +205,10 @@ where
             out.push(entry.clone());
             push_all(right, out);
         }
-        Node::Flat { block, .. } => {
+        leaf => {
             crate::stats::count_block_decode();
-            C::decode(block, out);
+            let block = leaf.leaf_block();
+            C::decode(&block, out);
         }
     }
 }

@@ -6,7 +6,7 @@ use codecs::{BlockCursor, Codec};
 
 use crate::aug::Augmentation;
 use crate::entry::Element;
-use crate::node::{Node, Tree};
+use crate::node::{BlockRef, Node, Tree};
 use crate::stats;
 
 /// An in-order iterator over the entries of a PaC-tree.
@@ -36,6 +36,10 @@ where
     /// Keeps the current leaf's allocation (and thus the cursor's
     /// borrow target) alive.
     leaf: Option<Arc<Node<E, A, C>>>,
+    /// For lazy leaves the cursor borrows a pool-loaded block that lives
+    /// outside the node; this strong reference keeps it alive. Cleared
+    /// together with `leaf`.
+    lazy_block: Option<Arc<C::Block>>,
     /// Regular nodes whose entry and right subtree are still pending.
     stack: Vec<Arc<Node<E, A, C>>>,
 }
@@ -50,6 +54,7 @@ where
         let mut it = Iter {
             cursor: None,
             leaf: None,
+            lazy_block: None,
             stack: Vec::new(),
         };
         it.push_left_spine(t);
@@ -63,19 +68,28 @@ where
                     self.stack.push(Arc::clone(node));
                     t = left;
                 }
-                Node::Flat { .. } => {
+                _ => {
                     debug_assert!(self.cursor.is_none());
                     stats::count_cursor_op();
                     let leaf = Arc::clone(node);
-                    let Node::Flat { block, .. } = &*leaf else {
-                        unreachable!("matched Flat above");
+                    // SAFETY: the block either lives inside `leaf`'s Arc
+                    // allocation (flat), which `self.leaf` keeps alive
+                    // for the cursor's whole lifetime (see the field
+                    // docs), or in a pool-loaded Arc kept alive by
+                    // `self.lazy_block`; Arc contents never move. The
+                    // raw-pointer round-trip launders the borrow to the
+                    // field's 'static.
+                    let block: *const C::Block = match leaf.leaf_block() {
+                        BlockRef::Borrowed(b) => {
+                            self.lazy_block = None;
+                            b
+                        }
+                        BlockRef::Loaded(arc) => {
+                            let p = Arc::as_ptr(&arc);
+                            self.lazy_block = Some(arc);
+                            p
+                        }
                     };
-                    // SAFETY: `block` lives inside `leaf`'s Arc
-                    // allocation, which `self.leaf` keeps alive for the
-                    // cursor's whole lifetime (see the field docs); Arc
-                    // contents never move. The raw-pointer round-trip
-                    // launders the borrow to the field's 'static.
-                    let block: *const C::Block = block;
                     self.cursor = Some(C::cursor(unsafe { &*block }));
                     self.leaf = Some(leaf);
                     return;
@@ -103,10 +117,11 @@ where
             acc = f(acc, entry.clone());
             fold_tree(right, acc, f)
         }
-        Node::Flat { block, .. } => {
+        leaf => {
             stats::count_cursor_op();
+            let block = leaf.leaf_block();
             let mut acc = Some(acc);
-            C::for_each(block, &mut |e| {
+            C::for_each(&block, &mut |e| {
                 acc = Some(f(acc.take().expect("acc threaded"), e.clone()));
             });
             acc.expect("acc threaded")
@@ -140,6 +155,7 @@ where
             }
             drop(cur);
             self.leaf = None;
+            self.lazy_block = None;
         }
         // The stack holds ancestors root-first; each pending node
         // contributes its entry then its whole right subtree.
@@ -164,6 +180,7 @@ where
             // Exhausted: release the cursor before the leaf it borrows.
             self.cursor = None;
             self.leaf = None;
+            self.lazy_block = None;
         }
         let node = self.stack.pop()?;
         let Node::Regular { entry, right, .. } = &*node else {

@@ -103,7 +103,7 @@ where
         Node::Regular {
             left, entry, right, ..
         } => (left.clone(), entry.clone(), right.clone()),
-        Node::Flat { .. } => with_scratch(t.size(), |entries| {
+        _ => with_scratch(t.size(), |entries| {
             decode_flat_into(t, entries);
             let mid = entries.len() / 2;
             let l = build_regular::<E, A, C>(&entries[..mid]);

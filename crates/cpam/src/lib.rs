@@ -73,7 +73,7 @@ pub use aug::{Augmentation, MaxAug, NoAug, SumAug};
 pub use entry::{Element, Entry, ScalarKey};
 pub use iter::Iter;
 pub use map::{PacMap, RangePart};
-pub use node::SpaceStats;
+pub use node::{BlockSource, SpaceStats};
 pub use pseq::PacSeq;
 pub use set::PacSet;
 pub use tradeoff::UnsortedLeafSet;

@@ -675,6 +675,44 @@ where
     }
 }
 
+impl<K, V, C> PacMap<K, V, NoAug, C>
+where
+    K: ScalarKey,
+    V: Element,
+    C: Codec<(K, V)>,
+{
+    /// Bulk constructor from a pre-order *paged* node stream: like
+    /// [`PacMap::from_node_stream`], but leaves arrive as `(page, len)`
+    /// references into a paged snapshot file instead of inline blocks,
+    /// and are materialized lazily through `src` on first access
+    /// (`find`/`range`/iteration touch only the pages their path
+    /// crosses). `O(structure)` work — independent of the data size.
+    ///
+    /// Only unaugmented maps can be paged: a lazy leaf cannot compute
+    /// an aggregate without defeating the point of not reading it.
+    ///
+    /// # Errors
+    ///
+    /// [`structure::BuildError`] when the stream's source fails or the
+    /// stream is structurally invalid (oversized leaves, runaway
+    /// depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn from_paged_stream<S>(
+        b: usize,
+        src: std::sync::Arc<dyn crate::BlockSource<C::Block>>,
+        next: &mut impl FnMut() -> Result<structure::PagedNodeOwned<(K, V)>, S>,
+    ) -> Result<Self, structure::BuildError<S>> {
+        assert!(b > 0, "block size must be positive");
+        Ok(PacMap {
+            root: structure::build_preorder_paged(b, &src, next)?,
+            b,
+        })
+    }
+}
+
 impl<K, V, A, C> PartialEq for PacMap<K, V, A, C>
 where
     K: ScalarKey,

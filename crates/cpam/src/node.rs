@@ -23,7 +23,8 @@
 //! in a loop and forking two-child splits through [`parlay::join`] — so
 //! a million-node tree drops in bounded stack space, in parallel.
 
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, Weak};
 
 use codecs::Codec;
 
@@ -33,6 +34,48 @@ use crate::stats;
 
 /// A (sub)tree: `None` is the empty tree.
 pub(crate) type Tree<E, A, C> = Option<Arc<Node<E, A, C>>>;
+
+/// Source of leaf blocks for *lazy* (paged) leaves: a leaf built by
+/// [`crate::PacMap::from_paged_stream`] holds a page id instead of the
+/// encoded bytes and materializes them through its source on first
+/// access. The `store` crate's buffer pool is the canonical
+/// implementation — it caches the strong [`Arc`]s, so a lazy tree's
+/// resident footprint is bounded by the pool budget, not the data size.
+///
+/// `load` is infallible by contract: tree queries (`find`, iteration,
+/// ...) have no error channel, so a source that cannot produce the page
+/// it promised at build time must panic (the pool panics with the
+/// underlying typed I/O error's message). Loads must be idempotent —
+/// the same page may be requested many times as the cached weak
+/// reference expires under cache pressure.
+pub trait BlockSource<B>: Send + Sync + 'static {
+    /// Loads (or retrieves from cache) the block stored on `page`.
+    fn load(&self, page: u32) -> Arc<B>;
+}
+
+/// A borrow of a leaf's encoded block: either a plain borrow out of a
+/// resident [`Node::Flat`], or a shared handle a lazy leaf materialized
+/// through its [`BlockSource`]. Derefs to the block either way, so the
+/// flat base cases are written once against `&C::Block`.
+pub(crate) enum BlockRef<'a, B> {
+    /// The block lives inline in the node.
+    Borrowed(&'a B),
+    /// The block was materialized through a [`BlockSource`]; the `Arc`
+    /// keeps it alive for the borrow's duration.
+    Loaded(Arc<B>),
+}
+
+impl<B> Deref for BlockRef<'_, B> {
+    type Target = B;
+
+    #[inline]
+    fn deref(&self) -> &B {
+        match self {
+            BlockRef::Borrowed(b) => b,
+            BlockRef::Loaded(arc) => arc,
+        }
+    }
+}
 
 /// One tree node; see the module docs.
 pub(crate) enum Node<E, A, C>
@@ -61,6 +104,27 @@ where
         /// The encoded entries.
         block: C::Block,
     },
+    /// A *lazy* leaf: the entries live on a page of a paged snapshot
+    /// file and are materialized through `src` on first access. Only
+    /// built for unaugmented trees (`aug` is the identity — a lazy
+    /// leaf cannot compute an aggregate without touching its page, and
+    /// the store only pages `NoAug` trees).
+    Lazy {
+        /// Aggregate placeholder (identity; see above).
+        aug: A::Value,
+        /// Number of entries on the page (from the structure stream,
+        /// so `size()` never does I/O).
+        len: usize,
+        /// The page holding the encoded block.
+        page: u32,
+        /// Where to materialize the block from.
+        src: Arc<dyn BlockSource<C::Block>>,
+        /// Weak handle to the last materialization: upgrades for free
+        /// while the source's cache still holds the block, reloads
+        /// after eviction. Weak — never a strong `Arc` — so a cold
+        /// tree's resident bytes stay bounded by the source's budget.
+        cached: Mutex<Weak<C::Block>>,
+    },
 }
 
 impl<E, A, C> Node<E, A, C>
@@ -74,6 +138,7 @@ where
         match self {
             Node::Regular { size, .. } => *size,
             Node::Flat { block, .. } => C::len(block),
+            Node::Lazy { len, .. } => *len,
         }
     }
 
@@ -82,12 +147,37 @@ where
         match self {
             Node::Regular { aug, .. } => aug,
             Node::Flat { aug, .. } => aug,
+            Node::Lazy { aug, .. } => aug,
         }
     }
 
-    /// True for flat (blocked leaf) nodes.
+    /// True for leaf (blocked) nodes — resident or lazy.
     pub(crate) fn is_flat(&self) -> bool {
-        matches!(self, Node::Flat { .. })
+        !matches!(self, Node::Regular { .. })
+    }
+
+    /// The leaf's encoded block, materializing a lazy leaf through its
+    /// [`BlockSource`] (a resident leaf is a plain borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics on regular nodes.
+    pub(crate) fn leaf_block(&self) -> BlockRef<'_, C::Block> {
+        match self {
+            Node::Flat { block, .. } => BlockRef::Borrowed(block),
+            Node::Lazy {
+                page, src, cached, ..
+            } => {
+                let mut slot = cached.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(arc) = slot.upgrade() {
+                    return BlockRef::Loaded(arc);
+                }
+                let arc = src.load(*page);
+                *slot = Arc::downgrade(&arc);
+                BlockRef::Loaded(arc)
+            }
+            Node::Regular { .. } => unreachable!("leaf_block on regular node"),
+        }
     }
 }
 
@@ -137,8 +227,6 @@ where
         let Some(mut arc) = t else { return };
         loop {
             match Arc::get_mut(&mut arc) {
-                // Shared or flat: dropping `arc` is shallow.
-                None | Some(Node::Flat { .. }) => return,
                 Some(Node::Regular { left, right, size, .. }) => {
                     if *size < PAR_DROP_MIN {
                         // Small enough for the plain recursive drop.
@@ -153,6 +241,8 @@ where
                         (None, None) => return,
                     }
                 }
+                // Shared or leaf: dropping `arc` is shallow.
+                _ => return,
             }
         }
     }
@@ -330,7 +420,34 @@ where
     Some(Arc::new(Node::Flat { aug, block }))
 }
 
-/// Decodes a flat node's block into a fresh vector.
+/// Builds a lazy leaf over `page` of `src`, with `len` entries.
+///
+/// The aggregate is the identity — callers must only build lazy leaves
+/// for unaugmented trees (the `NoAug` constraint is enforced by the
+/// public constructor, [`crate::PacMap::from_paged_stream`]).
+pub(crate) fn make_lazy<E, A, C>(
+    len: usize,
+    page: u32,
+    src: Arc<dyn BlockSource<C::Block>>,
+) -> Tree<E, A, C>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+{
+    debug_assert!(len > 0, "lazy leaf must hold entries");
+    stats::count_node_alloc();
+    Some(Arc::new(Node::Lazy {
+        aug: A::identity(),
+        len,
+        page,
+        src,
+        cached: Mutex::new(Weak::new()),
+    }))
+}
+
+/// Decodes a leaf node's block into a fresh vector (materializing a
+/// lazy leaf first).
 ///
 /// This is the decode-everything *oracle* path: hot code uses the
 /// codec's cursor layer or [`decode_flat_into`] with a scratch buffer
@@ -343,20 +460,21 @@ where
     C: Codec<E>,
 {
     match node {
-        Node::Flat { block, .. } => {
+        Node::Regular { .. } => unreachable!("decode_flat on regular node"),
+        _ => {
             stats::count_block_decode();
-            let mut out = Vec::with_capacity(C::len(block));
-            C::decode(block, &mut out);
+            let block = node.leaf_block();
+            let mut out = Vec::with_capacity(C::len(&block));
+            C::decode(&block, &mut out);
             out
         }
-        Node::Regular { .. } => unreachable!("decode_flat on regular node"),
     }
 }
 
-/// Appends a flat node's entries to `out` (typically a
+/// Appends a leaf node's entries to `out` (typically a
 /// [`crate::scratch`] buffer sized by the caller). Still a *full* block
 /// decode — it counts as one — but allocation-free when `out` has
-/// capacity.
+/// capacity (a lazy leaf additionally pays its page load).
 pub(crate) fn decode_flat_into<E, A, C>(node: &Node<E, A, C>, out: &mut Vec<E>)
 where
     E: Element,
@@ -364,11 +482,12 @@ where
     C: Codec<E>,
 {
     match node {
-        Node::Flat { block, .. } => {
-            stats::count_block_decode();
-            C::decode(block, out);
-        }
         Node::Regular { .. } => unreachable!("decode_flat_into on regular node"),
+        _ => {
+            stats::count_block_decode();
+            let block = node.leaf_block();
+            C::decode(&block, out);
+        }
     }
 }
 
@@ -377,13 +496,18 @@ where
 pub struct SpaceStats {
     /// Number of regular (binary) nodes.
     pub regular_nodes: usize,
-    /// Number of flat (blocked leaf) nodes.
+    /// Number of flat (blocked leaf) nodes, including lazy ones.
     pub flat_nodes: usize,
-    /// Total heap bytes of the encoded blocks.
+    /// Leaf nodes that are *lazy* (paged out; their block bytes live in
+    /// the buffer pool or on disk, not in the tree).
+    pub lazy_nodes: usize,
+    /// Total heap bytes of the *resident* encoded blocks.
     pub block_bytes: usize,
     /// Number of entries stored.
     pub entries: usize,
-    /// Estimated total heap bytes (nodes + refcounts + blocks).
+    /// Estimated total heap bytes (nodes + refcounts + resident
+    /// blocks). Lazy leaves count only their node shell — their pages
+    /// are accounted by the pool that owns them.
     pub total_bytes: usize,
 }
 
@@ -392,6 +516,7 @@ impl SpaceStats {
         SpaceStats {
             regular_nodes: self.regular_nodes + other.regular_nodes,
             flat_nodes: self.flat_nodes + other.flat_nodes,
+            lazy_nodes: self.lazy_nodes + other.lazy_nodes,
             block_bytes: self.block_bytes + other.block_bytes,
             entries: self.entries + other.entries,
             total_bytes: self.total_bytes + other.total_bytes,
@@ -418,20 +543,26 @@ where
             } => {
                 let here = SpaceStats {
                     regular_nodes: 1,
-                    flat_nodes: 0,
-                    block_bytes: 0,
                     entries: 1,
                     total_bytes: node_bytes,
+                    ..SpaceStats::default()
                 };
                 let _ = size;
                 here.add(space(left)).add(space(right))
             }
             Node::Flat { block, .. } => SpaceStats {
-                regular_nodes: 0,
                 flat_nodes: 1,
                 block_bytes: C::heap_bytes(block),
                 entries: C::len(block),
                 total_bytes: node_bytes + C::heap_bytes(block),
+                ..SpaceStats::default()
+            },
+            Node::Lazy { len, .. } => SpaceStats {
+                flat_nodes: 1,
+                lazy_nodes: 1,
+                entries: *len,
+                total_bytes: node_bytes,
+                ..SpaceStats::default()
             },
         },
     }

@@ -65,11 +65,6 @@ where
 {
     let Some(node) = t else { return None };
     match &**node {
-        Node::Flat { .. } => with_scratch(node.size(), |entries: &mut Vec<E>| {
-            decode_flat_into(node, entries);
-            entries.reverse();
-            make_flat(entries)
-        }),
         Node::Regular {
             left,
             entry,
@@ -84,6 +79,11 @@ where
             };
             make_regular(rl, entry.clone(), rr)
         }
+        _ => with_scratch(node.size(), |entries: &mut Vec<E>| {
+            decode_flat_into(node, entries);
+            entries.reverse();
+            make_flat(entries)
+        }),
     }
 }
 
@@ -109,11 +109,20 @@ where
 {
     let node = t.as_ref()?;
     match &**node {
-        Node::Flat { block, .. } => {
+        Node::Regular {
+            left, entry, right, ..
+        } => {
+            let lsize = size(left);
+            find_first_rec(left, pred, offset)
+                .or_else(|| pred(entry).then_some(offset + lsize))
+                .or_else(|| find_first_rec(right, pred, offset + lsize + 1))
+        }
+        leaf => {
             // Stream the block with early exit — a hit at position `i`
             // decodes only `i + 1` entries and allocates nothing.
             stats::count_cursor_op();
-            let mut cur = C::cursor(block);
+            let block = leaf.leaf_block();
+            let mut cur = C::cursor(&block);
             let mut i = 0;
             loop {
                 let e = cur.peek()?;
@@ -123,14 +132,6 @@ where
                 i += 1;
                 cur.advance();
             }
-        }
-        Node::Regular {
-            left, entry, right, ..
-        } => {
-            let lsize = size(left);
-            find_first_rec(left, pred, offset)
-                .or_else(|| pred(entry).then_some(offset + lsize))
-                .or_else(|| find_first_rec(right, pred, offset + lsize + 1))
         }
     }
 }

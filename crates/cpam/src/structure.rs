@@ -36,7 +36,7 @@ use codecs::Codec;
 
 use crate::aug::Augmentation;
 use crate::entry::Element;
-use crate::node::{make_flat_from_block, make_regular, Node, Tree};
+use crate::node::{make_flat_from_block, make_lazy, make_regular, BlockSource, Node, Tree};
 
 /// One node of a pre-order tree walk, by reference.
 #[derive(Debug)]
@@ -60,6 +60,26 @@ pub enum NodeOwned<E, B> {
     Regular(E),
     /// A flat leaf's encoded block, adopted verbatim.
     Flat(B),
+}
+
+/// One node of a pre-order *paged* stream: leaves are page references,
+/// not inline blocks (the decode-side counterpart of a paged snapshot's
+/// structure stream; see
+/// [`PacMap::from_paged_stream`](crate::PacMap::from_paged_stream)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagedNodeOwned<E> {
+    /// An empty subtree.
+    Empty,
+    /// A regular node's pivot entry (left subtree follows, then right).
+    Regular(E),
+    /// A leaf stored on `page`, holding `len` entries. Materialized
+    /// lazily through the tree's [`BlockSource`] on first access.
+    Leaf {
+        /// The page id in the paged snapshot file.
+        page: u32,
+        /// Number of entries on the page.
+        len: u32,
+    },
 }
 
 /// One node of a pre-order *diff* walk against a base tree
@@ -148,6 +168,14 @@ where
                 visit_preorder(right, f);
             }
             Node::Flat { block, .. } => f(NodeRef::Flat(block)),
+            Node::Lazy { .. } => {
+                // Materialize through the source for the duration of
+                // the callback; the `Arc` in the `BlockRef` keeps the
+                // borrow alive, and is dropped right after (the pool
+                // retains its own copy under its budget).
+                let block = node.leaf_block();
+                f(NodeRef::Flat(&block));
+            }
         },
     }
 }
@@ -200,6 +228,59 @@ where
             Ok(make_regular(left, entry, right))
         }
     }
+}
+
+/// Rebuilds a tree from a pre-order *paged* node stream: the structural
+/// twin of [`build_preorder`], except leaves become lazy nodes holding
+/// a page id and materializing through `src` on demand. Only valid for
+/// unaugmented trees (lazy leaves carry the identity aggregate); the
+/// public constructor enforces `A = NoAug`.
+pub(crate) fn build_preorder_paged<E, A, C, S, N>(
+    b: usize,
+    src: &Arc<dyn BlockSource<C::Block>>,
+    next: &mut N,
+) -> Result<Tree<E, A, C>, BuildError<S>>
+where
+    E: Element,
+    A: Augmentation<E>,
+    C: Codec<E>,
+    N: FnMut() -> Result<PagedNodeOwned<E>, S>,
+{
+    fn go<E, A, C, S, N>(
+        b: usize,
+        src: &Arc<dyn BlockSource<C::Block>>,
+        next: &mut N,
+        depth: usize,
+    ) -> Result<Tree<E, A, C>, BuildError<S>>
+    where
+        E: Element,
+        A: Augmentation<E>,
+        C: Codec<E>,
+        N: FnMut() -> Result<PagedNodeOwned<E>, S>,
+    {
+        if depth > MAX_DEPTH {
+            return Err(BuildError::Invalid("node stream deeper than any balanced tree"));
+        }
+        match next().map_err(BuildError::Source)? {
+            PagedNodeOwned::Empty => Ok(None),
+            PagedNodeOwned::Leaf { page, len } => {
+                let len = len as usize;
+                if len == 0 {
+                    return Err(BuildError::Invalid("empty paged leaf"));
+                }
+                if len > 2 * b {
+                    return Err(BuildError::Invalid("paged leaf larger than 2b"));
+                }
+                Ok(make_lazy(len, page, Arc::clone(src)))
+            }
+            PagedNodeOwned::Regular(entry) => {
+                let left = go(b, src, next, depth + 1)?;
+                let right = go(b, src, next, depth + 1)?;
+                Ok(make_regular(left, entry, right))
+            }
+        }
+    }
+    go(b, src, next, 0)
 }
 
 /// Indexes every non-empty node of `t` by allocation address, mapping
@@ -301,6 +382,13 @@ pub(crate) fn visit_preorder_diff<E, A, C, F>(
                     visit_preorder_diff(right, base, f);
                 }
                 Node::Flat { block, .. } => f(DiffNodeRef::Flat(block)),
+                Node::Lazy { .. } => {
+                    // An unshared lazy leaf genuinely changed identity
+                    // since the base; its bytes must travel with the
+                    // diff, so materialize for the callback's duration.
+                    let block = arc.leaf_block();
+                    f(DiffNodeRef::Flat(&block));
+                }
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Unit tests for the cpam crate internals and wrappers.
 
 mod differential_tests;
+mod lazy_tests;
 mod map_tests;
 mod seq_tests;
 mod set_tests;

@@ -34,8 +34,16 @@ where
 {
     let Some(node) = t else { return Ok(()) };
     match &**node {
-        Node::Flat { block, .. } => {
-            let len = C::len(block);
+        leaf @ (Node::Flat { .. } | Node::Lazy { .. }) => {
+            let len = {
+                let block = leaf.leaf_block();
+                C::len(&block)
+            };
+            if let Node::Lazy { len: cached, .. } = leaf {
+                if *cached != len {
+                    return Err(format!("lazy node caches len {cached}, block holds {len}"));
+                }
+            }
             if len == 0 {
                 return Err("empty flat node".into());
             }
@@ -119,7 +127,7 @@ where
         Ok(())
     };
     match &**node {
-        Node::Flat { .. } => {
+        Node::Flat { .. } | Node::Lazy { .. } => {
             let entries = decode_flat(node);
             for w in entries.windows(2) {
                 if w[0].key() >= w[1].key() {
@@ -154,9 +162,10 @@ where
 {
     let Some(node) = t else { return Ok(()) };
     match &**node {
-        Node::Flat { aug, .. } => {
+        leaf @ (Node::Flat { .. } | Node::Lazy { .. }) => {
             let entries = decode_flat(node);
             let expected = A::from_entries(&entries);
+            let aug = leaf.aug();
             if *aug != expected {
                 return Err(format!("flat aug {aug:?} != recomputed {expected:?}"));
             }

@@ -138,6 +138,18 @@ impl Registry {
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
+    /// Set a batch of gauges under one lock acquisition — the idiom for
+    /// publishing a consistent multi-field snapshot (e.g. a buffer
+    /// pool's residency stats) where per-name [`Registry::gauge`]
+    /// round-trips would let a scrape interleave between fields.
+    /// Missing gauges are created.
+    pub fn gauge_set(&self, values: &[(&str, i64)]) {
+        let mut inner = self.inner.lock().unwrap();
+        for (name, v) in values {
+            inner.gauges.entry((*name).to_string()).or_default().set(*v);
+        }
+    }
+
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut inner = self.inner.lock().unwrap();
@@ -440,6 +452,19 @@ mod tests {
         r.register_callback("cb_total", || 42);
         r.register_callback("cb_total", || 999); // first wins
         assert_eq!(r.counter_value("cb_total"), Some(42));
+    }
+
+    #[test]
+    fn gauge_set_batches_under_one_lock() {
+        let r = Registry::new();
+        r.gauge("a").set(1); // pre-existing handle is reused, not shadowed
+        let a = r.gauge("a");
+        r.gauge_set(&[("a", 10), ("b", -3), ("c", 0)]);
+        assert_eq!(a.get(), 10);
+        assert_eq!(r.gauge_value("b"), Some(-3));
+        assert_eq!(r.gauge_value("c"), Some(0));
+        let text = r.render_text();
+        assert!(text.contains("# TYPE b gauge\nb -3\n"), "{text}");
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod error;
 mod lifecycle;
 pub mod metrics;
 mod mvcc;
+pub mod paged;
 pub mod pagefmt;
+pub mod pool;
 mod router;
 mod shard;
 pub mod wal;
@@ -61,13 +63,17 @@ pub mod wal;
 pub use error::StoreError;
 pub use lifecycle::{GcStats, LifecycleStats, RetentionPolicy, VersionRegistry};
 pub use mvcc::{
-    Op, PacStore, Snapshot, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE,
+    Op, PacStore, Snapshot, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, PAGED_FILE,
     SNAPSHOT_FILE,
+};
+pub use paged::{
+    encode_paged, open_paged_file, write_paged_file, PagedSnapshot, PagedSource, PAGED_MAGIC,
 };
 pub use pagefmt::{
     decode_incremental, decode_snapshot, encode_incremental, encode_snapshot, incr_file_name,
     read_snapshot_file, write_file_atomic, write_snapshot_file, DiskTree, INCREMENTAL_MAGIC,
     SNAPSHOT_MAGIC,
 };
+pub use pool::{BufferPool, PageGuard, PoolStats};
 pub use router::{Router, PARTITION_FILE, PARTITION_MAGIC};
 pub use shard::{shard_dir_name, ShardedSnapshot, ShardedStore, MANIFEST_FILE};

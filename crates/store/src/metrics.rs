@@ -27,6 +27,9 @@
 use std::sync::{Arc, Once, OnceLock};
 
 use obs::{Counter, Gauge, Histogram};
+use parking_lot::Mutex;
+
+use crate::pool::PoolStats;
 
 /// Install the `cpam::stats` → registry bridge exactly once per
 /// process. Pull-based: the cpam counters keep their single relaxed
@@ -108,6 +111,56 @@ pub(crate) struct StoreMetrics {
     /// Per-shard incremental-chain depth (links past the full page),
     /// `pacstore_incr_chain_depth{shard=...}`.
     pub incr_chain_depth: Vec<Arc<Gauge>>,
+    /// Buffer-pool residency publisher; see [`PoolMetrics`].
+    pub pool: PoolMetrics,
+}
+
+/// Publishes buffer-pool stats snapshots into the registry. The
+/// instantaneous fields land as gauges in one [`obs::Registry::gauge_set`]
+/// batch (a scrape never sees resident pages from one snapshot next to
+/// resident bytes from another); the monotone fields land as counter
+/// *deltas* against the previously published snapshot, so
+/// `pacstore_pool_{hits,misses,evictions}_total` keep counter semantics
+/// across repeated publishes.
+///
+/// Publishing happens on the stats read path
+/// ([`crate::PacStore::pool_stats`] and the sharded equivalents) — pool
+/// operations themselves touch only the pool's own relaxed atomics,
+/// preserving the zero-overhead policy of DESIGN.md §10.
+pub(crate) struct PoolMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    /// Monotone fields of the last published snapshot:
+    /// `(hits, misses, evictions)`.
+    last: Mutex<(u64, u64, u64)>,
+}
+
+impl PoolMetrics {
+    fn new() -> PoolMetrics {
+        let r = obs::global();
+        PoolMetrics {
+            hits: r.counter("pacstore_pool_hits_total"),
+            misses: r.counter("pacstore_pool_misses_total"),
+            evictions: r.counter("pacstore_pool_evictions_total"),
+            last: Mutex::new((0, 0, 0)),
+        }
+    }
+
+    /// Publish one aggregated pool snapshot.
+    pub fn publish(&self, s: &PoolStats) {
+        obs::global().gauge_set(&[
+            ("pacstore_pool_capacity_pages", s.capacity_pages as i64),
+            ("pacstore_pool_resident_pages", s.resident_pages as i64),
+            ("pacstore_pool_resident_bytes", s.resident_bytes as i64),
+            ("pacstore_pool_pinned_pages", s.pinned_pages as i64),
+        ]);
+        let mut last = self.last.lock();
+        self.hits.add(s.hits.saturating_sub(last.0));
+        self.misses.add(s.misses.saturating_sub(last.1));
+        self.evictions.add(s.evictions.saturating_sub(last.2));
+        *last = (s.hits, s.misses, s.evictions);
+    }
 }
 
 impl StoreMetrics {
@@ -150,6 +203,7 @@ impl StoreMetrics {
             gc_nodes_reclaimed: r.counter("pacstore_gc_nodes_reclaimed_total"),
             shard_wal_append,
             incr_chain_depth,
+            pool: PoolMetrics::new(),
         })
     }
 

@@ -69,6 +69,24 @@ pub struct StoreOptions {
     /// flushed to the OS only: they survive a process crash but not a
     /// machine crash.
     pub fsync_commits: bool,
+    /// `Some(n)`: saves write the *paged* snapshot format and opens are
+    /// lazy — `O(structure)` I/O up front, leaf pages streamed through
+    /// an `n`-page [`crate::BufferPool`] on first access, resident
+    /// cache bytes bounded by the budget (out-of-core operation).
+    /// `None` (default): the classic fully-resident format and
+    /// behavior, bit for bit.
+    ///
+    /// `Default::default()` seeds this from the `PAC_POOL_PAGES`
+    /// environment variable when set to a positive integer — CI runs
+    /// the store suite under `PAC_POOL_PAGES=8` to put forced-eviction
+    /// paging behind every test that doesn't pin a format explicitly.
+    pub pool_pages: Option<usize>,
+}
+
+/// `PAC_POOL_PAGES` as a pool budget: a positive integer enables the
+/// paged format with that many pages; unset/invalid/zero means `None`.
+fn pool_pages_from_env() -> Option<usize> {
+    std::env::var("PAC_POOL_PAGES").ok()?.trim().parse().ok().filter(|&n: &usize| n > 0)
 }
 
 impl Default for StoreOptions {
@@ -78,12 +96,18 @@ impl Default for StoreOptions {
             history_limit: 64,
             strict_log: false,
             fsync_commits: false,
+            pool_pages: pool_pages_from_env(),
         }
     }
 }
 
 /// File name of the snapshot page inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.pac";
+/// File name of the *paged* snapshot inside a store directory, written
+/// instead of [`SNAPSHOT_FILE`] when [`StoreOptions::pool_pages`] is
+/// set. Opens prefer it when present (newest version wins if both
+/// formats survive a crashed save).
+pub const PAGED_FILE: &str = "snapshot.pgf";
 /// Incremental chains longer than this are collapsed into a full page
 /// by [`PacStore::compact`]: each link costs a decode pass at `open`,
 /// and past this depth the cumulative incremental bytes approach a
@@ -258,6 +282,10 @@ where
     /// Pre-resolved observability handles (see [`crate::metrics`]); hot
     /// paths record via relaxed atomics only.
     metrics: Arc<StoreMetrics>,
+    /// The page cache behind lazy (paged) opens; `Some` exactly when
+    /// [`StoreOptions::pool_pages`] is set on a durable store. Every
+    /// paged open of this store streams through this one pool.
+    pool: Option<Arc<crate::pool::BufferPool<C::Block>>>,
 }
 
 /// A versioned, persistent key-value store whose state is a [`PacMap`].
@@ -370,6 +398,7 @@ where
         history: VecDeque<(u64, PacMap<K, V, NoAug, C>)>,
         checkpoint: Option<Checkpoint<K, V, C>>,
         registry: VersionRegistry,
+        pool: Option<Arc<crate::pool::BufferPool<C::Block>>>,
     ) -> Self {
         PacStore {
             inner: Arc::new(Inner {
@@ -392,6 +421,7 @@ where
                 // A single-directory store is shard "000" of a
                 // one-shard layout (see crate::metrics).
                 metrics: StoreMetrics::new(1),
+                pool,
             }),
         }
     }
@@ -416,6 +446,7 @@ where
             history,
             None,
             VersionRegistry::default(),
+            None,
         )
     }
 
@@ -454,8 +485,13 @@ where
             Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
         }
 
-        // Full page plus any incremental pages chained onto it.
-        let chain = pagefmt::load_chain::<PacMap<K, V, NoAug, C>>(&dir, SNAPSHOT_FILE)?;
+        // Full page plus any incremental pages chained onto it. With a
+        // pool budget configured, a paged snapshot opens *lazily*: the
+        // base tree holds page references and the open does O(structure)
+        // I/O — leaf pages stream through the pool on first access.
+        let pool = opts.pool_pages.map(crate::pool::BufferPool::new);
+        let chain =
+            crate::paged::load_chain_auto::<K, V, C>(&dir, PAGED_FILE, SNAPSHOT_FILE, pool.as_ref())?;
         let checkpoint = chain.as_ref().map(|(map, version, chain_len)| Checkpoint {
             version: *version,
             map: map.clone(),
@@ -532,7 +568,14 @@ where
             }
         }
 
+        let log_existed = log_path.exists();
         let log = OpenOptions::new().create(true).append(true).open(&log_path)?;
+        if !log_existed {
+            // The first `fsync_commits` append syncs the log's *data*,
+            // but an un-synced directory entry can lose the whole file
+            // on crash — persist the creation now, once.
+            crate::pagefmt::fsync_dir(&dir)?;
+        }
         Ok(Self::from_parts(
             opts,
             Some(dir),
@@ -543,6 +586,7 @@ where
             history,
             checkpoint,
             registry,
+            pool,
         ))
     }
 
@@ -772,12 +816,18 @@ where
             let s = self.inner.state.lock();
             (s.map.clone(), s.version)
         };
-        let page = pagefmt::encode_snapshot(&map, version);
-        pagefmt::write_file_atomic(&dir.join(SNAPSHOT_FILE), &page)?;
-        // The full page supersedes any incremental chain; stale links
-        // that survive a crash here are skipped (and re-deleted) by the
-        // next open or save.
-        pagefmt::remove_incr_files(dir)?;
+        // One format owns the directory at a time: write the configured
+        // one, then remove the other and the superseded incremental
+        // chain. A crash in between leaves extra files on disk — open
+        // arbitrates by version, and the page written here wins.
+        let page_bytes = crate::paged::write_full_snapshot(
+            self.inner.opts.pool_pages.is_some(),
+            dir,
+            PAGED_FILE,
+            SNAPSHOT_FILE,
+            &map,
+            version,
+        )?;
         let truncated = Self::reset_log(&mut log_guard)?;
         *self.inner.checkpoint.lock() = Some(Checkpoint {
             version,
@@ -787,10 +837,11 @@ where
         self.inner.metrics.incr_chain_depth[0].set(0);
         let mut stats = self.inner.lifecycle.lock();
         stats.full_saves += 1;
-        stats.full_page_bytes += page.len() as u64;
+        stats.full_page_bytes += page_bytes as u64;
         stats.wal_bytes_truncated += truncated;
         Ok(version)
     }
+
 
     /// Persists only what changed since the previous checkpoint: an
     /// incremental page diffed against the pinned root of
@@ -1036,6 +1087,19 @@ where
     /// The store's directory (`None` for in-memory stores).
     pub fn dir(&self) -> Option<&Path> {
         self.inner.dir.as_deref()
+    }
+
+    /// Statistics of the page cache behind this store's lazy (paged)
+    /// opens; `None` unless [`StoreOptions::pool_pages`] is set on a
+    /// durable store. Reading also publishes the snapshot into the
+    /// metrics registry (`pacstore_pool_*` gauges and counters), so a
+    /// scrape path that calls this before rendering gets fresh values.
+    pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        let stats = self.inner.pool.as_ref().map(|p| p.stats());
+        if let Some(s) = &stats {
+            self.inner.metrics.pool.publish(s);
+        }
+        stats
     }
 }
 

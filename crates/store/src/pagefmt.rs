@@ -81,8 +81,8 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PACSNP02";
 /// ```
 pub const INCREMENTAL_MAGIC: [u8; 8] = *b"PACINC01";
 
-const TAG_EMPTY: u8 = 0;
-const TAG_REGULAR: u8 = 1;
+pub(crate) const TAG_EMPTY: u8 = 0;
+pub(crate) const TAG_REGULAR: u8 = 1;
 const TAG_FLAT: u8 = 2;
 const TAG_SHARED: u8 = 3;
 
@@ -129,7 +129,7 @@ pub trait DiskTree: Clone + Sized + Send + Sync + 'static {
     fn read_nodes_diff(b: usize, base: &Self, buf: &[u8]) -> Result<Self, StoreError>;
 }
 
-fn flatten_build_error(e: BuildError<StoreError>) -> StoreError {
+pub(crate) fn flatten_build_error(e: BuildError<StoreError>) -> StoreError {
     match e {
         BuildError::Source(s) => s,
         BuildError::Invalid(what) => StoreError::Corrupt(what.to_string()),
@@ -440,8 +440,22 @@ pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         // Persist the rename itself (directory entry update).
-        std::fs::File::open(dir)?.sync_all()?;
+        fsync_dir(dir)?;
     }
+    Ok(())
+}
+
+/// `fsync`s a directory, persisting entry creations, renames, and
+/// removals inside it. Every mutation of the store directory's name
+/// space (atomic snapshot renames, incremental cleanup, log creation)
+/// must be followed by one of these before the change is acknowledged,
+/// or a crash can resurrect removed files / vanish created ones.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    std::fs::File::open(dir)?.sync_all()?;
     Ok(())
 }
 
@@ -623,17 +637,25 @@ pub(crate) fn list_incr_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreEr
 
 /// Deletes every incremental page in `dir` — called after a full
 /// snapshot supersedes the chain. Ignores missing files (idempotent).
+/// The directory is `fsync`ed after the removals, so a crash cannot
+/// resurrect a superseded chain the caller already acknowledged as
+/// cleaned up (the load path *also* skips stale incrementals, but the
+/// durable removal keeps the two defenses independent).
 ///
 /// # Errors
 ///
 /// Any underlying I/O error other than the files already being gone.
 pub(crate) fn remove_incr_files(dir: &Path) -> Result<(), StoreError> {
+    let mut removed = false;
     for (_, path) in list_incr_files(dir)? {
         match std::fs::remove_file(&path) {
-            Ok(()) => {}
+            Ok(()) => removed = true,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
+    }
+    if removed {
+        fsync_dir(dir)?;
     }
     Ok(())
 }
@@ -667,7 +689,24 @@ pub(crate) fn load_chain<T: DiskTree>(
         }
         return Ok(None);
     }
-    let (mut tree, mut version) = read_snapshot_file::<T>(&full)?;
+    let (tree, version) = read_snapshot_file::<T>(&full)?;
+    Ok(Some(chain_incrementals(dir, tree, version)?))
+}
+
+/// Chains every incremental page in `dir` newer than `version` onto
+/// `tree`, in version order. Shared by [`load_chain`] and the paged
+/// open path (whose base snapshot lives in a different file format but
+/// chains identically). Returns the resulting tree, the version it
+/// reaches, and the number of incrementals applied.
+///
+/// # Errors
+///
+/// See [`load_chain`].
+pub(crate) fn chain_incrementals<T: DiskTree>(
+    dir: &Path,
+    mut tree: T,
+    mut version: u64,
+) -> Result<(T, u64, usize), StoreError> {
     let mut applied = 0;
     for (v, path) in list_incr_files(dir)? {
         if v <= version {
@@ -687,7 +726,45 @@ pub(crate) fn load_chain<T: DiskTree>(
         version = page_version;
         applied += 1;
     }
-    Ok(Some((tree, version, applied)))
+    Ok((tree, version, applied))
+}
+
+/// Reads only the version field of the classic snapshot page at `path`.
+///
+/// Used to arbitrate when both a classic and a paged snapshot survive a
+/// crash between "write new format" and "remove old format": the newer
+/// version is the acknowledged state. Skips the CRC (the winner is
+/// fully verified when actually loaded) but still bounds the read to
+/// the fixed header prefix.
+///
+/// # Errors
+///
+/// I/O errors, [`StoreError::BadMagic`], [`StoreError::Truncated`].
+pub(crate) fn read_snapshot_version(path: &Path) -> Result<u64, StoreError> {
+    use std::io::Read;
+
+    // magic + codec + schema + two varints (≤ 10 bytes each) is always
+    // inside the first 64 bytes.
+    let mut buf = [0u8; 64];
+    let mut file = std::fs::File::open(path)?;
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    let buf = &buf[..filled];
+    if buf.len() < SNAPSHOT_MAGIC.len() {
+        return Err(StoreError::Truncated("snapshot header"));
+    }
+    if buf[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut pos = SNAPSHOT_MAGIC.len() + 1 + 4; // skip codec id + schema
+    bytecode::try_read_varint(buf, &mut pos).ok_or(StoreError::Truncated("block size"))?;
+    bytecode::try_read_varint(buf, &mut pos).ok_or(StoreError::Truncated("version"))
 }
 
 #[cfg(test)]

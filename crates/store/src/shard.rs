@@ -53,7 +53,7 @@ use crate::lifecycle::{self, GcStats, LifecycleStats, RetentionPolicy, VersionRe
 use crate::metrics::StoreMetrics;
 use crate::mvcc::{
     apply_ops, Op, StoreKey, StoreOptions, StoreValue, LOCK_FILE, LOG_FILE, MAX_INCR_CHAIN,
-    SNAPSHOT_FILE,
+    PAGED_FILE, SNAPSHOT_FILE,
 };
 use crate::pagefmt;
 use crate::router::{Router, PARTITION_FILE};
@@ -448,6 +448,11 @@ where
     /// Pre-resolved observability handles (see [`crate::metrics`]); hot
     /// paths record via relaxed atomics only.
     metrics: Arc<StoreMetrics>,
+    /// Per-shard page caches behind lazy (paged) opens; entries are
+    /// `Some` exactly when [`StoreOptions::pool_pages`] is set on a
+    /// durable store. Independent pools keep shard opens and query
+    /// paging embarrassingly parallel (no shared lock).
+    pools: Vec<Option<Arc<crate::pool::BufferPool<C::Block>>>>,
 }
 
 /// A versioned, persistent key-value store partitioned into N
@@ -522,6 +527,9 @@ where
     V: StoreValue,
     C: BlockIo<(K, V)>,
 {
+    // One argument per piece of open state the two open paths assemble;
+    // bundling them into a struct would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         opts: StoreOptions,
         router: Router<K>,
@@ -530,6 +538,7 @@ where
         state: ShardedState<K, V, C>,
         checkpoints: Checkpoints<K, V, C>,
         registry: VersionRegistry,
+        pools: Vec<Option<Arc<crate::pool::BufferPool<C::Block>>>>,
     ) -> Self {
         let metrics = StoreMetrics::new(router.shard_count());
         let (dir, dir_lock) = match durable_dir {
@@ -556,6 +565,7 @@ where
                 registry,
                 lifecycle: Mutex::new(LifecycleStats::default()),
                 metrics,
+                pools,
             }),
         }
     }
@@ -596,6 +606,7 @@ where
             state,
             Checkpoints::empty(shards),
             VersionRegistry::default(),
+            vec![None; shards],
         ))
     }
 
@@ -695,18 +706,29 @@ where
         let shards = router.shard_count();
 
         // Load shard page chains (full page plus incrementals) in
-        // parallel. `None` chain length = no pages yet.
+        // parallel. `None` chain length = no pages yet. With a pool
+        // budget configured, each shard gets its own page cache and a
+        // paged shard snapshot opens lazily through it.
+        let pools: Vec<Option<Arc<crate::pool::BufferPool<C::Block>>>> =
+            (0..shards).map(|_| opts.pool_pages.map(crate::pool::BufferPool::new)).collect();
         type Loaded<K, V, C> =
             Vec<Result<(PacMap<K, V, NoAug, C>, u64, Option<usize>), StoreError>>;
-        let loaded: Loaded<K, V, C> =
-            par_for_shards(shards, &|i| {
+        let loaded: Loaded<K, V, C> = {
+            let pools = &pools;
+            par_for_shards(shards, &move |i| {
                 let sdir = dir.join(shard_dir_name(i));
                 std::fs::create_dir_all(&sdir)?;
-                match pagefmt::load_chain::<PacMap<K, V, NoAug, C>>(&sdir, SNAPSHOT_FILE)? {
+                match crate::paged::load_chain_auto::<K, V, C>(
+                    &sdir,
+                    PAGED_FILE,
+                    SNAPSHOT_FILE,
+                    pools[i].as_ref(),
+                )? {
                     Some((m, v, applied)) => Ok((m, v, Some(applied))),
                     None => Ok((PacMap::with_block_size(opts.block_size), 0, None)),
                 }
-            });
+            })
+        };
         let mut maps = Vec::with_capacity(shards);
         let mut snap_vers = Vec::with_capacity(shards);
         let mut chain_lens = Vec::with_capacity(shards);
@@ -1008,15 +1030,25 @@ where
         // Open append handles, then heal the manifest (fully-prepared
         // commits whose manifest record was lost by the crash).
         let shard_logs: Vec<File> = (0..shards)
-            .map(|i| {
-                OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(dir.join(shard_dir_name(i)).join(LOG_FILE))
+            .map(|i| -> Result<File, StoreError> {
+                let sdir = dir.join(shard_dir_name(i));
+                let log_path = sdir.join(LOG_FILE);
+                let existed = log_path.exists();
+                let f = OpenOptions::new().create(true).append(true).open(&log_path)?;
+                if !existed {
+                    // Persist the directory entry; appended commits sync
+                    // only the file's data.
+                    pagefmt::fsync_dir(&sdir)?;
+                }
+                Ok(f)
             })
             .collect::<Result<_, _>>()?;
+        let manifest_existed = manifest_path.exists();
         let mut manifest_file =
             OpenOptions::new().create(true).append(true).open(&manifest_path)?;
+        if !manifest_existed {
+            pagefmt::fsync_dir(dir)?;
+        }
         // Heal: at most one commit can have been in flight at the
         // crash, so a healed record always extends the manifest's
         // ascending global order; guard anyway so a hand-edited
@@ -1055,6 +1087,7 @@ where
             state,
             checkpoints,
             registry,
+            pools,
         ))
     }
 
@@ -1421,19 +1454,26 @@ where
             (s.maps.clone(), s.locals.clone(), s.global)
         };
 
-        // Parallel snapshot-page writes (atomic per shard). A full page
-        // supersedes the shard's incremental chain; stale links that
+        // Parallel snapshot-page writes (atomic per shard) in the
+        // configured format (paged under a pool budget, classic
+        // otherwise). A full page supersedes the shard's incremental
+        // chain; stale links and superseded other-format files that
         // survive a crash here are skipped (and re-deleted) next time.
+        let paged = inner.opts.pool_pages.is_some();
         let writes: Vec<Result<usize, StoreError>> = {
             let maps = &maps;
             let locals = &locals;
             par_for_shards(maps.len(), &move |i| {
                 let sdir = dir.join(shard_dir_name(i));
                 std::fs::create_dir_all(&sdir)?;
-                let page = pagefmt::encode_snapshot(&maps[i], locals[i]);
-                pagefmt::write_file_atomic(&sdir.join(SNAPSHOT_FILE), &page)?;
-                pagefmt::remove_incr_files(&sdir)?;
-                Ok(page.len())
+                crate::paged::write_full_snapshot(
+                    paged,
+                    &sdir,
+                    PAGED_FILE,
+                    SNAPSHOT_FILE,
+                    &maps[i],
+                    locals[i],
+                )
             })
         };
         let mut full_page_bytes = 0u64;
@@ -1554,6 +1594,7 @@ where
         }
         let mut ckpts = inner.checkpoints.lock();
         let pages_span = obs::span!(inner.metrics.compact_pages);
+        let paged = inner.opts.pool_pages.is_some();
         let writes: Vec<Result<PageWrite, StoreError>> = {
             let maps = &maps;
             let locals = &locals;
@@ -1574,10 +1615,15 @@ where
                         Ok(PageWrite::Incremental(page.len()))
                     }
                     _ => {
-                        let page = pagefmt::encode_snapshot(&maps[i], locals[i]);
-                        pagefmt::write_file_atomic(&sdir.join(SNAPSHOT_FILE), &page)?;
-                        pagefmt::remove_incr_files(&sdir)?;
-                        Ok(PageWrite::Full(page.len()))
+                        let n = crate::paged::write_full_snapshot(
+                            paged,
+                            &sdir,
+                            PAGED_FILE,
+                            SNAPSHOT_FILE,
+                            &maps[i],
+                            locals[i],
+                        )?;
+                        Ok(PageWrite::Full(n))
                     }
                 }
             })
@@ -1862,6 +1908,47 @@ where
     /// The store's directory (`None` for in-memory stores).
     pub fn dir(&self) -> Option<&Path> {
         self.inner.dir.as_deref()
+    }
+
+    /// Per-shard page-cache statistics; `None` unless
+    /// [`StoreOptions::pool_pages`] is set on a durable store.
+    pub fn shard_pool_stats(&self) -> Option<Vec<crate::pool::PoolStats>> {
+        let stats: Vec<_> =
+            self.inner.pools.iter().filter_map(|p| p.as_ref()).map(|p| p.stats()).collect();
+        (!stats.is_empty()).then_some(stats)
+    }
+
+    /// Page-cache statistics summed across all shards; `None` unless
+    /// [`StoreOptions::pool_pages`] is set on a durable store. Reading
+    /// also publishes the summed snapshot into the metrics registry
+    /// (`pacstore_pool_*` gauges and counters), so a scrape path that
+    /// calls this before rendering gets fresh values.
+    pub fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        let total = self.shard_pool_stats().map(|per_shard| {
+            let mut total = crate::pool::PoolStats {
+                capacity_pages: 0,
+                resident_pages: 0,
+                resident_bytes: 0,
+                pinned_pages: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            };
+            for s in per_shard {
+                total.capacity_pages += s.capacity_pages;
+                total.resident_pages += s.resident_pages;
+                total.resident_bytes += s.resident_bytes;
+                total.pinned_pages += s.pinned_pages;
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.evictions += s.evictions;
+            }
+            total
+        });
+        if let Some(s) = &total {
+            self.inner.metrics.pool.publish(s);
+        }
+        total
     }
 }
 

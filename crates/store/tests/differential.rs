@@ -531,6 +531,225 @@ lifecycle_grid! {
     lifecycle_b128_s7: (128, 7),
 }
 
+// ---------------------------------------------------------------------
+// Out-of-core differential suite: the pool budget must be invisible
+// ---------------------------------------------------------------------
+//
+// One deterministic script of commits, saves, compacts, reopens, and
+// probes is generated per seed, then replayed on three configurations —
+// `pool_pages` 8 (heavy eviction), 64 (mostly resident), and `None`
+// (classic eager format) — each checked against its own `BTreeMap`
+// oracle after every step. The cache budget may only change *when*
+// pages are read, never *what* any query returns; at the tiny setting
+// the replay also asserts residency stays within budget while the data
+// set is many times larger. (`DIFF_OOC_CASES` overrides the volume,
+// default 5 — the script is durable and deliberately large.)
+
+/// Steps of one out-of-core script; concrete ops so every replay is
+/// identical by construction.
+enum OocStep {
+    Commit(Vec<Op<u64, u32>>),
+    Save,
+    Compact,
+    Reopen,
+    /// Point probes + one inclusive range probe.
+    Probe(Vec<u64>, u64, u64),
+}
+
+const OOC_SPAN: u64 = 12_000;
+
+fn ooc_cases() -> u64 {
+    std::env::var("DIFF_OOC_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Generates the per-seed script: a bulk load that far exceeds the
+/// small pool budget, a save + reopen (so later steps run on a lazy
+/// base), then randomized maintenance rounds.
+fn ooc_script(seed: u64) -> Vec<OocStep> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE_0B1D_FACE);
+    let mut steps = vec![
+        OocStep::Commit((0..8_000u64).map(|k| Op::Put(k, (k % 997) as u32)).collect()),
+        OocStep::Save,
+        OocStep::Reopen,
+        // Scan the freshly reopened, fully-lazy base: on the 8-page pool
+        // this is guaranteed eviction pressure (~60 pages through 8 slots).
+        OocStep::Probe(Vec::new(), 0, OOC_SPAN),
+    ];
+    let rounds = 5 + rng.gen_range(0..6usize);
+    for _ in 0..rounds {
+        match rng.gen_range(0..100u32) {
+            0..=54 => {
+                let len = 1 + rng.gen_range(0..40usize);
+                let mut ops = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let k = rng.gen_range(0..OOC_SPAN);
+                    if rng.gen_range(0..10) < 7 {
+                        ops.push(Op::Put(k, rng.gen_range(0..1_000u32)));
+                    } else {
+                        ops.push(Op::Delete(k));
+                    }
+                }
+                steps.push(OocStep::Commit(ops));
+            }
+            55..=64 => steps.push(OocStep::Save),
+            65..=79 => steps.push(OocStep::Compact),
+            80..=89 => steps.push(OocStep::Reopen),
+            _ => {
+                let probes = (0..12).map(|_| rng.gen_range(0..OOC_SPAN)).collect();
+                let a = rng.gen_range(0..OOC_SPAN);
+                let z = rng.gen_range(0..OOC_SPAN);
+                steps.push(OocStep::Probe(probes, a.min(z), a.max(z)));
+            }
+        }
+    }
+    // Every script ends scanning everything on a freshly reopened
+    // handle — on the tiny pool that is the maximal-eviction path.
+    steps.push(OocStep::Reopen);
+    steps.push(OocStep::Probe(Vec::new(), 0, OOC_SPAN));
+    steps
+}
+
+/// Replays `steps` on one pool configuration against a fresh oracle.
+fn ooc_exec(seed: u64, pool: Option<usize>, steps: &[OocStep]) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!(
+        "pacstore-diff-ooc-{}-{seed:016x}",
+        pool.map_or("none".into(), |p| p.to_string())
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions { pool_pages: pool, ..StoreOptions::default() };
+    let open = |dir: &PathBuf| -> Result<PacStore<u64, u32>, String> {
+        PacStore::open_with(dir, opts.clone()).map_err(|e| format!("open: {e}"))
+    };
+    let mut store = open(&dir)?;
+    let mut oracle: BTreeMap<u64, u32> = BTreeMap::new();
+    // Pools are per-handle; accumulate the monotone fields across
+    // reopens so the end-of-script sanity check sees the whole replay.
+    let mut cum_misses = 0u64;
+    let mut cum_evictions = 0u64;
+
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            OocStep::Commit(ops) => {
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => {
+                            oracle.insert(*k, *v);
+                        }
+                        Op::Delete(k) => {
+                            oracle.remove(k);
+                        }
+                    }
+                }
+                store.commit(ops.clone()).map_err(|e| format!("step {i} commit: {e}"))?;
+            }
+            OocStep::Save => {
+                store.save().map_err(|e| format!("step {i} save: {e}"))?;
+            }
+            OocStep::Compact => {
+                store.compact().map_err(|e| format!("step {i} compact: {e}"))?;
+            }
+            OocStep::Reopen => {
+                let version = store.current_version();
+                if let Some(s) = store.pool_stats() {
+                    cum_misses += s.misses;
+                    cum_evictions += s.evictions;
+                }
+                drop(store);
+                store = open(&dir)?;
+                if store.current_version() != version {
+                    return Err(format!(
+                        "step {i}: reopen lost commits: version {} != {version}",
+                        store.current_version()
+                    ));
+                }
+            }
+            OocStep::Probe(points, lo, hi) => {
+                if store.len() != oracle.len() {
+                    return Err(format!(
+                        "step {i}: len {} != oracle {}",
+                        store.len(),
+                        oracle.len()
+                    ));
+                }
+                for k in points {
+                    if store.get(k) != oracle.get(k).copied() {
+                        return Err(format!(
+                            "step {i}: get({k}) = {:?}, oracle {:?}",
+                            store.get(k),
+                            oracle.get(k)
+                        ));
+                    }
+                }
+                let got = store.range_entries(lo, hi);
+                let want: Vec<(u64, u32)> =
+                    oracle.range(*lo..=*hi).map(|(&k, &v)| (k, v)).collect();
+                if got != want {
+                    return Err(format!(
+                        "step {i}: range [{lo}, {hi}] diverges ({} vs {} entries)",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+        }
+        // The cache budget is a hard bound at every step, not just at
+        // quiescence.
+        if let (Some(budget), Some(s)) = (pool, store.pool_stats()) {
+            if s.resident_pages > budget {
+                return Err(format!(
+                    "step {i}: resident {} pages over budget {budget}",
+                    s.resident_pages
+                ));
+            }
+        }
+    }
+
+    // Configuration sanity: the tiny pool actually worked out-of-core
+    // (the replay paged and evicted — the data set exceeds 8 pages),
+    // and `None` reports no pool at all.
+    match (pool, store.pool_stats()) {
+        (Some(budget), Some(s)) => {
+            cum_misses += s.misses;
+            cum_evictions += s.evictions;
+            if budget == 8 && (cum_misses <= 8 || cum_evictions == 0) {
+                return Err(format!(
+                    "8-page replay never worked out-of-core: \
+                     {cum_misses} misses, {cum_evictions} evictions"
+                ));
+            }
+        }
+        (None, Some(_)) => return Err("classic replay reports pool stats".into()),
+        _ => {}
+    }
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).map_err(|e| format!("cleanup: {e}"))?;
+    Ok(())
+}
+
+#[test]
+fn out_of_core_grid_pool_budget_is_invisible() {
+    let (start, n) = match env_seed() {
+        Some(seed) => (seed, 1),
+        None => (0x00Cu64.wrapping_mul(0x9E37_79B9_7F4A_7C15), ooc_cases()),
+    };
+    for case in 0..n {
+        let seed = start.wrapping_add(case);
+        let steps = ooc_script(seed);
+        for pool in [Some(8), Some(64), None] {
+            if let Err(msg) = ooc_exec(seed, pool, &steps) {
+                panic!(
+                    "out-of-core differential divergence (pool_pages={pool:?}): {msg}\n\
+                     reproduce with: PROPTEST_SEED={seed} cargo test -p store --test differential"
+                );
+            }
+        }
+    }
+}
+
 /// The oracle harness must actually catch divergences: a store with a
 /// deliberately wrong routing assertion fails loudly, proving the
 /// comparison is not vacuous.

@@ -11,8 +11,8 @@
 use std::path::{Path, PathBuf};
 
 use store::{
-    shard_dir_name, Op, PacStore, Router, ShardedStore, StoreError, StoreOptions, LOG_FILE,
-    MANIFEST_FILE, SNAPSHOT_FILE,
+    incr_file_name, shard_dir_name, Op, PacStore, Router, ShardedStore, StoreError, StoreOptions,
+    LOG_FILE, MANIFEST_FILE, PAGED_FILE, SNAPSHOT_FILE,
 };
 
 /// A fresh, empty scratch directory unique to this test.
@@ -20,6 +20,14 @@ fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pacstore-test-{}-{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Options pinning the *classic* snapshot format, immune to the
+/// `PAC_POOL_PAGES` environment override — for tests that corrupt
+/// [`SNAPSHOT_FILE`] at the byte level and so depend on which file a
+/// save writes.
+fn classic() -> StoreOptions {
+    StoreOptions { pool_pages: None, ..StoreOptions::default() }
 }
 
 #[test]
@@ -70,7 +78,7 @@ fn log_replay_recovers_unsaved_commits() {
 fn truncated_snapshot_is_a_typed_error() {
     let dir = scratch("truncate-snap");
     {
-        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, classic()).unwrap();
         store.commit((0..2_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
         store.save().unwrap();
     }
@@ -95,7 +103,7 @@ fn truncated_snapshot_is_a_typed_error() {
 fn bit_flipped_snapshot_is_a_checksum_error() {
     let dir = scratch("bitflip-snap");
     {
-        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, classic()).unwrap();
         store.commit((0..2_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
         store.save().unwrap();
     }
@@ -232,6 +240,48 @@ fn save_resets_log_and_later_commits_append_cleanly() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn resurrected_incrementals_after_a_full_save_are_ignored_and_recleaned() {
+    // A full save removes the incremental chain it supersedes and
+    // fsyncs the directory, but an unclean shutdown elsewhere in the
+    // stack can still resurrect the files (e.g. a snapshot of the
+    // directory taken between remove and fsync). Inject exactly that
+    // crash: copy the chain back after the save and assert recovery
+    // (a) serves the post-save state, never the stale chain, and
+    // (b) the next save cleans the resurrected files up again.
+    let dir = scratch("resurrected-incrs");
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit((0..1_000u64).map(|k| Op::Put(k, 1)).collect()).unwrap();
+        store.save().unwrap(); // full page @1
+        store.commit(vec![Op::Put(5_000, 5)]).unwrap();
+        store.compact().unwrap(); // incremental page @2
+    }
+    let incr = dir.join(incr_file_name(2));
+    assert!(incr.exists(), "fixture should have produced an incremental");
+    let incr_bytes = std::fs::read(&incr).unwrap();
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        store.commit(vec![Op::Put(5_000, 7), Op::Delete(3)]).unwrap();
+        store.save().unwrap(); // full page @3 supersedes the chain
+        assert!(!incr.exists(), "save must remove the superseded chain");
+    }
+    std::fs::write(&incr, &incr_bytes).unwrap();
+    {
+        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        assert_eq!(store.current_version(), 3);
+        assert_eq!(store.get(&5_000), Some(7), "stale incremental value served");
+        assert_eq!(store.get(&3), None, "deleted key resurrected");
+        store.commit(vec![Op::Put(6_000, 6)]).unwrap();
+        store.save().unwrap();
+        assert!(!incr.exists(), "next save must re-clean the stale chain");
+    }
+    let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+    assert_eq!(store.get(&6_000), Some(6));
+    assert_eq!(store.get(&5_000), Some(7));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---------------------------------------------------------------------
 // Sharded store: durable round trips
 // ---------------------------------------------------------------------
@@ -256,9 +306,14 @@ fn sharded_save_and_reopen_serves_same_data() {
         // Post-save commits live only in the shard WALs + manifest.
         store.commit(vec![Op::Put(5, 500), Op::Put(2_500, 1)]).unwrap();
     }
-    // Every shard subdirectory holds its own snapshot page.
+    // Every shard subdirectory holds its own snapshot page (classic or
+    // paged, depending on the PAC_POOL_PAGES override).
     for i in 0..SHARDS {
-        assert!(dir.join(shard_dir_name(i)).join(SNAPSHOT_FILE).exists(), "shard {i}");
+        let sdir = dir.join(shard_dir_name(i));
+        assert!(
+            sdir.join(SNAPSHOT_FILE).exists() || sdir.join(PAGED_FILE).exists(),
+            "shard {i}"
+        );
     }
     let store = sharded_open(&dir);
     assert_eq!(store.current_version(), 3);
@@ -678,7 +733,13 @@ fn truncated_checkpoint_pages_are_typed_errors() {
     }
     std::fs::write(&incr_path, &incr_full).unwrap();
 
-    let snap_path = sdir.join(SNAPSHOT_FILE);
+    // Whichever snapshot format the fixture's saves wrote (the paged
+    // file under a PAC_POOL_PAGES override): both bootstrap through
+    // CRC-checked framing, so every cut must stay a typed error.
+    let snap_path = {
+        let p = sdir.join(SNAPSHOT_FILE);
+        if p.exists() { p } else { sdir.join(PAGED_FILE) }
+    };
     let snap_full = std::fs::read(&snap_path).unwrap();
     for cut in [0, 1, 8, 9, 13, snap_full.len() / 2, snap_full.len() - 1] {
         std::fs::write(&snap_path, &snap_full[..cut]).unwrap();

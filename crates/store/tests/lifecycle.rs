@@ -20,6 +20,13 @@ fn scratch(name: &str) -> PathBuf {
     dir
 }
 
+/// Options pinning the *classic* snapshot format, immune to the
+/// `PAC_POOL_PAGES` environment override — for tests that delete
+/// [`SNAPSHOT_FILE`] by name to break the checkpoint chain.
+fn classic() -> StoreOptions {
+    StoreOptions { pool_pages: None, ..StoreOptions::default() }
+}
+
 /// The [`cpam::stats`] counters are process-global; tests that measure
 /// allocation deltas must not run concurrently with other tests in this
 /// binary.
@@ -169,7 +176,7 @@ fn incremental_pages_are_much_smaller_than_full_pages() {
 fn deleted_snapshot_page_is_a_version_gap_not_a_silent_replay() {
     let dir = scratch("gap-deleted-snapshot");
     {
-        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, classic()).unwrap();
         for i in 0..3u64 {
             store.commit(vec![Op::Put(i, i)]).unwrap();
         }
@@ -193,7 +200,7 @@ fn deleted_snapshot_page_is_a_version_gap_not_a_silent_replay() {
 fn broken_incremental_chain_is_typed() {
     let dir = scratch("gap-broken-chain");
     {
-        let store: PacStore<u64, u64> = PacStore::open(&dir).unwrap();
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, classic()).unwrap();
         store.commit(vec![Op::Put(1, 1)]).unwrap();
         store.save().unwrap();
         store.commit(vec![Op::Put(2, 2)]).unwrap();

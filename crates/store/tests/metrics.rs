@@ -124,6 +124,60 @@ fn sharded_store_labels_shards_and_times_compaction_phases() {
 }
 
 #[test]
+fn pool_stats_publish_gauges_and_counter_deltas() {
+    let dir = std::env::temp_dir().join(format!("metrics-pool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions { pool_pages: Some(4), ..StoreOptions::default() };
+
+    let misses_before = counter("pacstore_pool_misses_total");
+
+    {
+        let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts.clone()).unwrap();
+        store.commit((0..20_000u64).map(|k| Op::Put(k, k)).collect()).unwrap();
+        store.save().unwrap();
+    }
+    let store: PacStore<u64, u64> = PacStore::open_with(&dir, opts).unwrap();
+    assert_eq!(store.get(&7), Some(7)); // pages in one leaf (a pool miss)
+    let s = store.pool_stats().unwrap(); // publishes into the registry
+
+    // Gauges mirror the snapshot just taken.
+    let gauge = |name: &str| obs::global().gauge_value(name).unwrap_or(i64::MIN);
+    assert_eq!(gauge("pacstore_pool_capacity_pages"), 4);
+    assert_eq!(gauge("pacstore_pool_resident_pages"), s.resident_pages as i64);
+    assert_eq!(gauge("pacstore_pool_resident_bytes"), s.resident_bytes as i64);
+    assert_eq!(gauge("pacstore_pool_pinned_pages"), s.pinned_pages as i64);
+
+    // Counters advanced by at least this store's activity; a second
+    // publish with no intervening pool traffic adds nothing (deltas,
+    // not re-counted snapshots).
+    assert!(counter("pacstore_pool_misses_total") > misses_before);
+    let hits_mid = counter("pacstore_pool_hits_total");
+    let misses_mid = counter("pacstore_pool_misses_total");
+    assert_eq!(store.pool_stats().unwrap(), s);
+    assert_eq!(counter("pacstore_pool_hits_total"), hits_mid);
+    assert_eq!(counter("pacstore_pool_misses_total"), misses_mid);
+
+    // Both scrape formats carry the pool series.
+    let text = obs::global().render_text();
+    for series in [
+        "# TYPE pacstore_pool_resident_bytes gauge",
+        "# TYPE pacstore_pool_pinned_pages gauge",
+        "pacstore_pool_hits_total",
+        "pacstore_pool_misses_total",
+        "pacstore_pool_evictions_total",
+    ] {
+        assert!(text.contains(series), "render_text missing {series}:\n{text}");
+    }
+    let json = obs::global().snapshot_json();
+    for key in ["\"pacstore_pool_resident_bytes\"", "\"pacstore_pool_misses_total\""] {
+        assert!(json.contains(key), "snapshot_json missing {key}");
+    }
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn render_text_exposes_the_write_path_schema() {
     // Make sure at least one store existed in this process.
     let store: PacStore<u64, u64> = PacStore::in_memory();
